@@ -1,0 +1,53 @@
+// A1 (ablation) — candidate machinery parameters (k', tau cap).
+//
+// DESIGN.md §4 substitutes the paper's astronomically-sized candidate
+// families with PRF families of k' sets under a capped tau. This ablation
+// quantifies the trade-off: larger k' and tau give the P1 pigeonhole more
+// slack (fewer relaxations / repairs) at higher internal cost; the library
+// defaults sit where relaxations vanish on weight-condition instances.
+#include "common.hpp"
+
+#include "ldc/oldc/two_phase.hpp"
+
+int main() {
+  using namespace ldc;
+  const std::uint32_t beta = 16;
+  const Graph g = bench::regular_graph(96, beta, 33);
+  const Orientation orient = Orientation::by_decreasing_id(g);
+  RandomLdcParams ip;
+  ip.color_space = 16ULL * beta * beta;
+  ip.one_plus_nu = 2.0;
+  ip.kappa = 40.0;
+  ip.max_defect = beta / 4;
+  ip.seed = 34;
+  const LdcInstance inst = random_weighted_oriented_instance(g, orient, ip);
+
+  Table t("A1: two-phase solver vs candidate parameters (beta = 16, "
+          "weight-condition instance)",
+          {"k'", "tau cap", "tau used", "rounds", "p1_relaxed", "repaired",
+           "repair rounds", "valid"});
+  for (std::uint32_t kprime : {4u, 8u, 16u, 32u}) {
+    for (std::uint32_t tau_cap : {2u, 4u, 8u, 16u}) {
+      Network net(g);
+      const auto lin = linial::color(net);
+      oldc::TwoPhaseInput in;
+      in.inst = &inst;
+      in.orientation = &orient;
+      in.initial = &lin.phi;
+      in.m = lin.palette;
+      in.params.kprime = kprime;
+      in.params.tau_cap = tau_cap;
+      const auto res = oldc::solve_two_phase(net, in);
+      const auto check = validate_oldc(inst, orient, res.phi);
+      t.add_row({std::uint64_t{kprime}, std::uint64_t{tau_cap},
+                 std::uint64_t{res.stats.tau},
+                 std::uint64_t{res.stats.rounds},
+                 std::uint64_t{res.stats.p1_relaxed},
+                 std::string(res.stats.repaired ? "yes" : "no"),
+                 std::uint64_t{res.stats.repair_rounds},
+                 bench::verdict(check)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// A2 (ablation) — Theorem 1.3's class count q = q_factor * Lambda^(1/2).
+//
+// Theorem 1.3 balances the number of arbdefective classes (round cost
+// ~q per stage) against the per-class outdegree delta ~ Delta/q (which
+// drives the per-class OLDC difficulty and the repair safety net). The
+// sweep shows the optimum is flat around the default q_factor = 2.
+#include "common.hpp"
+
+#include "ldc/arb/list_arbdefective.hpp"
+
+int main() {
+  using namespace ldc;
+  const Graph g = bench::regular_graph(160, 24, 44);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Table t("A2: Theorem 1.3 rounds vs q_factor ((Delta+1) instance, "
+          "Delta = 24)",
+          {"q_factor", "rounds", "class iters", "arbdef rounds",
+           "oldc rounds", "repair rounds", "tail rounds", "valid"});
+  for (double qf : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    Network net(g);
+    const auto lin = linial::color(net);
+    mt::CandidateParams params;
+    arb::Theorem13Options opt;
+    opt.q_factor = qf;
+    const auto res = arb::solve_list_arbdefective(
+        net, inst, lin.phi, lin.palette, arb::two_phase_solver(params), opt);
+    t.add_row({qf, std::uint64_t{res.stats.rounds + lin.rounds},
+               std::uint64_t{res.stats.class_iterations},
+               std::uint64_t{res.stats.arbdef_rounds},
+               std::uint64_t{res.stats.oldc_rounds},
+               std::uint64_t{res.stats.repair_rounds},
+               std::uint64_t{res.stats.tail_rounds},
+               std::string(res.valid ? "ok" : "VIOLATION")});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// A4 (ablation) — Corollary 4.1's balanced parameterization.
+//
+// When the base solver's cost grows with the list size, Corollary 4.1
+// picks p = 2^Theta(sqrt(log beta log kappa)) to balance per-level cost
+// against the level count log_p |C|. We compare: direct solve, the
+// balanced p, and deliberately unbalanced choices (p too small = many
+// levels, p too large = one expensive level), reporting rounds and the
+// per-level list sizes the base solver faced.
+#include "common.hpp"
+
+#include "ldc/oldc/multi_defect.hpp"
+#include "ldc/reduction/color_space.hpp"
+#include "ldc/reduction/speedup.hpp"
+
+int main() {
+  using namespace ldc;
+  const std::uint32_t beta = 16;
+  const Graph g = bench::regular_graph(96, beta, 66);
+  const Orientation orient = Orientation::by_decreasing_id(g);
+  RandomLdcParams ip;
+  ip.color_space = 1 << 14;
+  ip.one_plus_nu = 2.0;
+  ip.kappa = 50.0;
+  ip.max_defect = 5;
+  ip.seed = 67;
+  const LdcInstance inst = random_weighted_oriented_instance(g, orient, ip);
+
+  mt::CandidateParams params;
+  const reduction::OldcSolver base =
+      [&params](Network& net, const LdcInstance& i, const Orientation& o,
+                const Coloring& init, std::uint64_t m) {
+        oldc::MultiDefectInput in;
+        in.inst = &i;
+        in.orientation = &o;
+        in.initial = &init;
+        in.m = m;
+        in.params = params;
+        return oldc::solve_multi_defect(net, in);
+      };
+
+  const std::uint64_t balanced =
+      reduction::speedup_subspace_count(beta, 8.0, ip.color_space);
+  Table t("A4: Corollary 4.1 parameter balance (|C| = 16384, beta = 16)",
+          {"p", "how chosen", "levels", "rounds", "max msg bits", "valid"});
+  struct Choice {
+    std::uint64_t p;
+    std::string label;
+  };
+  const std::vector<Choice> choices = {
+      {0, "direct (no reduction)"},
+      {2, "p too small"},
+      {balanced, "Cor 4.1 balanced"},
+      {4096, "p too large"},
+  };
+  for (const auto& [p, label] : choices) {
+    Network net(g);
+    const auto lin = linial::color(net);
+    reduction::Options opt;
+    opt.p = p;
+    const auto res = reduction::reduce_and_solve(net, inst, orient, lin.phi,
+                                                 lin.palette, opt, base);
+    const auto check = validate_oldc(inst, orient, res.phi);
+    t.add_row({p, label, std::uint64_t{res.levels},
+               std::uint64_t{res.stats.rounds},
+               std::uint64_t{net.metrics().max_message_bits},
+               bench::verdict(check)});
+  }
+  t.print(std::cout);
+  return 0;
+}

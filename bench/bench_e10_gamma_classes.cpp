@@ -1,0 +1,99 @@
+// E10 (Figure 5) — Lemma 3.6 bucket selection and Lemma 3.8 class
+// assignment, observed on random instances.
+//
+// (a) Bucket pigeonhole: the heaviest gamma-class bucket of each node must
+// carry >= 1/h of the node's total weight sum (d+1)^2 — we report the
+// worst observed ratio (must be >= 1).
+// (b) The two-phase gamma-class histogram and stats: how nodes distribute
+// across classes, how many fell into case II / clamped, and whether the
+// aux OLDC left class windows within their delta budgets.
+#include "common.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ldc/oldc/gamma.hpp"
+#include "ldc/oldc/two_phase.hpp"
+#include "ldc/support/math.hpp"
+
+int main() {
+  using namespace ldc;
+  Table t1("E10a: Lemma 3.6 bucket pigeonhole (worst bucket-mass ratio "
+           "h * W(best bucket) / W(total); must be >= 1)",
+           {"beta", "max_defect", "h", "worst ratio", "median classes/node"});
+  for (std::uint32_t beta : {8u, 16u, 32u}) {
+    for (std::uint32_t maxd : {1u, 3u, 7u}) {
+      const Graph g = bench::regular_graph(96, beta, beta * 10 + maxd);
+      const Orientation orient = Orientation::by_decreasing_id(g);
+      RandomLdcParams p;
+      p.color_space = 16ULL * beta * beta;
+      p.one_plus_nu = 2.0;
+      p.kappa = 30.0;
+      p.max_defect = maxd;
+      p.seed = beta + maxd;
+      const LdcInstance inst =
+          random_weighted_oriented_instance(g, orient, p);
+      double worst = 1e300;
+      std::vector<std::uint64_t> class_counts;
+      std::uint32_t h = 1;
+      for (NodeId v = 0; v < g.n(); ++v) {
+        h = std::max(h, oldc::gamma_class(orient.beta(v), 0, 2));
+      }
+      for (NodeId v = 0; v < g.n(); ++v) {
+        std::map<std::uint32_t, std::uint64_t> buckets;
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < inst.lists[v].size(); ++i) {
+          const std::uint64_t w =
+              static_cast<std::uint64_t>(inst.lists[v].defects[i] + 1) *
+              (inst.lists[v].defects[i] + 1);
+          buckets[oldc::gamma_class(orient.beta(v),
+                                    inst.lists[v].defects[i], 2)] += w;
+          total += w;
+        }
+        std::uint64_t best = 0;
+        for (const auto& [cls, w] : buckets) best = std::max(best, w);
+        worst = std::min(
+            worst, static_cast<double>(best) * h / static_cast<double>(total));
+        class_counts.push_back(buckets.size());
+      }
+      std::sort(class_counts.begin(), class_counts.end());
+      t1.add_row({std::uint64_t{beta}, std::uint64_t{maxd}, std::uint64_t{h},
+                  worst,
+                  class_counts[class_counts.size() / 2]});
+    }
+  }
+  t1.print(std::cout);
+
+  Table t2("E10b: two-phase class assignment stats",
+           {"beta", "h", "classes used", "clamped", "pruned colors",
+            "p1_relaxed", "valid"});
+  for (std::uint32_t beta : {8u, 16u, 32u, 64u}) {
+    const Graph g = bench::regular_graph(std::max(64u, 3 * beta), beta,
+                                         500 + beta);
+    const Orientation orient = Orientation::by_decreasing_id(g);
+    RandomLdcParams p;
+    p.color_space = 32ULL * beta * beta;
+    p.one_plus_nu = 2.0;
+    p.kappa = 40.0;
+    p.max_defect = std::max(1u, beta / 4);
+    p.seed = beta * 3;
+    const LdcInstance inst = random_weighted_oriented_instance(g, orient, p);
+    Network net(g);
+    const auto lin = linial::color(net);
+    oldc::TwoPhaseInput in;
+    in.inst = &inst;
+    in.orientation = &orient;
+    in.initial = &lin.phi;
+    in.m = lin.palette;
+    const auto res = oldc::solve_two_phase(net, in);
+    const auto check = validate_oldc(inst, orient, res.phi);
+    t2.add_row({std::uint64_t{beta}, std::uint64_t{res.stats.h},
+                std::uint64_t{res.stats.h},  // classes available
+                std::uint64_t{res.stats.clamped_classes},
+                std::uint64_t{res.stats.pruned_colors},
+                std::uint64_t{res.stats.p1_relaxed},
+                bench::verdict(check)});
+  }
+  t2.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E13 (Figure 7) — low-outdegree orientations on sparse graphs: the
+// [BE10]/arboricity angle of the paper's Section 1.
+//
+// Oriented algorithms cost O(log beta), and on sparse graphs beta can be
+// made ~degeneracy << Delta by orienting along a (distributed) peeling
+// order. The table contrasts, per graph family: Delta, the exact
+// degeneracy, the distributed peeling's beta and rounds, and the
+// two-phase OLDC solver's gamma-class count h under an id orientation
+// (h ~ log Delta-ish) vs. the peeling orientation (h ~ log degeneracy).
+#include "common.hpp"
+
+#include "ldc/arb/degeneracy.hpp"
+#include "ldc/graph/builder.hpp"
+#include "ldc/oldc/two_phase.hpp"
+
+int main() {
+  using namespace ldc;
+  Table t("E13: orientation quality on sparse graphs",
+          {"graph", "Delta", "degeneracy", "peel beta", "peel rounds",
+           "h (id orient)", "h (peel orient)", "valid"});
+  struct Fam {
+    std::string name;
+    Graph g;
+  };
+  std::vector<Fam> fams;
+  {
+    Graph g = gen::random_tree(300, 2);
+    gen::scramble_ids(g, 1 << 22, 3);
+    fams.push_back({"tree n=300", std::move(g)});
+  }
+  {
+    Graph g = gen::power_law(300, 2.3, 4.0, 5);
+    gen::scramble_ids(g, 1 << 22, 6);
+    fams.push_back({"power-law", std::move(g)});
+  }
+  {
+    // Star-of-paths: Delta = 100, degeneracy 2.
+    GraphBuilder b(301);
+    for (std::uint32_t v = 1; v <= 100; ++v) b.add_edge(0, v);
+    for (std::uint32_t v = 1; v + 100 <= 300; ++v) {
+      b.add_edge(v, v + 100);
+      if (v + 200 <= 300) b.add_edge(v + 100, v + 200);
+    }
+    Graph g = b.build();
+    gen::scramble_ids(g, 1 << 22, 9);
+    fams.push_back({"hub+paths", std::move(g)});
+  }
+
+  for (auto& fam : fams) {
+    const Graph& g = fam.g;
+    const auto exact = degeneracy_orientation(g);
+    Network peel_net(g);
+    const auto peel = distributed_peeling_orientation(peel_net, 1.0);
+
+    auto run_h = [&](const Orientation& orient, bool* ok) {
+      RandomLdcParams p;
+      p.color_space = 1 << 20;
+      p.one_plus_nu = 2.0;
+      p.kappa = 40.0;
+      p.max_defect = std::max(2u, orient.max_beta() / 4);
+      p.seed = 99;
+      const LdcInstance inst =
+          random_weighted_oriented_instance(g, orient, p);
+      Network net(g);
+      const auto lin = linial::color(net);
+      oldc::TwoPhaseInput in;
+      in.inst = &inst;
+      in.orientation = &orient;
+      in.initial = &lin.phi;
+      in.m = lin.palette;
+      const auto res = oldc::solve_two_phase(net, in);
+      *ok = validate_oldc(inst, orient, res.phi).ok;
+      return res.stats.h;
+    };
+    const Orientation by_id = Orientation::by_decreasing_id(g);
+    bool ok1 = false, ok2 = false;
+    const auto h_id = run_h(by_id, &ok1);
+    const auto h_peel = run_h(peel.orientation, &ok2);
+    t.add_row({fam.name, std::uint64_t{g.max_degree()},
+               std::uint64_t{exact.degeneracy}, std::uint64_t{peel.beta},
+               std::uint64_t{peel.rounds}, std::uint64_t{h_id},
+               std::uint64_t{h_peel},
+               std::string((ok1 && ok2) ? "ok" : "VIOLATION")});
+  }
+  t.print(std::cout);
+  return 0;
+}

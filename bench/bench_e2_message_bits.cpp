@@ -1,0 +1,56 @@
+// E2 (Table 2) — maximum message size vs. Delta.
+//
+// Theorem 1.4's point: with Corollary 4.2's color space reduction the
+// pipeline's messages stay small (~|C|^(1/r) + log n bits), whereas the
+// FHK/MT20-regime LOCAL variant ships whole color lists, i.e.
+// Theta(min(|C|, Lambda log |C|)) bits. Luby and the one-class baseline
+// use O(log |C|) bits but pay many more rounds (see E1).
+#include "common.hpp"
+
+#include "ldc/baselines/color_reduction.hpp"
+#include "ldc/baselines/luby.hpp"
+#include "ldc/d1lc/congest_colorer.hpp"
+#include "ldc/d1lc/fhk_local.hpp"
+
+int main() {
+  using namespace ldc;
+  Table t("E2: max message bits vs Delta  ((degree+1)-lists over |C| = "
+          "16*(Delta+1))",
+          {"Delta", "|C|", "congest r=2", "congest r=3", "local (no red.)",
+           "Luby", "one-class", "r2 rounds", "local rounds"});
+  for (std::uint32_t delta : {8u, 12u, 16u, 24u, 32u}) {
+    const std::uint32_t n = std::max(96u, 5 * delta);
+    const Graph g = bench::regular_graph(n, delta, delta + 7);
+    const std::uint64_t space = 16ULL * (g.max_degree() + 1);
+    const LdcInstance inst = degree_plus_one_instance(g, space, delta);
+
+    d1lc::PipelineOptions o2;
+    o2.reduction_levels = 2;
+    Network n2(g);
+    const auto r2 = d1lc::color(n2, inst, o2);
+
+    d1lc::PipelineOptions o3;
+    o3.reduction_levels = 3;
+    Network n3(g);
+    d1lc::color(n3, inst, o3);
+
+    Network nl(g);
+    const auto local = d1lc::color_local_baseline(nl, inst);
+
+    Network nluby(g);
+    baselines::luby_list_coloring(nluby, inst);
+
+    Network ncls(g);
+    baselines::linial_then_reduce(ncls, inst);
+
+    t.add_row({std::uint64_t{delta}, space,
+               std::uint64_t{n2.metrics().max_message_bits},
+               std::uint64_t{n3.metrics().max_message_bits},
+               std::uint64_t{nl.metrics().max_message_bits},
+               std::uint64_t{nluby.metrics().max_message_bits},
+               std::uint64_t{ncls.metrics().max_message_bits},
+               std::uint64_t{r2.rounds}, std::uint64_t{local.rounds}});
+  }
+  t.print(std::cout);
+  return 0;
+}

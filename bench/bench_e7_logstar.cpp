@@ -1,0 +1,48 @@
+// E7 (Figure 3) — Linial's algorithm: rounds vs. n / identifier space.
+//
+// [Lin87]: O(Delta^2)-coloring in O(log* n) rounds. Shape: at fixed Delta
+// the round count is essentially flat in n (it tracks log* of the id
+// space), and the final palette is independent of n.
+#include "common.hpp"
+
+#include "ldc/support/math.hpp"
+
+int main() {
+  using namespace ldc;
+  Table t("E7: Linial rounds vs n on rings (Delta = 2)",
+          {"n", "id space", "rounds", "palette", "log*(ids)", "valid"});
+  for (std::uint32_t logn : {8u, 10u, 12u, 14u, 16u}) {
+    const std::uint32_t n = 1u << logn;
+    for (std::uint64_t id_bits :
+         {static_cast<std::uint64_t>(logn), std::uint64_t{32},
+          std::uint64_t{48}}) {
+      Graph g = gen::ring(n);
+      if (id_bits > logn) {
+        gen::scramble_ids(g, 1ULL << id_bits, logn * 100 + id_bits);
+      }
+      Network net(g);
+      const auto res = linial::color(net);
+      const auto check = validate_proper(g, res.phi);
+      t.add_row({std::uint64_t{n}, std::uint64_t{1} << id_bits,
+                 std::uint64_t{res.rounds}, res.palette,
+                 std::int64_t{log_star(1ULL << id_bits)},
+                 bench::verdict(check)});
+    }
+  }
+  t.print(std::cout);
+
+  Table t2("E7b: Linial palette vs Delta (rounds stay ~log*)",
+           {"Delta", "n", "rounds", "palette", "16*Delta^2", "valid"});
+  for (std::uint32_t delta : {4u, 8u, 16u, 32u}) {
+    const Graph g = bench::regular_graph(std::max(128u, 4 * delta), delta,
+                                         delta + 41);
+    Network net(g);
+    const auto res = linial::color(net);
+    const auto check = validate_proper(g, res.phi);
+    t2.add_row({std::uint64_t{delta}, std::uint64_t{g.n()},
+                std::uint64_t{res.rounds}, res.palette,
+                std::uint64_t{16} * delta * delta, bench::verdict(check)});
+  }
+  t2.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// E8 (Figure 4) — defective Linial [Kuh09]: palette vs. defect d.
+//
+// A d-defective coloring with O((Delta * deg / (d+1))^2) colors in one
+// extra round after the proper Linial fixpoint. Shape: the palette falls
+// roughly quadratically in (d+1), and the realized max defect never
+// exceeds the budget.
+#include "common.hpp"
+
+#include "ldc/linial/defective_linial.hpp"
+
+int main() {
+  using namespace ldc;
+  const std::uint32_t delta = 32;
+  const Graph g = bench::regular_graph(192, delta, 21);
+  Table t("E8: defective Linial palette vs defect (Delta = 32)",
+          {"d", "rounds", "palette", "(Delta/(d+1))^2", "max realized defect",
+           "valid"});
+  for (std::uint32_t d : {0u, 1u, 2u, 4u, 8u, 16u}) {
+    Network net(g);
+    const auto res = linial::defective_color(net, d);
+    const auto check = validate_defective(
+        g, res.phi, static_cast<std::uint32_t>(res.palette), d);
+    std::uint32_t realized = 0;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      std::uint32_t same = 0;
+      for (NodeId u : g.neighbors(v)) {
+        if (res.phi[u] == res.phi[v]) ++same;
+      }
+      realized = std::max(realized, same);
+    }
+    const std::uint64_t ideal =
+        static_cast<std::uint64_t>(delta / (d + 1)) * (delta / (d + 1));
+    t.add_row({std::uint64_t{d}, std::uint64_t{res.rounds}, res.palette,
+               ideal, std::uint64_t{realized}, bench::verdict(check)});
+  }
+  t.print(std::cout);
+  return 0;
+}

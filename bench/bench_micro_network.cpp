@@ -1,0 +1,54 @@
+// M4 — simulator micro-benchmarks: exchange throughput, a full Linial
+// reduction round, and one repair iteration (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/linial/linial.hpp"
+#include "ldc/repair/repair.hpp"
+#include "ldc/runtime/network.hpp"
+
+namespace {
+
+using namespace ldc;
+
+void BM_ExchangeBroadcast(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  const Graph g = gen::random_regular(n, 8, 1);
+  Network net(g);
+  BitWriter w;
+  w.write(0x1234, 16);
+  const std::vector<Message> msgs(g.n(), Message::from(w));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.exchange_broadcast(msgs));
+  }
+  state.SetItemsProcessed(state.iterations() * g.n() * 8);
+}
+BENCHMARK(BM_ExchangeBroadcast)->Arg(256)->Arg(2048);
+
+void BM_LinialFullRun(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  Graph g = gen::random_regular(n, 8, 2);
+  gen::scramble_ids(g, 1ULL << 24, 3);
+  for (auto _ : state) {
+    Network net(g);
+    benchmark::DoNotOptimize(linial::color(net).palette);
+  }
+}
+BENCHMARK(BM_LinialFullRun)->Arg(256)->Arg(1024);
+
+void BM_RepairFromScratch(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  const Graph g = gen::random_regular(n, 8, 4);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  for (auto _ : state) {
+    Network net(g);
+    benchmark::DoNotOptimize(
+        repair::repair(net, inst, Coloring(g.n(), kUncolored)).rounds);
+  }
+}
+BENCHMARK(BM_RepairFromScratch)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

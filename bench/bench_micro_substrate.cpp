@@ -1,0 +1,85 @@
+// M1-M3 — substrate micro-benchmarks (google-benchmark).
+//
+// Throughput of the building blocks the simulator leans on: the bit codec
+// (every message), the tau&g conflict counting (the inner loop of problems
+// P1/P2), candidate family construction, and graph generation.
+#include <benchmark/benchmark.h>
+
+#include "ldc/graph/generators.hpp"
+#include "ldc/mt/candidates.hpp"
+#include "ldc/mt/conflict.hpp"
+#include "ldc/support/bitio.hpp"
+#include "ldc/support/prf.hpp"
+
+namespace {
+
+void BM_BitCodecRoundTrip(benchmark::State& state) {
+  const int values = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ldc::BitWriter w;
+    for (int i = 0; i < values; ++i) {
+      w.write(static_cast<std::uint64_t>(i) * 2654435761u, 1 + (i % 63));
+    }
+    ldc::BitReader r(w);
+    std::uint64_t sum = 0;
+    for (int i = 0; i < values; ++i) sum += r.read(1 + (i % 63));
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * values);
+}
+BENCHMARK(BM_BitCodecRoundTrip)->Arg(256)->Arg(4096);
+
+void BM_ConflictWeight(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const ldc::Prf prf(1);
+  auto a_idx = ldc::sample_distinct(prf, 0, 1 << 20, k);
+  auto b_idx = ldc::sample_distinct(prf, 1ULL << 32, 1 << 20, k);
+  std::vector<ldc::Color> a(a_idx.begin(), a_idx.end());
+  std::vector<ldc::Color> b(b_idx.begin(), b_idx.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ldc::mt::conflict_weight(a, b, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_ConflictWeight)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_CandidateFamily(benchmark::State& state) {
+  const std::size_t list_len = static_cast<std::size_t>(state.range(0));
+  const ldc::Prf prf(2);
+  auto idx = ldc::sample_distinct(prf, 0, 1 << 20, list_len);
+  std::vector<ldc::Color> list(idx.begin(), idx.end());
+  std::uint64_t key = 7;
+  for (auto _ : state) {
+    ldc::mt::CandidateFamily fam(key++, list,
+                                 static_cast<std::uint32_t>(list_len / 4),
+                                 16);
+    benchmark::DoNotOptimize(fam.set(0).data());
+  }
+}
+BENCHMARK(BM_CandidateFamily)->Arg(64)->Arg(512);
+
+void BM_GnpGeneration(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const ldc::Graph g = ldc::gen::gnp(n, 8.0 / n, seed++);
+    benchmark::DoNotOptimize(g.m());
+  }
+}
+BENCHMARK(BM_GnpGeneration)->Arg(1000)->Arg(10000);
+
+void BM_PrfSampleDistinct(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const ldc::Prf prf(3);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ldc::sample_distinct(prf, off++ << 16, 1 << 20, k));
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_PrfSampleDistinct)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

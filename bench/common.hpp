@@ -1,0 +1,32 @@
+// Shared helpers for the experiment harnesses. Each bench binary prints
+// one or more ldc::Table objects whose rows EXPERIMENTS.md quotes.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/coloring/validate.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/linial/linial.hpp"
+#include "ldc/runtime/network.hpp"
+#include "ldc/support/tables.hpp"
+
+namespace ldc::bench {
+
+/// Random regular graph with scrambled CONGEST-style identifiers.
+inline Graph regular_graph(std::uint32_t n, std::uint32_t d,
+                           std::uint64_t seed) {
+  if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) ++n;
+  Graph g = gen::random_regular(n, d, seed);
+  gen::scramble_ids(g, std::uint64_t{1} << 24, seed + 101);
+  return g;
+}
+
+/// "ok"/"VIOLATION" cell from a validation result.
+inline std::string verdict(const ValidationResult& r) {
+  return r.ok ? "ok" : "VIOLATION(" + std::to_string(r.violations.size()) +
+                           ")";
+}
+
+}  // namespace ldc::bench

@@ -1,0 +1,69 @@
+#include "ldc/baselines/color_reduction.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "ldc/linial/linial.hpp"
+
+namespace ldc::baselines {
+
+ReductionResult reduce_by_classes(Network& net, const LdcInstance& inst,
+                                  const Coloring& initial, std::uint64_t m) {
+  const Graph& g = net.graph();
+  ReductionResult res;
+  res.phi.assign(g.n(), kUncolored);
+  const std::uint64_t space = inst.color_space;
+
+  // Tracks, per node, which list colors are taken by finalized neighbors.
+  std::vector<std::vector<bool>> taken(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    taken[v].assign(inst.lists[v].size(), false);
+  }
+
+  for (std::uint64_t cls = m; cls-- > 0;) {
+    // Nodes of initial color `cls` finalize and broadcast their choice.
+    std::vector<Message> msgs(g.n());
+    std::vector<bool> active(g.n(), false);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (initial[v] != cls) continue;
+      Color chosen = kUncolored;
+      for (std::size_t i = 0; i < inst.lists[v].size(); ++i) {
+        if (!taken[v][i]) {
+          chosen = inst.lists[v].colors[i];
+          break;
+        }
+      }
+      if (chosen == kUncolored) {
+        throw std::invalid_argument(
+            "reduce_by_classes: node ran out of list colors (lists must "
+            "have size >= deg+1)");
+      }
+      res.phi[v] = chosen;
+      active[v] = true;
+      BitWriter w;
+      w.write_bounded(chosen, space - 1);
+      msgs[v] = Message::from(w);
+    }
+    net.exchange_broadcast(msgs, &active);
+    ++res.rounds;
+    // Receivers mark the announced colors as taken.
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (!active[v]) continue;
+      for (NodeId u : g.neighbors(v)) {
+        const std::size_t i = inst.lists[u].find(res.phi[v]);
+        if (i != inst.lists[u].size()) taken[u][i] = true;
+      }
+    }
+  }
+  return res;
+}
+
+ReductionResult linial_then_reduce(Network& net, const LdcInstance& inst) {
+  const linial::Result lin = linial::color(net);
+  ReductionResult res =
+      reduce_by_classes(net, inst, lin.phi, lin.palette);
+  res.rounds += lin.rounds;
+  return res;
+}
+
+}  // namespace ldc::baselines

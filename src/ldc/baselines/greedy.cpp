@@ -1,0 +1,39 @@
+#include "ldc/baselines/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace ldc::baselines {
+
+std::optional<Coloring> greedy_list_coloring(const LdcInstance& inst) {
+  inst.check();
+  const Graph& g = *inst.graph;
+  Coloring phi(g.n(), kUncolored);
+  // Visit in increasing id order (deterministic).
+  std::vector<NodeId> order(g.n());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&g](NodeId a, NodeId b) { return g.id(a) < g.id(b); });
+  for (NodeId v : order) {
+    Color chosen = kUncolored;
+    for (Color c : inst.lists[v].colors) {
+      bool taken = false;
+      for (NodeId u : g.neighbors(v)) {
+        if (phi[u] == c) {
+          taken = true;
+          break;
+        }
+      }
+      if (!taken) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen == kUncolored) return std::nullopt;
+    phi[v] = chosen;
+  }
+  return phi;
+}
+
+}  // namespace ldc::baselines

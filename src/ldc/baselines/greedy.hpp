@@ -1,0 +1,22 @@
+// Centralized sequential greedy list coloring — ground truth baseline.
+//
+// Valid for proper list coloring instances (all defects 0) whose lists
+// satisfy |L_v| > deg(v) conflicts-ahead: visiting nodes in a fixed order
+// and taking the first color unused by already-colored neighbors always
+// succeeds when |L_v| >= deg(v) + 1 (the classic argument the paper's
+// introduction recalls). Not distributed; used as the color-count/quality
+// reference in the experiment suite.
+#pragma once
+
+#include <optional>
+
+#include "ldc/coloring/instance.hpp"
+
+namespace ldc::baselines {
+
+/// First-fit greedy in node-id order. Returns std::nullopt if some node
+/// runs out of colors (possible only when lists are shorter than deg+1 or
+/// defects are nonzero — use sequential::solve_list_defective then).
+std::optional<Coloring> greedy_list_coloring(const LdcInstance& inst);
+
+}  // namespace ldc::baselines

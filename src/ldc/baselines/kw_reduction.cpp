@@ -1,0 +1,108 @@
+#include "ldc/baselines/kw_reduction.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "ldc/linial/linial.hpp"
+#include "ldc/support/math.hpp"
+
+namespace ldc::baselines {
+
+KwResult kw_reduce(Network& net, const Coloring& initial, std::uint64_t m) {
+  const Graph& g = net.graph();
+  const std::uint64_t B = static_cast<std::uint64_t>(g.max_degree()) + 1;
+  KwResult res;
+  res.phi = initial;
+  res.palette = m;
+
+  // Everyone learns its neighbors' current colors once; afterwards only
+  // recoloring nodes announce updates.
+  std::vector<std::vector<Color>> nb_color(g.n());
+  {
+    std::vector<Message> msgs(g.n());
+    for (NodeId v = 0; v < g.n(); ++v) {
+      BitWriter w;
+      w.write_bounded(res.phi[v], m - 1);
+      msgs[v] = Message::from(w);
+    }
+    const auto in = net.exchange_broadcast(msgs);
+    ++res.rounds;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      nb_color[v].resize(g.degree(v));
+      for (const auto& [u, msg] : in[v]) {
+        auto r = msg.reader();
+        nb_color[v][g.neighbor_index(v, u)] =
+            static_cast<Color>(r.read_bounded(m - 1));
+      }
+    }
+  }
+
+  while (res.palette > B) {
+    // One halving pass: blocks of 2B colors; upper half recolors into the
+    // lower half, one upper class offset per round.
+    for (std::uint64_t off = 0; off < B; ++off) {
+      std::vector<Message> msgs(g.n());
+      std::vector<bool> active(g.n(), false);
+      std::vector<Color> next = res.phi;
+      for (NodeId v = 0; v < g.n(); ++v) {
+        const std::uint64_t c = res.phi[v];
+        const std::uint64_t block = c / (2 * B);
+        if (c % (2 * B) != B + off) continue;  // not this round's class
+        // Pick a free color in [2*block*B, 2*block*B + B).
+        const std::uint64_t lo = 2 * block * B;
+        Color chosen = kUncolored;
+        for (std::uint64_t t = lo; t < lo + B; ++t) {
+          bool taken = false;
+          for (Color cu : nb_color[v]) {
+            if (cu == t) {
+              taken = true;
+              break;
+            }
+          }
+          if (!taken) {
+            chosen = static_cast<Color>(t);
+            break;
+          }
+        }
+        if (chosen == kUncolored) {
+          throw std::logic_error("kw_reduce: no free color in block");
+        }
+        next[v] = chosen;
+        active[v] = true;
+        BitWriter w;
+        w.write_bounded(chosen, res.palette - 1);
+        msgs[v] = Message::from(w);
+      }
+      const auto in = net.exchange_broadcast(msgs, &active);
+      ++res.rounds;
+      for (NodeId v = 0; v < g.n(); ++v) {
+        for (const auto& [u, msg] : in[v]) {
+          auto r = msg.reader();
+          nb_color[v][g.neighbor_index(v, u)] =
+              static_cast<Color>(r.read_bounded(res.palette - 1));
+        }
+      }
+      res.phi = std::move(next);
+    }
+    // Renumber: block k's lower half [2kB, 2kB+B) -> [kB, kB+B).
+    auto renumber = [B](Color c) {
+      const std::uint64_t block = c / (2 * B);
+      return static_cast<Color>(block * B + (c % (2 * B)));
+    };
+    for (NodeId v = 0; v < g.n(); ++v) {
+      res.phi[v] = renumber(res.phi[v]);
+      for (auto& c : nb_color[v]) c = renumber(c);
+    }
+    res.palette = ceil_div(res.palette, 2 * B) * B;
+  }
+  return res;
+}
+
+KwResult linial_then_kw(Network& net) {
+  const linial::Result lin = linial::color(net);
+  KwResult res = kw_reduce(net, lin.phi, lin.palette);
+  res.rounds += lin.rounds;
+  return res;
+}
+
+}  // namespace ldc::baselines

@@ -1,0 +1,28 @@
+// Kuhn-Wattenhofer batched color reduction [KW06] for the standard
+// (Delta+1)-coloring problem: a proper m-coloring is reduced to Delta+1
+// colors in O(Delta * log(m / Delta)) rounds by halving the palette in
+// parallel blocks of 2(Delta+1) colors, one upper color class per round.
+#pragma once
+
+#include <cstdint>
+
+#include "ldc/coloring/instance.hpp"
+#include "ldc/runtime/network.hpp"
+
+namespace ldc::baselines {
+
+struct KwResult {
+  Coloring phi;            ///< proper coloring with < Delta+1 colors... ==
+  std::uint64_t palette;   ///< Delta + 1
+  std::uint32_t rounds = 0;
+};
+
+/// `initial` must be proper with colors < m. Output is a proper
+/// (Delta+1)-coloring (colors in [0, Delta+1)).
+KwResult kw_reduce(Network& net, const Coloring& initial, std::uint64_t m);
+
+/// Linial from IDs, then kw_reduce: the O(Delta log Delta + log* n)
+/// standard-coloring baseline of experiment E1.
+KwResult linial_then_kw(Network& net);
+
+}  // namespace ldc::baselines

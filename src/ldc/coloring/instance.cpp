@@ -1,0 +1,97 @@
+#include "ldc/coloring/instance.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ldc {
+
+std::size_t ColorList::find(Color c) const {
+  const auto it = std::lower_bound(colors.begin(), colors.end(), c);
+  if (it == colors.end() || *it != c) return size();
+  return static_cast<std::size_t>(it - colors.begin());
+}
+
+std::uint32_t ColorList::defect_of(Color c) const {
+  const auto i = find(c);
+  assert(i != size());
+  return defects[i];
+}
+
+std::uint64_t ColorList::weight() const {
+  std::uint64_t w = 0;
+  for (auto d : defects) w += static_cast<std::uint64_t>(d) + 1;
+  return w;
+}
+
+std::uint64_t ColorList::weight_sq() const {
+  std::uint64_t w = 0;
+  for (auto d : defects) {
+    const std::uint64_t dp1 = static_cast<std::uint64_t>(d) + 1;
+    w += dp1 * dp1;
+  }
+  return w;
+}
+
+double ColorList::weight_pow(double one_plus_nu) const {
+  double w = 0.0;
+  for (auto d : defects) {
+    w += std::pow(static_cast<double>(d) + 1.0, one_plus_nu);
+  }
+  return w;
+}
+
+void ColorList::normalize() {
+  if (colors.size() != defects.size()) {
+    throw std::invalid_argument("ColorList: colors/defects size mismatch");
+  }
+  std::vector<std::size_t> order(colors.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [this](std::size_t a, std::size_t b) {
+              return colors[a] < colors[b];
+            });
+  std::vector<Color> c(colors.size());
+  std::vector<std::uint32_t> d(defects.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    c[i] = colors[order[i]];
+    d[i] = defects[order[i]];
+  }
+  if (std::adjacent_find(c.begin(), c.end()) != c.end()) {
+    throw std::invalid_argument("ColorList: duplicate color");
+  }
+  colors = std::move(c);
+  defects = std::move(d);
+}
+
+std::size_t LdcInstance::max_list_size() const {
+  std::size_t m = 0;
+  for (const auto& l : lists) m = std::max(m, l.size());
+  return m;
+}
+
+void LdcInstance::check() const {
+  if (graph == nullptr) throw std::invalid_argument("LdcInstance: no graph");
+  if (lists.size() != graph->n()) {
+    throw std::invalid_argument("LdcInstance: list count != n");
+  }
+  for (const auto& l : lists) {
+    if (l.colors.size() != l.defects.size()) {
+      throw std::invalid_argument("LdcInstance: ragged list");
+    }
+    if (!std::is_sorted(l.colors.begin(), l.colors.end())) {
+      throw std::invalid_argument("LdcInstance: unsorted list");
+    }
+    if (std::adjacent_find(l.colors.begin(), l.colors.end()) !=
+        l.colors.end()) {
+      throw std::invalid_argument("LdcInstance: duplicate color");
+    }
+    if (!l.colors.empty() && l.colors.back() >= color_space) {
+      throw std::invalid_argument("LdcInstance: color outside space");
+    }
+  }
+}
+
+}  // namespace ldc

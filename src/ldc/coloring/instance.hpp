@@ -1,0 +1,104 @@
+// Problem instances for (oriented) list defective coloring.
+//
+// Definition 1.1 of the paper: every node v has a color list L_v from a
+// color space C and a defect function d_v : L_v -> N0. A coloring phi is
+//   * a list defective coloring if every v has at most d_v(phi(v))
+//     neighbors of color phi(v);
+//   * an oriented list defective coloring (OLDC) if the bound applies to
+//     out-neighbors w.r.t. a given orientation;
+//   * a list arbdefective coloring if the orientation is part of the output.
+//
+// The generalized form of Section 3.2 counts a neighbor as conflicting when
+// |phi(u) - phi(v)| <= g for a parameter g >= 0 (g = 0 is the plain OLDC).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "ldc/graph/graph.hpp"
+#include "ldc/graph/orientation.hpp"
+
+namespace ldc {
+
+/// Thrown when a solver determines (or strongly suspects, via a failed
+/// repair pass) that the instance it was handed cannot be solved — e.g. a
+/// recursion step produced a sub-instance violating the existence bounds.
+/// Pipelines catch this to defer the affected nodes to a later stage.
+class InfeasibleError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+using Color = std::uint32_t;
+
+/// Sentinel for "not yet colored".
+inline constexpr Color kUncolored = std::numeric_limits<Color>::max();
+
+/// A node's color list with per-color defect budgets. Colors are kept
+/// sorted and unique; defects[i] belongs to colors[i].
+struct ColorList {
+  std::vector<Color> colors;
+  std::vector<std::uint32_t> defects;
+
+  std::size_t size() const { return colors.size(); }
+
+  /// Index of `c` in the list, or size() if absent (binary search).
+  std::size_t find(Color c) const;
+
+  bool contains(Color c) const { return find(c) != size(); }
+
+  /// Defect budget of color c; requires contains(c).
+  std::uint32_t defect_of(Color c) const;
+
+  /// The paper's existence weight: sum of (d_v(x) + 1) over the list.
+  std::uint64_t weight() const;
+
+  /// The Theorem 1.1 weight: sum of (d_v(x) + 1)^2 over the list.
+  std::uint64_t weight_sq() const;
+
+  /// sum of (d_v(x) + 1)^(1+nu) for real nu (Theorems 1.2 / 1.3).
+  double weight_pow(double one_plus_nu) const;
+
+  /// Sorts colors (carrying defects along) and checks uniqueness.
+  void normalize();
+};
+
+/// A list defective coloring instance on an undirected graph. For oriented
+/// problems, pair with an Orientation (see OldcInstance).
+struct LdcInstance {
+  const Graph* graph = nullptr;
+  std::uint64_t color_space = 0;  ///< |C|; colors are in [0, color_space)
+  std::vector<ColorList> lists;   ///< one per node
+
+  std::uint32_t n() const { return graph->n(); }
+
+  /// Maximum list size Lambda.
+  std::size_t max_list_size() const;
+
+  /// Checks structural sanity: list sizes match n, colors within the color
+  /// space, sorted and unique. Throws on violation.
+  void check() const;
+};
+
+/// Oriented instance: the orientation is an input (Definition 1.1, second
+/// bullet).
+struct OldcInstance {
+  LdcInstance ldc;
+  Orientation orientation;
+
+  std::uint32_t n() const { return ldc.n(); }
+};
+
+/// A (partial) coloring; kUncolored marks uncolored nodes.
+using Coloring = std::vector<Color>;
+
+/// Result of a solver that also outputs an orientation (list arbdefective
+/// coloring, Definition 1.1 third bullet).
+struct ArbdefectiveColoring {
+  Coloring colors;
+  Orientation orientation;
+};
+
+}  // namespace ldc

@@ -1,0 +1,149 @@
+#include "ldc/coloring/instance_gen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ldc/support/prf.hpp"
+
+namespace ldc {
+namespace {
+
+// Draws a list of distinct colors with random defects until the node's
+// weight sum_x (d(x)+1)^(1+nu) reaches `target`, or the color space is
+// exhausted (then throws: the instance parameters are infeasible).
+ColorList draw_until_weight(const Prf& prf, std::uint64_t node_key,
+                            std::uint64_t color_space, double one_plus_nu,
+                            double target, std::uint32_t max_defect) {
+  ColorList list;
+  double weight = 0.0;
+  std::uint64_t i = 0;
+  // Estimate list length to pre-sample distinct colors in one pass; average
+  // per-color weight is at least 1, so target colors always suffice if the
+  // space allows; otherwise take the whole space.
+  while (weight < target) {
+    if (list.colors.size() >= color_space) {
+      throw std::invalid_argument(
+          "random instance: color space too small for weight target");
+    }
+    Color c = static_cast<Color>(
+        prf.at_below(hash_combine(node_key, i), color_space));
+    ++i;
+    // Skip duplicates (list stays small relative to space in practice).
+    bool dup = false;
+    for (Color existing : list.colors) {
+      if (existing == c) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    const std::uint32_t d =
+        max_defect == 0
+            ? 0
+            : static_cast<std::uint32_t>(prf.at_below(
+                  hash_combine(node_key, i * 2654435761ULL + 17),
+                  static_cast<std::uint64_t>(max_defect) + 1));
+    list.colors.push_back(c);
+    list.defects.push_back(d);
+    weight += std::pow(static_cast<double>(d) + 1.0, one_plus_nu);
+  }
+  list.normalize();
+  return list;
+}
+
+}  // namespace
+
+LdcInstance delta_plus_one_instance(const Graph& g) {
+  LdcInstance inst;
+  inst.graph = &g;
+  inst.color_space = static_cast<std::uint64_t>(g.max_degree()) + 1;
+  inst.lists.resize(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    auto& l = inst.lists[v];
+    l.colors.resize(inst.color_space);
+    l.defects.assign(inst.color_space, 0);
+    for (std::uint64_t c = 0; c < inst.color_space; ++c) {
+      l.colors[c] = static_cast<Color>(c);
+    }
+  }
+  return inst;
+}
+
+LdcInstance degree_plus_one_instance(const Graph& g,
+                                     std::uint64_t color_space,
+                                     std::uint64_t seed) {
+  if (color_space < static_cast<std::uint64_t>(g.max_degree()) + 1) {
+    throw std::invalid_argument(
+        "degree_plus_one_instance: color space < Delta+1");
+  }
+  LdcInstance inst;
+  inst.graph = &g;
+  inst.color_space = color_space;
+  inst.lists.resize(g.n());
+  const Prf prf(seed);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const std::size_t k = g.degree(v) + 1;
+    auto picks = sample_distinct(prf, static_cast<std::uint64_t>(v) << 32,
+                                 color_space, k);
+    auto& l = inst.lists[v];
+    l.colors.assign(picks.begin(), picks.end());
+    l.defects.assign(k, 0);
+  }
+  return inst;
+}
+
+LdcInstance uniform_defective_instance(const Graph& g, std::uint32_t c,
+                                       std::uint32_t d) {
+  LdcInstance inst;
+  inst.graph = &g;
+  inst.color_space = c;
+  inst.lists.resize(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    auto& l = inst.lists[v];
+    l.colors.resize(c);
+    l.defects.assign(c, d);
+    for (std::uint32_t x = 0; x < c; ++x) l.colors[x] = x;
+  }
+  return inst;
+}
+
+LdcInstance random_weighted_instance(const Graph& g,
+                                     const RandomLdcParams& params) {
+  LdcInstance inst;
+  inst.graph = &g;
+  inst.color_space = params.color_space;
+  inst.lists.resize(g.n());
+  const Prf prf(params.seed);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const double target =
+        std::pow(static_cast<double>(g.degree(v)), params.one_plus_nu) *
+            params.kappa +
+        1.0;
+    inst.lists[v] = draw_until_weight(prf, v, params.color_space,
+                                      params.one_plus_nu, target,
+                                      params.max_defect);
+  }
+  return inst;
+}
+
+LdcInstance random_weighted_oriented_instance(const Graph& g,
+                                              const Orientation& o,
+                                              const RandomLdcParams& params) {
+  LdcInstance inst;
+  inst.graph = &g;
+  inst.color_space = params.color_space;
+  inst.lists.resize(g.n());
+  const Prf prf(params.seed);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const double target =
+        std::pow(static_cast<double>(o.beta(v)), params.one_plus_nu) *
+            params.kappa +
+        1.0;
+    inst.lists[v] = draw_until_weight(prf, v, params.color_space,
+                                      params.one_plus_nu, target,
+                                      params.max_defect);
+  }
+  return inst;
+}
+
+}  // namespace ldc

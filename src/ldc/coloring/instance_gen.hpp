@@ -1,0 +1,57 @@
+// Workload generators: list defective coloring instances over a graph.
+//
+// These produce the instance families the experiment suite sweeps:
+//  * (degree+1)-list coloring instances (lists of size deg(v)+1, defect 0) —
+//    the problem Theorem 1.4 solves;
+//  * uniform d-defective c-coloring instances (the classic problem as an
+//    LDC special case);
+//  * random LDC/OLDC instances scaled to meet a requested weight condition
+//    sum (d_v(x)+1)^(1+nu) >= bound_v * kappa, the precondition shape of
+//    Theorems 1.1-1.3.
+#pragma once
+
+#include <cstdint>
+
+#include "ldc/coloring/instance.hpp"
+
+namespace ldc {
+
+/// The standard (Delta+1)-coloring problem as a list instance: every list is
+/// {0, ..., Delta} with all defects 0.
+LdcInstance delta_plus_one_instance(const Graph& g);
+
+/// (degree+1)-list coloring: node v receives deg(v)+1 distinct colors drawn
+/// deterministically from [0, color_space); defects all 0. color_space must
+/// be >= Delta+1.
+LdcInstance degree_plus_one_instance(const Graph& g,
+                                     std::uint64_t color_space,
+                                     std::uint64_t seed);
+
+/// Classic d-defective c-coloring as an LDC instance: every list is
+/// {0,...,c-1}, every defect d.
+LdcInstance uniform_defective_instance(const Graph& g, std::uint32_t c,
+                                       std::uint32_t d);
+
+/// Parameters for random weighted instances.
+struct RandomLdcParams {
+  std::uint64_t color_space = 0;  ///< |C|
+  double one_plus_nu = 2.0;       ///< exponent 1+nu in the weight condition
+  double kappa = 1.0;             ///< multiplicative slack
+  std::uint32_t max_defect = 0;   ///< defects drawn from [0, max_defect]
+  std::uint64_t seed = 1;
+};
+
+/// Random LDC instance where each node v's list satisfies
+///   sum_x (d_v(x)+1)^(1+nu) >= deg(v)^(1+nu) * kappa.
+/// Defects are drawn uniformly from [0, max_defect]; colors are added until
+/// the weight condition holds (so list sizes adapt to the drawn defects).
+LdcInstance random_weighted_instance(const Graph& g,
+                                     const RandomLdcParams& params);
+
+/// Oriented variant: the per-node bound uses beta_v of the given
+/// orientation instead of deg(v).
+LdcInstance random_weighted_oriented_instance(const Graph& g,
+                                              const Orientation& o,
+                                              const RandomLdcParams& params);
+
+}  // namespace ldc

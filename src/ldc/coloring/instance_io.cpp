@@ -1,0 +1,89 @@
+#include "ldc/coloring/instance_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ldc::io {
+
+void write_instance(std::ostream& os, const LdcInstance& inst) {
+  os << "# ldc instance\n";
+  os << "space " << inst.color_space << "\n";
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    os << "l " << v;
+    const auto& l = inst.lists[v];
+    for (std::size_t i = 0; i < l.size(); ++i) {
+      os << " " << l.colors[i] << "/" << l.defects[i];
+    }
+    os << "\n";
+  }
+}
+
+LdcInstance read_instance(std::istream& is, const Graph& g) {
+  LdcInstance inst;
+  inst.graph = &g;
+  inst.lists.resize(g.n());
+  std::string line;
+  std::size_t lineno = 0;
+  bool have_space = false;
+  auto fail = [&lineno](const std::string& why) {
+    throw std::invalid_argument("instance line " + std::to_string(lineno) +
+                                ": " + why);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag[0] == '#') continue;
+    if (tag == "space") {
+      if (have_space) fail("duplicate 'space' record");
+      if (!(ls >> inst.color_space) || inst.color_space == 0) {
+        fail("expected positive color space");
+      }
+      have_space = true;
+    } else if (tag == "l") {
+      if (!have_space) fail("'l' before 'space'");
+      NodeId v = 0;
+      if (!(ls >> v)) fail("expected node id");
+      if (v >= g.n()) fail("node out of range");
+      if (!inst.lists[v].colors.empty()) fail("duplicate list for node");
+      std::string cell;
+      while (ls >> cell) {
+        const auto slash = cell.find('/');
+        if (slash == std::string::npos) fail("expected <color>/<defect>");
+        try {
+          inst.lists[v].colors.push_back(
+              static_cast<Color>(std::stoul(cell.substr(0, slash))));
+          inst.lists[v].defects.push_back(
+              static_cast<std::uint32_t>(std::stoul(cell.substr(slash + 1))));
+        } catch (const std::exception&) {
+          fail("bad number in '" + cell + "'");
+        }
+      }
+      try {
+        inst.lists[v].normalize();
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown record '" + tag + "'");
+    }
+  }
+  if (!have_space) throw std::invalid_argument("instance: missing 'space'");
+  inst.check();
+  return inst;
+}
+
+void save_instance(const std::string& path, const LdcInstance& inst) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  write_instance(f, inst);
+}
+
+LdcInstance load_instance(const std::string& path, const Graph& g) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_instance(f, g);
+}
+
+}  // namespace ldc::io

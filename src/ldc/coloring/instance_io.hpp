@@ -1,0 +1,27 @@
+// List defective instance serialization.
+//
+// Text format ('#' comments):
+//   space <|C|>
+//   l <node> <color>/<defect> [<color>/<defect> ...]
+// Nodes without an 'l' record get an empty list (rejected by check()), so
+// files are expected to cover every node. The graph travels separately
+// (ldc/graph/io.hpp); loading binds the instance to the given graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ldc/coloring/instance.hpp"
+
+namespace ldc::io {
+
+void write_instance(std::ostream& os, const LdcInstance& inst);
+
+/// Parses an instance over `g`; throws std::invalid_argument with a line
+/// number on malformed input.
+LdcInstance read_instance(std::istream& is, const Graph& g);
+
+void save_instance(const std::string& path, const LdcInstance& inst);
+LdcInstance load_instance(const std::string& path, const Graph& g);
+
+}  // namespace ldc::io

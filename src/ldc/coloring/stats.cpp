@@ -1,0 +1,64 @@
+#include "ldc/coloring/stats.hpp"
+
+#include <cstdlib>
+
+namespace ldc {
+namespace {
+
+bool conflicting(Color a, Color b, std::uint32_t g) {
+  if (a == kUncolored || b == kUncolored) return false;
+  return static_cast<std::uint64_t>(
+             std::llabs(static_cast<std::int64_t>(a) - b)) <= g;
+}
+
+template <typename NeighborsOf>
+ColoringStats compute(const LdcInstance& inst, const Coloring& phi,
+                      std::uint32_t g, NeighborsOf&& out_of) {
+  ColoringStats s;
+  std::uint64_t realized_total = 0;
+  std::uint32_t colored = 0;
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    if (phi[v] == kUncolored) continue;
+    ++colored;
+    auto& count = s.histogram[phi[v]];
+    ++count;
+    s.max_class_size = std::max(s.max_class_size, count);
+    std::uint32_t realized = 0;
+    for (NodeId u : out_of(v)) {
+      if (conflicting(phi[v], phi[u], g)) ++realized;
+    }
+    s.monochromatic_conflicts += realized;
+    s.max_realized_defect = std::max(s.max_realized_defect, realized);
+    realized_total += realized;
+    if (inst.lists[v].contains(phi[v])) {
+      s.total_defect_budget += inst.lists[v].defect_of(phi[v]);
+    }
+  }
+  s.colors_used = s.histogram.size();
+  if (colored > 0) {
+    s.avg_realized_defect = static_cast<double>(realized_total) / colored;
+  }
+  if (s.total_defect_budget > 0) {
+    s.budget_utilization = static_cast<double>(realized_total) /
+                           static_cast<double>(s.total_defect_budget);
+  }
+  return s;
+}
+
+}  // namespace
+
+ColoringStats coloring_stats(const LdcInstance& inst, const Coloring& phi,
+                             std::uint32_t g) {
+  const Graph& graph = *inst.graph;
+  return compute(inst, phi, g,
+                 [&graph](NodeId v) { return graph.neighbors(v); });
+}
+
+ColoringStats coloring_stats_oriented(const LdcInstance& inst,
+                                      const Orientation& orientation,
+                                      const Coloring& phi, std::uint32_t g) {
+  return compute(inst, phi, g,
+                 [&orientation](NodeId v) { return orientation.out(v); });
+}
+
+}  // namespace ldc

@@ -1,0 +1,36 @@
+// Quality statistics of (defective) colorings — how much of the defect
+// budget a coloring actually consumes, color histograms, and per-class
+// degree profiles. Used by the experiment harnesses and the examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ldc/coloring/instance.hpp"
+
+namespace ldc {
+
+struct ColoringStats {
+  std::size_t colors_used = 0;
+  std::map<Color, std::uint32_t> histogram;      ///< class sizes
+  std::uint32_t max_class_size = 0;
+  std::uint32_t monochromatic_conflicts = 0;     ///< conflicting node pairs
+  std::uint32_t max_realized_defect = 0;         ///< worst per-node count
+  double avg_realized_defect = 0.0;
+  std::uint64_t total_defect_budget = 0;         ///< sum d_v(phi(v))
+  /// Fraction of the per-node budgets consumed (0 for proper colorings).
+  double budget_utilization = 0.0;
+};
+
+/// Undirected statistics; conflicts counted with |x-y| <= g.
+ColoringStats coloring_stats(const LdcInstance& inst, const Coloring& phi,
+                             std::uint32_t g = 0);
+
+/// Oriented statistics: realized defects over out-neighbors.
+ColoringStats coloring_stats_oriented(const LdcInstance& inst,
+                                      const Orientation& orientation,
+                                      const Coloring& phi,
+                                      std::uint32_t g = 0);
+
+}  // namespace ldc

@@ -1,0 +1,135 @@
+#include "ldc/coloring/validate.hpp"
+
+#include <cstdlib>
+#include <set>
+
+namespace ldc {
+namespace {
+
+bool conflicting(Color a, Color b, std::uint32_t g) {
+  if (a == kUncolored || b == kUncolored) return false;
+  const std::int64_t d = static_cast<std::int64_t>(a) - b;
+  return static_cast<std::uint64_t>(std::llabs(d)) <= g;
+}
+
+void add_violation(ValidationResult& r, NodeId v, Color c,
+                   std::uint32_t conflicts, std::uint32_t budget,
+                   std::string reason) {
+  r.ok = false;
+  r.violations.push_back({v, c, conflicts, budget, std::move(reason)});
+}
+
+}  // namespace
+
+ValidationResult validate_membership(const LdcInstance& inst,
+                                     const Coloring& phi) {
+  ValidationResult r;
+  if (phi.size() != inst.n()) {
+    add_violation(r, 0, 0, 0, 0, "coloring size != n");
+    return r;
+  }
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    if (phi[v] == kUncolored) {
+      add_violation(r, v, phi[v], 0, 0, "node uncolored");
+    } else if (!inst.lists[v].contains(phi[v])) {
+      add_violation(r, v, phi[v], 0, 0, "color not in node's list");
+    }
+  }
+  return r;
+}
+
+ValidationResult validate_ldc(const LdcInstance& inst, const Coloring& phi,
+                              std::uint32_t g) {
+  ValidationResult r = validate_membership(inst, phi);
+  if (!r.ok) return r;
+  const Graph& graph = *inst.graph;
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    std::uint32_t conflicts = 0;
+    for (NodeId u : graph.neighbors(v)) {
+      if (conflicting(phi[v], phi[u], g)) ++conflicts;
+    }
+    const std::uint32_t budget = inst.lists[v].defect_of(phi[v]);
+    if (conflicts > budget) {
+      add_violation(r, v, phi[v], conflicts, budget, "defect exceeded");
+    }
+  }
+  return r;
+}
+
+ValidationResult validate_oldc(const LdcInstance& inst,
+                               const Orientation& orientation,
+                               const Coloring& phi, std::uint32_t g) {
+  ValidationResult r = validate_membership(inst, phi);
+  if (!r.ok) return r;
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    std::uint32_t conflicts = 0;
+    for (NodeId u : orientation.out(v)) {
+      if (conflicting(phi[v], phi[u], g)) ++conflicts;
+    }
+    const std::uint32_t budget = inst.lists[v].defect_of(phi[v]);
+    if (conflicts > budget) {
+      add_violation(r, v, phi[v], conflicts, budget,
+                    "oriented defect exceeded");
+    }
+  }
+  return r;
+}
+
+ValidationResult validate_arbdefective(const LdcInstance& inst,
+                                       const ArbdefectiveColoring& out) {
+  return validate_oldc(inst, out.orientation, out.colors, 0);
+}
+
+ValidationResult validate_proper(const Graph& g, const Coloring& phi) {
+  ValidationResult r;
+  if (phi.size() != g.n()) {
+    add_violation(r, 0, 0, 0, 0, "coloring size != n");
+    return r;
+  }
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (phi[v] == kUncolored) {
+      add_violation(r, v, phi[v], 0, 0, "node uncolored");
+      continue;
+    }
+    for (NodeId u : g.neighbors(v)) {
+      if (phi[u] == phi[v]) {
+        add_violation(r, v, phi[v], 1, 0, "monochromatic edge");
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+ValidationResult validate_defective(const Graph& g, const Coloring& phi,
+                                    std::uint32_t c, std::uint32_t d) {
+  ValidationResult r;
+  if (phi.size() != g.n()) {
+    add_violation(r, 0, 0, 0, 0, "coloring size != n");
+    return r;
+  }
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (phi[v] == kUncolored || phi[v] >= c) {
+      add_violation(r, v, phi[v], 0, 0, "color outside [0, c)");
+      continue;
+    }
+    std::uint32_t conflicts = 0;
+    for (NodeId u : g.neighbors(v)) {
+      if (phi[u] == phi[v]) ++conflicts;
+    }
+    if (conflicts > d) {
+      add_violation(r, v, phi[v], conflicts, d, "defect exceeded");
+    }
+  }
+  return r;
+}
+
+std::size_t colors_used(const Coloring& phi) {
+  std::set<Color> used;
+  for (Color c : phi) {
+    if (c != kUncolored) used.insert(c);
+  }
+  return used.size();
+}
+
+}  // namespace ldc

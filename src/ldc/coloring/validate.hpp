@@ -1,0 +1,61 @@
+// Validity oracles — the ground truth every algorithm is tested against.
+//
+// Each validator re-checks an output coloring directly from the definitions
+// in the paper (Definition 1.1 and the generalized-g variant of Section
+// 3.2), independently of any algorithm state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldc/coloring/instance.hpp"
+
+namespace ldc {
+
+struct Violation {
+  NodeId node = 0;
+  Color color = 0;
+  std::uint32_t conflicts = 0;  ///< conflicting (out-)neighbors found
+  std::uint32_t budget = 0;     ///< allowed defect for that color
+  std::string reason;
+};
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<Violation> violations;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Every node colored, with a color from its own list.
+ValidationResult validate_membership(const LdcInstance& inst,
+                                     const Coloring& phi);
+
+/// List defective coloring validity (undirected; conflict when
+/// |phi(u) - phi(v)| <= g; g = 0 is the standard definition).
+ValidationResult validate_ldc(const LdcInstance& inst, const Coloring& phi,
+                              std::uint32_t g = 0);
+
+/// Oriented validity: defect counted over out-neighbors only.
+ValidationResult validate_oldc(const LdcInstance& inst,
+                               const Orientation& orientation,
+                               const Coloring& phi, std::uint32_t g = 0);
+
+/// Arbdefective validity: oriented validity w.r.t. the output orientation.
+ValidationResult validate_arbdefective(const LdcInstance& inst,
+                                       const ArbdefectiveColoring& out);
+
+/// Proper coloring (no two adjacent nodes share a color); list membership
+/// must be checked separately when lists exist.
+ValidationResult validate_proper(const Graph& g, const Coloring& phi);
+
+/// d-defective coloring with colors from [0, c): every color class induces
+/// max degree <= d.
+ValidationResult validate_defective(const Graph& g, const Coloring& phi,
+                                    std::uint32_t c, std::uint32_t d);
+
+/// Number of distinct colors used by colored nodes.
+std::size_t colors_used(const Coloring& phi);
+
+}  // namespace ldc

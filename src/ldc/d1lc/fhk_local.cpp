@@ -1,0 +1,11 @@
+#include "ldc/d1lc/fhk_local.hpp"
+
+namespace ldc::d1lc {
+
+PipelineResult color_local_baseline(Network& net, const LdcInstance& inst,
+                                    PipelineOptions opt) {
+  opt.reduction_levels = 0;
+  return color(net, inst, opt);
+}
+
+}  // namespace ldc::d1lc

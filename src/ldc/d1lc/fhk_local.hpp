@@ -1,0 +1,21 @@
+// The FHK/MT20-regime LOCAL baseline of experiments E1/E2.
+//
+// Same decomposition pipeline as Theorem 1.4 but *without* Corollary 4.2's
+// color space reduction: every per-class OLDC solve ships whole color
+// lists over the full space, i.e. Theta(min(|C|, Lambda log |C|))-bit
+// messages — the message regime of the O(sqrt(Delta log Delta) + log* n)
+// LOCAL algorithms of [FHK16, BEG18, MT20] that Theorem 1.4's CONGEST
+// algorithm eliminates. Round complexity matches the CONGEST pipeline up
+// to the reduction's level factor; the message sizes are what experiment
+// E2 contrasts.
+#pragma once
+
+#include "ldc/d1lc/congest_colorer.hpp"
+
+namespace ldc::d1lc {
+
+/// d1lc::color with reduction disabled (big messages).
+PipelineResult color_local_baseline(Network& net, const LdcInstance& inst,
+                                    PipelineOptions opt = {});
+
+}  // namespace ldc::d1lc

@@ -1,0 +1,48 @@
+#include "ldc/graph/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ldc {
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  if (u == v) throw std::invalid_argument("GraphBuilder: self-loop");
+  if (u >= n_ || v >= n_) throw std::out_of_range("GraphBuilder: bad node");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
+  if (u > v) std::swap(u, v);
+  return std::find(edges_.begin(), edges_.end(), std::make_pair(u, v)) !=
+         edges_.end();
+}
+
+Graph GraphBuilder::build() const {
+  auto edges = edges_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::vector<std::uint32_t> deg(n_, 0);
+  for (const auto& [u, v] : edges) {
+    ++deg[u];
+    ++deg[v];
+  }
+  std::vector<std::uint32_t> offsets(n_ + 1, 0);
+  for (std::uint32_t v = 0; v < n_; ++v) offsets[v + 1] = offsets[v] + deg[v];
+  std::vector<NodeId> adj(offsets.back());
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges) {
+    adj[cursor[u]++] = v;
+    adj[cursor[v]++] = u;
+  }
+  // Each per-node range is sorted already because edges were sorted by
+  // (min, max) — but the v side inserts u values out of order; sort ranges.
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    std::sort(adj.begin() + offsets[v], adj.begin() + offsets[v + 1]);
+  }
+  return Graph(std::move(offsets), std::move(adj));
+}
+
+}  // namespace ldc

@@ -1,0 +1,33 @@
+// Mutable edge-list accumulator that produces an immutable Graph.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ldc/graph/graph.hpp"
+
+namespace ldc {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::uint32_t n) : n_(n) {}
+
+  /// Adds the undirected edge {u, v}. Self-loops are rejected; duplicate
+  /// edges are deduplicated at build time.
+  void add_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  std::uint32_t n() const { return n_; }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Finalizes into a CSR Graph. The builder may be reused afterwards.
+  Graph build() const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;  // normalized u < v
+};
+
+}  // namespace ldc

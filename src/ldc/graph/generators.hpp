@@ -1,0 +1,55 @@
+// Deterministic workload graph generators.
+//
+// These supply the graph families the experiment suite sweeps over: rings
+// (Linial lower-bound family), cliques (tightness of the existence lemmas),
+// random regular and G(n,p) graphs (typical instances), trees, tori, and
+// line graphs (the bounded-neighborhood-independence family the paper's
+// related work discusses).
+#pragma once
+
+#include <cstdint>
+
+#include "ldc/graph/graph.hpp"
+
+namespace ldc::gen {
+
+/// Cycle on n >= 3 nodes.
+Graph ring(std::uint32_t n);
+
+/// Path on n >= 1 nodes.
+Graph path(std::uint32_t n);
+
+/// Complete graph K_n.
+Graph clique(std::uint32_t n);
+
+/// Complete bipartite graph K_{a,b}.
+Graph complete_bipartite(std::uint32_t a, std::uint32_t b);
+
+/// Erdos-Renyi G(n, p).
+Graph gnp(std::uint32_t n, double p, std::uint64_t seed);
+
+/// Random d-regular-ish graph via the configuration model with rejection of
+/// self-loops/multi-edges; the result has maximum degree exactly <= d and is
+/// d-regular except for O(1) deficient nodes when pairing gets stuck.
+Graph random_regular(std::uint32_t n, std::uint32_t d, std::uint64_t seed);
+
+/// w x h torus grid (4-regular when w,h >= 3).
+Graph torus(std::uint32_t w, std::uint32_t h);
+
+/// Uniform random labelled tree (Prufer sequence).
+Graph random_tree(std::uint32_t n, std::uint64_t seed);
+
+/// Chung-Lu style power-law graph with exponent `alpha` (> 2) and expected
+/// average degree roughly `avg_deg`.
+Graph power_law(std::uint32_t n, double alpha, double avg_deg,
+                std::uint64_t seed);
+
+/// Line graph of g: one node per edge of g, adjacency iff edges share an
+/// endpoint. Bounded neighborhood independence family.
+Graph line_graph(const Graph& g);
+
+/// Assigns spread-out pseudorandom unique IDs from [0, id_space) to g's
+/// nodes (exercises the log* dependence on identifier size).
+void scramble_ids(Graph& g, std::uint64_t id_space, std::uint64_t seed);
+
+}  // namespace ldc::gen

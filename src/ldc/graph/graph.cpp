@@ -1,0 +1,55 @@
+#include "ldc/graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ldc {
+
+Graph::Graph(std::vector<std::uint32_t> offsets, std::vector<NodeId> adj,
+             std::vector<std::uint64_t> ids)
+    : offsets_(std::move(offsets)), adj_(std::move(adj)) {
+  assert(!offsets_.empty());
+  assert(offsets_.back() == adj_.size());
+  const std::uint32_t nodes = n();
+  for (NodeId v = 0; v < nodes; ++v) {
+    max_degree_ = std::max(max_degree_, degree(v));
+    assert(std::is_sorted(neighbors(v).begin(), neighbors(v).end()));
+  }
+  if (ids.empty()) {
+    ids_.resize(nodes);
+    for (NodeId v = 0; v < nodes; ++v) ids_[v] = v;
+  } else {
+    set_ids(std::move(ids));
+    return;
+  }
+  max_id_ = nodes == 0 ? 0 : nodes - 1;
+}
+
+void Graph::set_ids(std::vector<std::uint64_t> ids) {
+  if (ids.size() != n()) {
+    throw std::invalid_argument("Graph::set_ids: wrong id count");
+  }
+  std::unordered_set<std::uint64_t> seen(ids.begin(), ids.end());
+  if (seen.size() != ids.size()) {
+    throw std::invalid_argument("Graph::set_ids: ids must be unique");
+  }
+  ids_ = std::move(ids);
+  max_id_ = 0;
+  for (auto id : ids_) max_id_ = std::max(max_id_, id);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::uint32_t Graph::neighbor_index(NodeId v, NodeId u) const {
+  const auto nb = neighbors(v);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), u);
+  if (it == nb.end() || *it != u) return n();
+  return static_cast<std::uint32_t>(it - nb.begin());
+}
+
+}  // namespace ldc

@@ -1,0 +1,65 @@
+// Immutable undirected graph in CSR form.
+//
+// This is the communication topology for the simulated LOCAL/CONGEST network
+// (Peleg'00): nodes carry unique O(log n)-bit identifiers and exchange
+// messages over edges. The structure is immutable after construction; use
+// GraphBuilder to assemble one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ldc {
+
+using NodeId = std::uint32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from CSR arrays. `offsets` has n+1 entries; `adj` lists each
+  /// undirected edge twice. `ids` are the unique node identifiers (defaults
+  /// to the node index when empty).
+  Graph(std::vector<std::uint32_t> offsets, std::vector<NodeId> adj,
+        std::vector<std::uint64_t> ids = {});
+
+  std::uint32_t n() const { return static_cast<std::uint32_t>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+
+  /// Number of undirected edges.
+  std::uint64_t m() const { return adj_.size() / 2; }
+
+  std::uint32_t degree(NodeId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  std::uint32_t max_degree() const { return max_degree_; }
+
+  /// Unique identifier of node v (the initial "m-coloring by IDs").
+  std::uint64_t id(NodeId v) const { return ids_[v]; }
+
+  std::uint64_t max_id() const { return max_id_; }
+
+  /// Replaces node identifiers (used by tests exercising the log* n
+  /// dependence on the identifier space). Must be unique; checked.
+  void set_ids(std::vector<std::uint64_t> ids);
+
+  /// True if u and v are adjacent (binary search; adjacency lists sorted).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Index of neighbor u within v's adjacency list; n() if absent.
+  std::uint32_t neighbor_index(NodeId v, NodeId u) const;
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::vector<NodeId> adj_;
+  std::vector<std::uint64_t> ids_;
+  std::uint32_t max_degree_ = 0;
+  std::uint64_t max_id_ = 0;
+};
+
+}  // namespace ldc

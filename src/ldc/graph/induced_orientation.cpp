@@ -1,0 +1,22 @@
+#include "ldc/graph/induced_orientation.hpp"
+
+namespace ldc {
+
+Orientation induced_orientation(const Orientation& parent,
+                                const Subgraph& sub) {
+  std::vector<std::vector<NodeId>> out(sub.graph.n());
+  for (NodeId i = 0; i < sub.graph.n(); ++i) {
+    const NodeId p = sub.to_parent[i];
+    for (NodeId q : parent.out(p)) {
+      const NodeId j = sub.from_parent[q];
+      if (j != static_cast<NodeId>(sub.from_parent.size())) {
+        // q is in the subgraph iff from_parent[q] != parent.n(); the
+        // sentinel equals the parent's node count.
+        if (sub.graph.has_edge(i, j)) out[i].push_back(j);
+      }
+    }
+  }
+  return Orientation(sub.graph, std::move(out));
+}
+
+}  // namespace ldc

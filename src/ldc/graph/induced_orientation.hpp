@@ -1,0 +1,13 @@
+// Restriction of an Orientation to an induced subgraph.
+#pragma once
+
+#include "ldc/graph/orientation.hpp"
+#include "ldc/graph/subgraph.hpp"
+
+namespace ldc {
+
+/// Orientation of sub.graph inheriting the parent orientation's directions.
+Orientation induced_orientation(const Orientation& parent,
+                                const Subgraph& sub);
+
+}  // namespace ldc

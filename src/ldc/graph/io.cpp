@@ -1,0 +1,121 @@
+#include "ldc/graph/io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "ldc/graph/builder.hpp"
+
+namespace ldc::io {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "# ldc edge list\n";
+  os << "n " << g.n() << "\n";
+  bool custom_ids = false;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (g.id(v) != v) {
+      custom_ids = true;
+      break;
+    }
+  }
+  if (custom_ids) {
+    for (NodeId v = 0; v < g.n(); ++v) {
+      os << "id " << v << " " << g.id(v) << "\n";
+    }
+  }
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) os << "e " << u << " " << v << "\n";
+    }
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
+  std::optional<GraphBuilder> builder;
+  std::vector<std::uint64_t> ids;
+  bool any_custom_id = false;
+  auto fail = [&lineno](const std::string& why) {
+    throw std::invalid_argument("edge list line " + std::to_string(lineno) +
+                                ": " + why);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag[0] == '#') continue;
+    if (tag == "n") {
+      std::uint32_t n = 0;
+      if (!(ls >> n)) fail("expected node count");
+      if (builder.has_value()) fail("duplicate 'n' record");
+      builder.emplace(n);
+      ids.resize(n);
+      for (NodeId v = 0; v < n; ++v) ids[v] = v;
+    } else if (tag == "id") {
+      if (!builder.has_value()) fail("'id' before 'n'");
+      NodeId v = 0;
+      std::uint64_t id = 0;
+      if (!(ls >> v >> id)) fail("expected 'id <node> <identifier>'");
+      if (v >= builder->n()) fail("node out of range");
+      ids[v] = id;
+      any_custom_id = true;
+    } else if (tag == "e") {
+      if (!builder.has_value()) fail("'e' before 'n'");
+      NodeId u = 0, v = 0;
+      if (!(ls >> u >> v)) fail("expected 'e <u> <v>'");
+      try {
+        builder->add_edge(u, v);
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown record '" + tag + "'");
+    }
+  }
+  if (!builder.has_value()) {
+    throw std::invalid_argument("edge list: missing 'n' record");
+  }
+  Graph g = builder->build();
+  if (any_custom_id) g.set_ids(std::move(ids));
+  return g;
+}
+
+void write_dot(std::ostream& os, const Graph& g, const Coloring* phi) {
+  // A qualitative palette cycled over color classes.
+  static const char* kPalette[] = {"#4e79a7", "#f28e2b", "#e15759",
+                                   "#76b7b2", "#59a14f", "#edc948",
+                                   "#b07aa1", "#ff9da7", "#9c755f",
+                                   "#bab0ac"};
+  os << "graph G {\n  node [style=filled];\n";
+  for (NodeId v = 0; v < g.n(); ++v) {
+    os << "  " << v << " [label=\"" << v;
+    if (phi != nullptr && (*phi)[v] != kUncolored) {
+      os << "\\nc" << (*phi)[v];
+      os << "\" fillcolor=\"" << kPalette[(*phi)[v] % 10];
+    }
+    os << "\"];\n";
+  }
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) os << "  " << u << " -- " << v << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  write_edge_list(f, g);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return read_edge_list(f);
+}
+
+}  // namespace ldc::io

@@ -1,0 +1,37 @@
+// Graph serialization: a plain edge-list format and Graphviz DOT export.
+//
+// Edge-list format (whitespace/line structured, '#' comments):
+//   n <node-count>
+//   id <node> <identifier>        (optional; defaults to the node index)
+//   e <u> <v>
+// The CLI (examples/ldc_cli.cpp) and downstream users exchange graphs in
+// this format; DOT export is for visualisation (colors become fill
+// colors when a coloring is supplied).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "ldc/coloring/instance.hpp"
+#include "ldc/graph/graph.hpp"
+
+namespace ldc::io {
+
+/// Writes the edge-list representation.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses an edge-list; throws std::invalid_argument with a line number on
+/// malformed input.
+Graph read_edge_list(std::istream& is);
+
+/// Graphviz DOT output; when `phi` is given, nodes are labelled and
+/// grouped by color.
+void write_dot(std::ostream& os, const Graph& g,
+               const Coloring* phi = nullptr);
+
+/// Convenience file wrappers (throw std::runtime_error on I/O failure).
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace ldc::io

@@ -1,0 +1,97 @@
+#include "ldc/graph/orientation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "ldc/support/prf.hpp"
+
+namespace ldc {
+
+void Orientation::finalize(std::vector<std::vector<NodeId>>&& out_lists) {
+  const auto n = static_cast<std::uint32_t>(out_lists.size());
+  offsets_.assign(n + 1, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::sort(out_lists[v].begin(), out_lists[v].end());
+    offsets_[v + 1] =
+        offsets_[v] + static_cast<std::uint32_t>(out_lists[v].size());
+  }
+  adj_.resize(offsets_.back());
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::copy(out_lists[v].begin(), out_lists[v].end(),
+              adj_.begin() + offsets_[v]);
+    max_beta_ = std::max(max_beta_, beta(v));
+  }
+}
+
+Orientation::Orientation(const Graph& g,
+                         std::vector<std::vector<NodeId>> out_lists) {
+  if (out_lists.size() != g.n()) {
+    throw std::invalid_argument("Orientation: wrong node count");
+  }
+  finalize(std::move(out_lists));
+  // Validate: each undirected edge oriented exactly one way.
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) {
+        const bool uv = has_out_edge(u, v);
+        const bool vu = has_out_edge(v, u);
+        if (uv == vu) {
+          throw std::invalid_argument(
+              "Orientation: edge must be oriented exactly one way");
+        }
+      }
+    }
+  }
+}
+
+Orientation Orientation::by_decreasing_id(const Graph& g) {
+  std::vector<std::vector<NodeId>> out(g.n());
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (g.id(u) > g.id(v)) out[u].push_back(v);
+    }
+  }
+  Orientation o;
+  o.finalize(std::move(out));
+  return o;
+}
+
+Orientation Orientation::random(const Graph& g, std::uint64_t seed) {
+  const Prf prf(seed);
+  std::vector<std::vector<NodeId>> out(g.n());
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) {
+        const std::uint64_t key =
+            hash_combine(static_cast<std::uint64_t>(u) << 32 | v, 0);
+        if (prf.at(key) & 1) {
+          out[u].push_back(v);
+        } else {
+          out[v].push_back(u);
+        }
+      }
+    }
+  }
+  Orientation o;
+  o.finalize(std::move(out));
+  return o;
+}
+
+Orientation Orientation::bidirected(const Graph& g) {
+  std::vector<std::vector<NodeId>> out(g.n());
+  for (NodeId u = 0; u < g.n(); ++u) {
+    const auto nb = g.neighbors(u);
+    out[u].assign(nb.begin(), nb.end());
+  }
+  Orientation o;
+  o.finalize(std::move(out));
+  return o;
+}
+
+bool Orientation::has_out_edge(NodeId u, NodeId v) const {
+  const auto o = out(u);
+  return std::binary_search(o.begin(), o.end(), v);
+}
+
+}  // namespace ldc

@@ -1,0 +1,61 @@
+// Edge orientations of an undirected Graph.
+//
+// Oriented list defective coloring (Definition 1.1) constrains only
+// *out*-neighbors. An Orientation assigns each undirected edge a direction;
+// the paper's convention beta_v := max(1, outdeg(v)) is exposed as beta().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldc/graph/graph.hpp"
+
+namespace ldc {
+
+class Orientation {
+ public:
+  Orientation() = default;
+
+  /// Orientation from explicit out-neighbor lists (validated against g:
+  /// every edge must be oriented exactly one way).
+  Orientation(const Graph& g, std::vector<std::vector<NodeId>> out_lists);
+
+  /// Acyclic orientation: u -> v iff id(u) > id(v).
+  static Orientation by_decreasing_id(const Graph& g);
+
+  /// Orientation by independent fair coin per edge.
+  static Orientation random(const Graph& g, std::uint64_t seed);
+
+  /// Orients every edge both ways (each undirected edge becomes two directed
+  /// edges) — the reduction the paper uses to run OLDC algorithms on
+  /// undirected list defective instances.
+  static Orientation bidirected(const Graph& g);
+
+  std::uint32_t n() const { return static_cast<std::uint32_t>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+
+  std::span<const NodeId> out(NodeId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  std::uint32_t outdeg(NodeId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// beta_v = max(1, outdeg(v)) per the paper's convention (Section 2).
+  std::uint32_t beta(NodeId v) const { return std::max(1u, outdeg(v)); }
+
+  /// Maximum beta_v over all nodes.
+  std::uint32_t max_beta() const { return max_beta_; }
+
+  bool has_out_edge(NodeId u, NodeId v) const;
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::vector<NodeId> adj_;
+  std::uint32_t max_beta_ = 1;
+
+  void finalize(std::vector<std::vector<NodeId>>&& out_lists);
+};
+
+}  // namespace ldc

@@ -1,0 +1,38 @@
+#include "ldc/graph/stats.hpp"
+
+#include <algorithm>
+
+namespace ldc {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  if (g.n() == 0) return s;
+  s.min_degree = g.degree(0);
+  s.histogram.assign(g.max_degree() + 1, 0);
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto d = g.degree(v);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    total += d;
+    ++s.histogram[d];
+  }
+  s.avg_degree = static_cast<double>(total) / g.n();
+  return s;
+}
+
+bool check_graph(const Graph& g) {
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto nb = g.neighbors(v);
+    if (!std::is_sorted(nb.begin(), nb.end())) return false;
+    if (std::adjacent_find(nb.begin(), nb.end()) != nb.end()) return false;
+    for (NodeId u : nb) {
+      if (u == v) return false;
+      if (u >= g.n()) return false;
+      if (!g.has_edge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ldc

@@ -1,0 +1,24 @@
+// Degree statistics used by experiment harnesses and instance generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldc/graph/graph.hpp"
+
+namespace ldc {
+
+struct DegreeStats {
+  std::uint32_t min_degree = 0;
+  std::uint32_t max_degree = 0;
+  double avg_degree = 0.0;
+  std::vector<std::uint64_t> histogram;  // histogram[d] = #nodes of degree d
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Verifies basic structural sanity (symmetry, sortedness, no self loops);
+/// returns true iff consistent. Used in generator tests.
+bool check_graph(const Graph& g);
+
+}  // namespace ldc

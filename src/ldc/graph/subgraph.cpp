@@ -1,0 +1,36 @@
+#include "ldc/graph/subgraph.hpp"
+
+#include <stdexcept>
+
+#include "ldc/graph/builder.hpp"
+
+namespace ldc {
+
+Subgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes) {
+  Subgraph s;
+  s.to_parent.assign(nodes.begin(), nodes.end());
+  s.from_parent.assign(g.n(), g.n());
+  for (std::uint32_t i = 0; i < s.to_parent.size(); ++i) {
+    const NodeId p = s.to_parent[i];
+    if (p >= g.n()) throw std::out_of_range("induced_subgraph: bad node");
+    if (s.from_parent[p] != g.n()) {
+      throw std::invalid_argument("induced_subgraph: duplicate node");
+    }
+    s.from_parent[p] = i;
+  }
+  GraphBuilder b(static_cast<std::uint32_t>(s.to_parent.size()));
+  std::vector<std::uint64_t> ids(s.to_parent.size());
+  for (std::uint32_t i = 0; i < s.to_parent.size(); ++i) {
+    const NodeId p = s.to_parent[i];
+    ids[i] = g.id(p);
+    for (NodeId q : g.neighbors(p)) {
+      const NodeId j = s.from_parent[q];
+      if (j != g.n() && i < j) b.add_edge(i, j);
+    }
+  }
+  s.graph = b.build();
+  s.graph.set_ids(std::move(ids));
+  return s;
+}
+
+}  // namespace ldc

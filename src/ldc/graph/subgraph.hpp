@@ -1,0 +1,26 @@
+// Induced subgraphs with node index mappings.
+//
+// Theorem 1.3's transformer and Lemma A.2's per-color-class Euler
+// orientation both operate on induced subgraphs while needing to map results
+// back to the parent graph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ldc/graph/graph.hpp"
+
+namespace ldc {
+
+struct Subgraph {
+  Graph graph;                       ///< the induced subgraph
+  std::vector<NodeId> to_parent;     ///< subgraph node -> parent node
+  std::vector<NodeId> from_parent;   ///< parent node -> subgraph node, or
+                                     ///< parent.n() if not included
+};
+
+/// Induced subgraph on `nodes` (need not be sorted; duplicates rejected).
+/// Node ids are inherited from the parent.
+Subgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes);
+
+}  // namespace ldc

@@ -1,0 +1,66 @@
+#include "ldc/linial/cover_free.hpp"
+
+#include <array>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "ldc/support/math.hpp"
+#include "ldc/support/primes.hpp"
+
+namespace ldc::linial {
+
+std::uint64_t RsFamily::evaluate(std::uint64_t color, std::uint64_t x) const {
+  assert(color < input_space);
+  // Coefficients are the base-q digits of `color`.
+  std::array<std::uint64_t, 64> digits{};
+  const unsigned k = deg + 1;
+  for (unsigned i = 0; i < k; ++i) {
+    digits[i] = color % q;
+    color /= q;
+  }
+  return poly_eval({digits.data(), k}, x, q);
+}
+
+std::uint64_t RsFamily::element(std::uint64_t color, std::uint64_t x) const {
+  assert(x < q);
+  return x * q + evaluate(color, x);
+}
+
+std::uint64_t kth_root_ceil(std::uint64_t m, unsigned k) {
+  assert(k >= 1 && m >= 1);
+  if (k == 1) return m;
+  std::uint64_t lo = 1, hi = 1;
+  while (sat_pow(hi, k) < m) hi *= 2;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (sat_pow(mid, k) >= m) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+RsFamily choose_family(std::uint64_t m, std::uint64_t D, std::uint32_t d) {
+  if (m == 0 || D == 0) throw std::invalid_argument("choose_family: m,D >= 1");
+  RsFamily best;
+  std::uint64_t best_out = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t deg = 1; deg < 64; ++deg) {
+    // q > D*deg/(d+1)  <=>  q >= floor(D*deg/(d+1)) + 1.
+    const std::uint64_t q_conflict = D * deg / (d + 1) + 1;
+    const std::uint64_t q_capacity = kth_root_ceil(m, deg + 1);
+    const std::uint64_t q = next_prime(std::max(q_conflict, q_capacity));
+    const std::uint64_t out = sat_mul(q, q);
+    if (out < best_out) {
+      best = RsFamily{q, deg, m};
+      best_out = out;
+    }
+    // Once capacity stops binding, larger deg only increases q_conflict.
+    if (q_capacity <= q_conflict) break;
+  }
+  return best;
+}
+
+}  // namespace ldc::linial

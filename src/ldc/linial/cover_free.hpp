@@ -1,0 +1,44 @@
+// Reed-Solomon cover-free families.
+//
+// The classic construction behind Linial's O(log* n) coloring [Lin87] and
+// its defective variant [Kuh09]: identify each of m input colors with a
+// polynomial of degree `deg` over GF(q) (possible when q^(deg+1) >= m), and
+// let the set of input color c be { (x, p_c(x)) : x in GF(q) } inside the
+// output space [q^2]. Two distinct polynomials agree on at most `deg`
+// points, so a node with at most D conflicting neighbors finds an
+// evaluation point x where at most floor(D*deg/q) neighbors agree — i.e. a
+// d-defective choice whenever q > D*deg/(d+1).
+#pragma once
+
+#include <cstdint>
+
+namespace ldc::linial {
+
+/// One Reed-Solomon family: parameters are shared globally (all nodes
+/// compute the same family from (m, D, d)).
+struct RsFamily {
+  std::uint64_t q = 0;        ///< prime field size
+  std::uint32_t deg = 1;      ///< polynomial degree
+  std::uint64_t input_space = 0;   ///< m: colors representable
+
+  std::uint64_t output_space() const { return q * q; }
+
+  /// The family element of input color `color` at evaluation point `x`:
+  /// the output color x*q + p_color(x).
+  std::uint64_t element(std::uint64_t color, std::uint64_t x) const;
+
+  /// p_color(x) only (the value part of the pair).
+  std::uint64_t evaluate(std::uint64_t color, std::uint64_t x) const;
+};
+
+/// Smallest integer r with r^k >= m (integer k-th root, rounded up).
+std::uint64_t kth_root_ceil(std::uint64_t m, unsigned k);
+
+/// Picks the family minimizing the output space q^2 subject to
+///   q^(deg+1) >= m     (every input color is a distinct polynomial)
+///   q > D*deg/(d+1)    (a d-defective evaluation point always exists
+///                       against <= D conflicting neighbors)
+/// over deg = 1..63. m >= 1, D >= 1.
+RsFamily choose_family(std::uint64_t m, std::uint64_t D, std::uint32_t d);
+
+}  // namespace ldc::linial

@@ -1,0 +1,96 @@
+#include "ldc/linial/linial.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "ldc/linial/cover_free.hpp"
+
+namespace ldc::linial {
+namespace {
+
+std::uint64_t conflict_bound(const Graph& g, const Options& opt) {
+  if (opt.orientation != nullptr) return opt.orientation->max_beta();
+  return std::max<std::uint64_t>(1, g.max_degree());
+}
+
+}  // namespace
+
+std::uint64_t reduce_once(Network& net, Coloring& phi, std::uint64_t palette,
+                          std::uint32_t defect, const Options& opt) {
+  const Graph& g = net.graph();
+  const RsFamily fam = choose_family(palette, conflict_bound(g, opt), defect);
+
+  // Round: everyone broadcasts its current color (O(log palette) bits).
+  std::vector<Message> msgs(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    BitWriter w;
+    w.write_bounded(phi[v], palette - 1);
+    msgs[v] = Message::from(w);
+  }
+  const auto inboxes = net.exchange_broadcast(msgs);
+
+  Coloring next(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    // Conflicting neighbors' colors.
+    std::vector<std::uint64_t> conflict_colors;
+    for (const auto& [u, m] : inboxes[v]) {
+      if (opt.orientation != nullptr &&
+          !opt.orientation->has_out_edge(v, u)) {
+        continue;
+      }
+      auto r = m.reader();
+      conflict_colors.push_back(r.read_bounded(palette - 1));
+    }
+    // Pick the evaluation point with the fewest agreements; the family
+    // parameters guarantee the minimum is <= defect when the input coloring
+    // is proper w.r.t. the conflict set.
+    std::uint64_t best_x = 0;
+    std::uint64_t best_agree = conflict_colors.size() + 1;
+    for (std::uint64_t x = 0; x < fam.q && best_agree > 0; ++x) {
+      const std::uint64_t mine = fam.evaluate(phi[v], x);
+      std::uint64_t agree = 0;
+      for (std::uint64_t c : conflict_colors) {
+        if (c != phi[v] && fam.evaluate(c, x) == mine) ++agree;
+      }
+      if (agree < best_agree) {
+        best_agree = agree;
+        best_x = x;
+      }
+    }
+    if (best_agree > defect) {
+      throw std::logic_error(
+          "linial::reduce_once: no admissible evaluation point; input "
+          "coloring was not proper w.r.t. the conflict sets");
+    }
+    next[v] = static_cast<Color>(fam.element(phi[v], best_x));
+  }
+  phi = std::move(next);
+  return fam.output_space();
+}
+
+Result color_from(Network& net, Coloring phi, std::uint64_t palette,
+                  const Options& opt) {
+  Result res;
+  res.rounds = 0;
+  while (res.rounds < opt.max_rounds) {
+    const std::uint64_t bound = conflict_bound(net.graph(), opt);
+    const RsFamily fam = choose_family(palette, bound, 0);
+    if (fam.output_space() >= palette) break;  // fixpoint reached
+    palette = reduce_once(net, phi, palette, 0, opt);
+    ++res.rounds;
+  }
+  res.phi = std::move(phi);
+  res.palette = palette;
+  return res;
+}
+
+Result color(Network& net, const Options& opt) {
+  const Graph& g = net.graph();
+  Coloring phi(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    phi[v] = static_cast<Color>(g.id(v));
+  }
+  return color_from(net, std::move(phi), g.max_id() + 1, opt);
+}
+
+}  // namespace ldc::linial

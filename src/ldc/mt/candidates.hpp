@@ -1,0 +1,90 @@
+// Candidate families (the problem-P2 objects) and their parameters.
+//
+// In the paper, problem P2 equips every node with a family K_v of k'
+// candidate color sets, each of k_i colors from the node's
+// residue-restricted list; the family is a pure function of the node's
+// *type* (initial color, color list), which is what makes P2 solvable in
+// zero communication rounds (Lemma 3.5). The paper realizes the function by
+// a greedy pass over all possible types whose internal computation is
+// e^{O(gamma^2 log gamma log|C| + ...)} (its Appendix C) — infeasible to
+// run. This module keeps the zero-round structure (family = function of
+// type) but realizes the function with a keyed PRF; mt/greedy_types.hpp
+// implements the paper's exact greedy for tiny parameters so Lemma 3.5
+// itself is validated (experiment E9). See DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ldc/coloring/instance.hpp"
+#include "ldc/mt/conflict.hpp"
+
+namespace ldc::mt {
+
+/// Tunable stand-ins for the paper's parameter formulas (Section 3.2.1).
+struct CandidateParams {
+  /// tau: conflict threshold. 0 = use the paper's formula
+  /// tau(h,|C|,m) = ceil(8h + 2 loglog|C| + 2 loglogm + 16), capped.
+  std::uint32_t tau = 0;
+  std::uint32_t tau_cap = 20;
+  /// k' (family size). The paper's 2^h * tau' is astronomically large; any
+  /// value makes the final coloring *checkable*, larger values lower the
+  /// chance of P1 relaxations.
+  std::uint32_t kprime = 24;
+};
+
+/// tau(h, |C|, m) from Equation (4), uncapped.
+std::uint32_t tau_formula(std::uint32_t h, std::uint64_t color_space,
+                          std::uint64_t m);
+
+/// Effective tau under the given params.
+std::uint32_t effective_tau(const CandidateParams& p, std::uint32_t h,
+                            std::uint64_t color_space, std::uint64_t m);
+
+/// A node's candidate family: `kprime` sorted candidate sets of `set_size`
+/// colors drawn deterministically (PRF keyed by the node's type) from its
+/// restricted list. Both endpoints of an edge construct the same family
+/// from the same type description, so only the type travels on the wire.
+class CandidateFamily {
+ public:
+  /// `list` must be sorted. set_size is clamped to list.size() (a clamp is
+  /// recorded via degraded()).
+  CandidateFamily(std::uint64_t type_key, std::span<const Color> list,
+                  std::uint32_t set_size, std::uint32_t kprime);
+
+  FamilyView view() const {
+    return FamilyView{storage_, set_size_, kprime_};
+  }
+
+  std::span<const Color> set(std::uint32_t j) const {
+    return view().set(j);
+  }
+
+  std::uint32_t set_size() const { return set_size_; }
+  std::uint32_t size() const { return kprime_; }
+
+  /// True when the list was too short for the requested set size (the
+  /// paper's list-size precondition was violated).
+  bool degraded() const { return degraded_; }
+
+ private:
+  std::vector<Color> storage_;
+  std::uint32_t set_size_;
+  std::uint32_t kprime_;
+  bool degraded_ = false;
+};
+
+/// The type key of a node: fingerprint of (initial color, restricted list).
+/// Equal types yield equal candidate families — the zero-round property.
+std::uint64_t type_key(std::uint64_t initial_color,
+                       std::span<const Color> restricted_list);
+
+/// Residue-class restriction (Section 3.2.2): returns the sublist of
+/// `list` whose colors are congruent to a (mod 2g+1) for the residue a
+/// maximizing the sublist size. With g = 0 returns the whole list.
+std::vector<Color> best_residue_sublist(std::span<const Color> list,
+                                        std::uint32_t g,
+                                        std::uint32_t* residue_out = nullptr);
+
+}  // namespace ldc::mt

@@ -1,0 +1,74 @@
+#include "ldc/mt/conflict.hpp"
+
+#include <algorithm>
+
+namespace ldc::mt {
+
+std::uint32_t mu_g(Color x, std::span<const Color> C, std::uint32_t g) {
+  const Color lo = (x >= g) ? x - g : 0;
+  const std::uint64_t hi = static_cast<std::uint64_t>(x) + g;
+  const auto begin = std::lower_bound(C.begin(), C.end(), lo);
+  auto it = begin;
+  std::uint32_t count = 0;
+  while (it != C.end() && *it <= hi) {
+    ++count;
+    ++it;
+  }
+  return count;
+}
+
+std::uint64_t conflict_weight(std::span<const Color> a,
+                              std::span<const Color> b, std::uint32_t g) {
+  // Two-pointer sweep: for each x in a, count b's window [x-g, x+g].
+  std::uint64_t total = 0;
+  std::size_t lo = 0, hi = 0;
+  for (Color x : a) {
+    const Color wlo = (x >= g) ? x - g : 0;
+    const std::uint64_t whi = static_cast<std::uint64_t>(x) + g;
+    while (lo < b.size() && b[lo] < wlo) ++lo;
+    if (hi < lo) hi = lo;
+    while (hi < b.size() && b[hi] <= whi) ++hi;
+    total += hi - lo;
+  }
+  return total;
+}
+
+bool tau_g_conflict(std::span<const Color> a, std::span<const Color> b,
+                    std::uint32_t tau, std::uint32_t g) {
+  if (tau == 0) return true;
+  std::uint64_t total = 0;
+  std::size_t lo = 0, hi = 0;
+  for (Color x : a) {
+    const Color wlo = (x >= g) ? x - g : 0;
+    const std::uint64_t whi = static_cast<std::uint64_t>(x) + g;
+    while (lo < b.size() && b[lo] < wlo) ++lo;
+    if (hi < lo) hi = lo;
+    while (hi < b.size() && b[hi] <= whi) ++hi;
+    total += hi - lo;
+    if (total >= tau) return true;
+  }
+  return false;
+}
+
+std::uint32_t conflicting_sets(const FamilyView& k1, const FamilyView& k2,
+                               std::uint32_t tau, std::uint32_t g) {
+  std::uint32_t count = 0;
+  for (std::uint32_t i = 0; i < k1.count; ++i) {
+    const auto ci = k1.set(i);
+    for (std::uint32_t j = 0; j < k2.count; ++j) {
+      if (tau_g_conflict(ci, k2.set(j), tau, g)) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+bool psi_conflict(const FamilyView& k1, const FamilyView& k2,
+                  std::uint32_t tau_prime, std::uint32_t tau,
+                  std::uint32_t g) {
+  return conflicting_sets(k1, k2, tau, g) >= tau_prime;
+}
+
+}  // namespace ldc::mt

@@ -1,0 +1,50 @@
+// Conflict relations of the Maus-Tonoyan machinery (Definitions 3.2 / 3.3).
+//
+// mu_g(x, C) counts the colors of C within distance g of x; two candidate
+// sets C, C' "tau&g-conflict" when sum_{x in C} mu_g(x, C') >= tau; and two
+// candidate *families* K, K' are in the relation Psi_g(tau', tau) when K
+// contains tau' distinct sets that each tau&g-conflict with some set of K'.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "ldc/coloring/instance.hpp"
+
+namespace ldc::mt {
+
+/// Number of colors c in the sorted span C with |x - c| <= g.
+std::uint32_t mu_g(Color x, std::span<const Color> C, std::uint32_t g);
+
+/// sum_{x in a} mu_g(x, b) for sorted spans (symmetric). O(|a| + |b| + out).
+std::uint64_t conflict_weight(std::span<const Color> a,
+                              std::span<const Color> b, std::uint32_t g);
+
+/// Definition 3.2: a and b tau&g-conflict iff conflict_weight >= tau.
+/// Short-circuits once the threshold is reached.
+bool tau_g_conflict(std::span<const Color> a, std::span<const Color> b,
+                    std::uint32_t tau, std::uint32_t g);
+
+/// A candidate family view: `sets` contains `count` sorted candidate sets
+/// of `set_size` colors each, stored contiguously.
+struct FamilyView {
+  std::span<const Color> storage;
+  std::uint32_t set_size = 0;
+  std::uint32_t count = 0;
+
+  std::span<const Color> set(std::uint32_t j) const {
+    return storage.subspan(static_cast<std::size_t>(j) * set_size, set_size);
+  }
+};
+
+/// Definition 3.3: (K1, K2) in Psi_g(tau', tau)?
+bool psi_conflict(const FamilyView& k1, const FamilyView& k2,
+                  std::uint32_t tau_prime, std::uint32_t tau,
+                  std::uint32_t g);
+
+/// Number of sets in k1 that tau&g-conflict with at least one set of k2
+/// (the quantity Psi thresholds at tau').
+std::uint32_t conflicting_sets(const FamilyView& k1, const FamilyView& k2,
+                               std::uint32_t tau, std::uint32_t g);
+
+}  // namespace ldc::mt

@@ -1,0 +1,133 @@
+#include "ldc/mt/greedy_types.hpp"
+
+#include <algorithm>
+
+#include "ldc/mt/conflict.hpp"
+
+namespace ldc::mt {
+namespace {
+
+// Flattens a family (vector of sorted sets of equal size) into a
+// FamilyView-backed buffer.
+struct FlatFamily {
+  std::vector<Color> storage;
+  std::uint32_t set_size;
+  std::uint32_t count;
+
+  explicit FlatFamily(const std::vector<std::vector<Color>>& family) {
+    set_size = family.empty() ? 0
+                              : static_cast<std::uint32_t>(family[0].size());
+    count = static_cast<std::uint32_t>(family.size());
+    storage.reserve(static_cast<std::size_t>(set_size) * count);
+    for (const auto& s : family) {
+      storage.insert(storage.end(), s.begin(), s.end());
+    }
+  }
+
+  FamilyView view() const { return FamilyView{storage, set_size, count}; }
+};
+
+bool either_way_conflict(const FamilyView& a, const FamilyView& b,
+                         const TinyParams& p) {
+  return psi_conflict(a, b, p.tau_prime, p.tau, 0) ||
+         psi_conflict(b, a, p.tau_prime, p.tau, 0);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> combinations(std::uint32_t n,
+                                                     std::uint32_t k) {
+  std::vector<std::vector<std::uint32_t>> out;
+  if (k > n) return out;
+  std::vector<std::uint32_t> cur(k);
+  for (std::uint32_t i = 0; i < k; ++i) cur[i] = i;
+  while (true) {
+    out.push_back(cur);
+    // Advance to the next combination.
+    std::int64_t i = static_cast<std::int64_t>(k) - 1;
+    while (i >= 0 && cur[static_cast<std::size_t>(i)] ==
+                         n - k + static_cast<std::uint32_t>(i)) {
+      --i;
+    }
+    if (i < 0) break;
+    ++cur[static_cast<std::size_t>(i)];
+    for (std::size_t j = static_cast<std::size_t>(i) + 1; j < k; ++j) {
+      cur[j] = cur[j - 1] + 1;
+    }
+  }
+  return out;
+}
+
+TinyAssignment greedy_assign(const TinyParams& p) {
+  TinyAssignment out;
+  // Enumerate all lists L in binom([color_space], ell), canonical order.
+  const auto lists = combinations(p.color_space, p.ell);
+  for (std::uint32_t c = 0; c < p.m; ++c) {
+    for (const auto& l : lists) {
+      TinyType t;
+      t.initial_color = c;
+      t.list.assign(l.begin(), l.end());
+      out.types.push_back(std::move(t));
+    }
+  }
+
+  std::vector<FlatFamily> assigned;
+  out.complete = true;
+  for (const auto& type : out.types) {
+    // S(L): all kprime-subsets of the k-subsets of L.
+    const auto base_sets =
+        combinations(static_cast<std::uint32_t>(type.list.size()), p.k);
+    const auto picks =
+        combinations(static_cast<std::uint32_t>(base_sets.size()), p.kprime);
+    bool found = false;
+    for (const auto& pick : picks) {
+      ++out.scanned;
+      std::vector<std::vector<Color>> family;
+      family.reserve(p.kprime);
+      for (auto s : pick) {
+        std::vector<Color> set;
+        set.reserve(p.k);
+        for (auto i : base_sets[s]) set.push_back(type.list[i]);
+        family.push_back(std::move(set));
+      }
+      FlatFamily flat(family);
+      bool clash = false;
+      for (const auto& prev : assigned) {
+        if (either_way_conflict(flat.view(), prev.view(), p)) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        assigned.push_back(std::move(flat));
+        out.families.push_back(std::move(family));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      out.complete = false;
+      out.families.emplace_back();  // keep indices aligned
+    }
+  }
+  return out;
+}
+
+bool verify_pairwise(const TinyAssignment& a, const TinyParams& p) {
+  std::vector<FlatFamily> flats;
+  flats.reserve(a.families.size());
+  for (const auto& f : a.families) {
+    if (f.empty()) return false;
+    flats.emplace_back(f);
+  }
+  for (std::size_t i = 0; i < flats.size(); ++i) {
+    for (std::size_t j = i + 1; j < flats.size(); ++j) {
+      if (either_way_conflict(flats[i].view(), flats[j].view(), p)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ldc::mt

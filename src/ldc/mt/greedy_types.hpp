@@ -1,0 +1,53 @@
+// Exact greedy type assignment — Lemma 3.5 / Lemma 3.1 at tiny parameters.
+//
+// Enumerates all types (initial color, color list) over a small color
+// space, and greedily assigns each a candidate family from S(L) (all
+// kprime-subsets of the k-subsets of L) such that no two assigned families
+// are in the Psi(tau', tau) relation in either direction. This is the
+// paper's zero-round construction run verbatim; it is only feasible for
+// tiny parameters and exists to validate the lemma (experiment E9) and to
+// cross-check the PRF-based construction's conflict statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldc/coloring/instance.hpp"
+
+namespace ldc::mt {
+
+struct TinyParams {
+  std::uint32_t color_space = 6;  ///< |C|
+  std::uint32_t ell = 4;          ///< list size (all lists)
+  std::uint32_t k = 2;            ///< candidate set size
+  std::uint32_t kprime = 2;       ///< family size
+  std::uint32_t tau = 2;          ///< set-conflict threshold
+  std::uint32_t tau_prime = 2;    ///< family-conflict threshold
+  std::uint32_t m = 2;            ///< number of initial colors
+};
+
+struct TinyType {
+  std::uint32_t initial_color;
+  std::vector<Color> list;
+};
+
+struct TinyAssignment {
+  std::vector<TinyType> types;
+  /// families[t][s] is the s-th candidate set of type t's family.
+  std::vector<std::vector<std::vector<Color>>> families;
+  bool complete = false;           ///< every type got a family
+  std::uint64_t scanned = 0;       ///< candidate families examined
+};
+
+/// All k-subsets of {0..n-1} in lexicographic order.
+std::vector<std::vector<std::uint32_t>> combinations(std::uint32_t n,
+                                                     std::uint32_t k);
+
+/// Runs the greedy pass over all types in canonical order.
+TinyAssignment greedy_assign(const TinyParams& p);
+
+/// Re-checks that no two assigned families Psi-conflict in either
+/// direction (the property Lemma 3.5 guarantees).
+bool verify_pairwise(const TinyAssignment& a, const TinyParams& p);
+
+}  // namespace ldc::mt

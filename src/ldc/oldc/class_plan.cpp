@@ -1,0 +1,124 @@
+#include "ldc/oldc/class_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ldc/oldc/rounding.hpp"
+#include "ldc/support/math.hpp"
+
+namespace ldc::oldc {
+
+std::uint32_t ClassPlan::bucket_defect(std::uint32_t mu) const {
+  const std::uint32_t log2R = static_cast<std::uint32_t>(ilog2(rv));
+  const std::uint64_t dp1 =
+      std::uint64_t{1} << (log2R / 2 - std::min(mu, log2R / 2));
+  return static_cast<std::uint32_t>(dp1 - 1);
+}
+
+ClassPlan plan_classes(const ColorList& list, std::uint32_t beta_v,
+                       const ClassPlanParams& params) {
+  if (list.size() == 0) {
+    throw std::invalid_argument("plan_classes: empty color list");
+  }
+  ClassPlan plan;
+  const std::uint64_t bhat = next_pow2(std::max(1u, beta_v));
+  plan.rv = params.alpha * bhat * bhat * params.tau_bar *
+            static_cast<std::uint64_t>(params.hp) * params.hp;
+  const std::uint32_t log2R = static_cast<std::uint32_t>(ilog2(plan.rv));
+  const std::uint32_t sqrtR_log = log2R / 2;  // log2R is even by rounding
+  const std::uint32_t h = params.h;
+
+  // Bucket colors by mu = log4(R_v / (d+1)^2) with the rounded defect.
+  struct Bucket {
+    std::uint64_t weight = 0;
+  };
+  std::map<std::uint32_t, Bucket> weights;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    std::uint32_t dp1 = pow2_floor(list.defects[i] + 1);
+    if (ilog2(dp1) > static_cast<int>(sqrtR_log)) {
+      dp1 = std::uint32_t{1} << sqrtR_log;
+    }
+    const std::uint32_t mu =
+        sqrtR_log - static_cast<std::uint32_t>(ilog2(dp1));
+    weights[mu].weight += static_cast<std::uint64_t>(dp1) * dp1;
+    plan.bucket_colors[mu].push_back(list.colors[i]);
+    total += static_cast<std::uint64_t>(dp1) * dp1;
+  }
+
+  // lambda_{v,mu} = 4^{-r}, r = ceil(log4(D_v / D_{v,mu})); zero below the
+  // 1/(2 * #possible buckets) mass cutoff.
+  const std::uint64_t hbuckets = sqrtR_log + 1;
+  std::uint32_t case2_mu = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cand;  // (mu, r)
+  for (const auto& [mu, b] : weights) {
+    if (sat_mul(b.weight, 2 * hbuckets) < total) continue;
+    const std::uint32_t r = ceil_log4_ratio(total, b.weight);
+    if (r <= 1) {
+      plan.case2 = true;
+      case2_mu = mu;
+      break;
+    }
+    cand.emplace_back(mu, r);
+  }
+
+  if (plan.case2) {
+    const std::uint32_t cls = std::min<std::uint32_t>(
+        std::max(1u, case2_mu), h);
+    if (case2_mu != cls) ++plan.clamped;
+    plan.aux_colors = {static_cast<Color>(cls - 1)};
+    plan.aux_defects = {static_cast<std::uint32_t>(
+        (std::uint64_t{1} << sqrtR_log) / 4)};
+    plan.mu_of_class[cls] = case2_mu;
+  } else {
+    for (const auto& [mu, r] : cand) {
+      const std::int64_t f =
+          static_cast<std::int64_t>(mu) - static_cast<std::int64_t>(r) + 2;
+      if (f < 1) continue;
+      std::uint32_t cls = static_cast<std::uint32_t>(f);
+      if (cls > h) {
+        cls = h;
+        ++plan.clamped;
+      }
+      if (plan.mu_of_class.count(cls) != 0) continue;  // first mu wins
+      plan.mu_of_class[cls] = mu;
+      plan.aux_colors.push_back(static_cast<Color>(cls - 1));
+      // delta = floor(sqrt(lambda * R_v)) = sqrt(R_v) / 2^r.
+      const std::uint64_t delta =
+          (std::uint64_t{1} << sqrtR_log) >> std::min(r, sqrtR_log);
+      plan.aux_defects.push_back(static_cast<std::uint32_t>(delta));
+    }
+    if (plan.aux_colors.empty()) {
+      // Fallback — cannot occur under Theorem 1.1's precondition.
+      const auto best = std::max_element(
+          weights.begin(), weights.end(), [](const auto& a, const auto& b) {
+            return a.second.weight < b.second.weight;
+          });
+      const std::uint32_t cls = std::min<std::uint32_t>(
+          std::max(1u, best->first), h);
+      plan.aux_colors = {static_cast<Color>(cls - 1)};
+      plan.aux_defects = {std::max(1u, beta_v)};
+      plan.mu_of_class[cls] = best->first;
+      plan.fallback = true;
+      ++plan.clamped;
+    }
+  }
+
+  // Keep aux lists sorted by class value (clamping can reorder).
+  std::vector<std::size_t> order(plan.aux_colors.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return plan.aux_colors[a] < plan.aux_colors[b];
+  });
+  std::vector<Color> ac(order.size());
+  std::vector<std::uint32_t> ad(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ac[i] = plan.aux_colors[order[i]];
+    ad[i] = plan.aux_defects[order[i]];
+  }
+  plan.aux_colors = std::move(ac);
+  plan.aux_defects = std::move(ad);
+  return plan;
+}
+
+}  // namespace ldc::oldc

@@ -1,0 +1,80 @@
+#include "ldc/oldc/multi_defect.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "ldc/coloring/validate.hpp"
+#include "ldc/oldc/rounding.hpp"
+#include "ldc/oldc/single_defect.hpp"
+#include "ldc/repair/repair.hpp"
+#include "ldc/support/math.hpp"
+
+namespace ldc::oldc {
+OldcResult solve_multi_defect(Network& net, const MultiDefectInput& in) {
+  const LdcInstance& inst = *in.inst;
+  const Graph& g = *inst.graph;
+  const Orientation& orient = *in.orientation;
+  const std::uint32_t n = g.n();
+
+  // Bucket each node's colors by the gamma-class implied by the rounded
+  // defect; keep the heaviest bucket.
+  SingleDefectInput sd;
+  sd.graph = &g;
+  sd.orientation = in.orientation;
+  sd.color_space = inst.color_space;
+  sd.initial = in.initial;
+  sd.m = in.m;
+  sd.g = in.g;
+  sd.params = in.params;
+  sd.run_repair = false;  // repair is done here, against the full instance
+  sd.lists.resize(n);
+  sd.defects.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& list = inst.lists[v];
+    if (list.size() == 0) {
+      throw std::invalid_argument("solve_multi_defect: empty color list");
+    }
+    // bucket key: gamma-class of the rounded defect.
+    std::map<std::uint32_t, std::pair<std::uint64_t, std::vector<std::size_t>>>
+        buckets;  // class -> (weight, color indices)
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const std::uint32_t dp1 = pow2_floor(list.defects[i] + 1);
+      const std::uint32_t cls = gamma_class(orient.beta(v), dp1 - 1, 2);
+      auto& b = buckets[cls];
+      b.first += static_cast<std::uint64_t>(dp1) * dp1;
+      b.second.push_back(i);
+    }
+    const auto best = std::max_element(
+        buckets.begin(), buckets.end(), [](const auto& a, const auto& b) {
+          return a.second.first < b.second.first;
+        });
+    std::uint32_t min_defect = ~0u;
+    for (auto i : best->second.second) {
+      sd.lists[v].push_back(list.colors[i]);
+      min_defect = std::min(min_defect, pow2_floor(list.defects[i] + 1) - 1);
+    }
+    sd.defects[v] = min_defect;
+  }
+
+  OldcResult res = solve_single_defect(net, sd);
+
+  // Validate against the *original* per-color defects and repair if needed.
+  res.valid = static_cast<bool>(validate_oldc(inst, orient, res.phi, in.g));
+  if (!res.valid && in.run_repair) {
+    repair::Options ropt;
+    ropt.g = in.g;
+    ropt.orientation = in.orientation;
+    auto rep = repair::repair(net, inst, res.phi, ropt);
+    if (!rep.success) {
+      throw InfeasibleError("solve_multi_defect: repair failed");
+    }
+    res.phi = std::move(rep.phi);
+    res.stats.repair_rounds += rep.rounds;
+    res.stats.repaired = true;
+    res.stats.rounds += rep.rounds;
+  }
+  return res;
+}
+
+}  // namespace ldc::oldc

@@ -1,0 +1,31 @@
+// Multi-defect OLDC via bucket selection — Lemma 3.6.
+//
+// Defects and beta_v are rounded to powers of two; each node buckets its
+// colors by the gamma-class the color's defect implies and keeps the bucket
+// maximizing sum (d_v(x)+1)^2 — the lemma guarantees the chosen bucket
+// carries at least a 1/h fraction of the node's total weight, which is
+// enough for the single-defect algorithm of Section 3.2.3.
+#pragma once
+
+#include "ldc/coloring/instance.hpp"
+#include "ldc/mt/candidates.hpp"
+#include "ldc/oldc/gamma.hpp"
+#include "ldc/runtime/network.hpp"
+
+namespace ldc::oldc {
+
+struct MultiDefectInput {
+  const LdcInstance* inst = nullptr;  ///< lists with per-color defects
+  const Orientation* orientation = nullptr;
+  const Coloring* initial = nullptr;  ///< proper m-coloring
+  std::uint64_t m = 0;
+  std::uint32_t g = 0;
+  mt::CandidateParams params;
+  bool run_repair = true;
+};
+
+/// Solves the generalized OLDC instance (each node ends with at most
+/// d_v(phi(v)) out-neighbors w within |phi(w) - phi(v)| <= g).
+OldcResult solve_multi_defect(Network& net, const MultiDefectInput& in);
+
+}  // namespace ldc::oldc

@@ -1,0 +1,39 @@
+// Power-of-two/four rounding helpers shared by the OLDC solvers.
+//
+// Lemma 3.6 and Lemma 3.8 round defects down and beta up to powers of two
+// (so that gamma-classes and the R_v / (d+1)^2 bucket indices are exact
+// integers); these helpers centralize that arithmetic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "ldc/support/math.hpp"
+
+namespace ldc::oldc {
+
+/// Largest power of two <= x (x >= 1; pow2_floor(0) == 1 by clamping).
+constexpr std::uint32_t pow2_floor(std::uint32_t x) {
+  return std::uint32_t{1} << ilog2(std::max(1u, x));
+}
+
+/// Smallest power of four >= x (x >= 0; pow4_ceil(0) == 1).
+constexpr std::uint64_t pow4_ceil(std::uint64_t x) {
+  std::uint64_t p = 1;
+  while (p < x) p *= 4;
+  return p;
+}
+
+/// ceil(log4(num / den)) for num >= den >= 1 (0 when num <= den).
+constexpr std::uint32_t ceil_log4_ratio(std::uint64_t num,
+                                        std::uint64_t den) {
+  std::uint32_t r = 0;
+  std::uint64_t scaled = den;
+  while (scaled < num) {
+    scaled = sat_mul(scaled, 4);
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace ldc::oldc

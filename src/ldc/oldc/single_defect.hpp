@@ -1,0 +1,55 @@
+// Basic generalized OLDC algorithm — Section 3.2.3 of the paper.
+//
+// Every node has one defect value d_v for all colors of its list. The
+// algorithm:
+//   1. (local) gamma-class i_v = min{i : 2^i >= 2 beta_v/(d_v+1)}; residue
+//      restriction of the list mod (2g+1); candidate family K_v of k'
+//      candidate sets of k_{i_v} = 2^{i_v} * tau colors each, a pure
+//      function of the node's type (problem P2, zero rounds);
+//   2. (1 round) types travel to neighbors, who reconstruct K_u locally;
+//   3. (local, problem P1) v picks C_v in K_v minimizing the number of
+//      out-neighbors u with i_u <= i_v whose family contains a set
+//      tau&g-conflicting with C_v; the paper's pigeonhole gives a pick with
+//      at most d_v/2 such neighbors;
+//   4. (1 round) the index of C_v travels to neighbors;
+//   5. (h rounds, problem P0) gamma-classes are processed in descending
+//      order; a class-i node picks the color of C_v with the lowest
+//      frequency among out-neighbors' candidate sets (classes <= i) and
+//      already chosen colors (classes > i), then announces it.
+//
+// The output is validated against Definition 1.1 (generalized g); in the
+// rare case a PRF candidate family misses the pigeonhole margin, a bounded
+// repair phase (ldc/repair) restores validity and is reported in stats.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldc/coloring/instance.hpp"
+#include "ldc/mt/candidates.hpp"
+#include "ldc/oldc/gamma.hpp"
+#include "ldc/runtime/network.hpp"
+
+namespace ldc::oldc {
+
+struct SingleDefectInput {
+  const Graph* graph = nullptr;
+  const Orientation* orientation = nullptr;
+  std::uint64_t color_space = 0;
+  /// Per-node sorted color lists (the single defect applies to every color).
+  std::vector<std::vector<Color>> lists;
+  /// Per-node defect d_v.
+  std::vector<std::uint32_t> defects;
+  /// Proper initial coloring with colors < m (e.g. from linial::color).
+  const Coloring* initial = nullptr;
+  std::uint64_t m = 0;
+  /// Generalized conflict width: a neighbor conflicts when |x - y| <= g.
+  std::uint32_t g = 0;
+  mt::CandidateParams params;
+  /// Run the repair safety net if the raw output fails validation.
+  bool run_repair = true;
+};
+
+OldcResult solve_single_defect(Network& net, const SingleDefectInput& in);
+
+}  // namespace ldc::oldc

@@ -1,0 +1,340 @@
+#include "ldc/oldc/two_phase.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ldc/coloring/validate.hpp"
+#include "ldc/mt/conflict.hpp"
+#include "ldc/oldc/class_plan.hpp"
+#include "ldc/oldc/multi_defect.hpp"
+#include "ldc/oldc/rounding.hpp"
+#include "ldc/repair/repair.hpp"
+#include "ldc/support/math.hpp"
+#include "ldc/support/prf.hpp"
+
+namespace ldc::oldc {
+namespace {
+
+// Memoized candidate families (same trick as single_defect).
+class FamilyCache {
+ public:
+  const mt::CandidateFamily& get(std::uint64_t type_key,
+                                 std::span<const Color> list,
+                                 std::uint32_t set_size,
+                                 std::uint32_t kprime) {
+    const std::uint64_t k =
+        hash_combine(type_key, hash_combine(set_size, kprime));
+    auto it = cache_.find(k);
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(k, std::make_unique<mt::CandidateFamily>(
+                               type_key, list, set_size, kprime))
+               .first;
+    }
+    return *it->second;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::unique_ptr<mt::CandidateFamily>>
+      cache_;
+};
+
+}  // namespace
+
+TwoPhaseResult solve_two_phase(Network& net, const TwoPhaseInput& in) {
+  const LdcInstance& inst = *in.inst;
+  const Graph& g = *inst.graph;
+  const Orientation& orient = *in.orientation;
+  const std::uint32_t n = g.n();
+  TwoPhaseResult res;
+  res.phi.assign(n, kUncolored);
+
+  // --- Global parameters (Lemma 3.8).
+  const std::uint32_t h =
+      std::max(1, ceil_log2(std::max<std::uint64_t>(2, orient.max_beta())));
+  const std::uint32_t hp = static_cast<std::uint32_t>(
+      pow4_ceil(std::max<std::uint64_t>(1, ceil_log2(8ULL * h))));
+  const std::uint32_t tau = static_cast<std::uint32_t>(pow4_ceil(
+      mt::effective_tau(in.params, h, inst.color_space, in.m)));
+  const std::uint32_t tau_bar = static_cast<std::uint32_t>(
+      pow4_ceil(mt::effective_tau(in.params, hp, h, in.m)));
+  const std::uint64_t alpha = pow4_ceil(std::max(1u, in.alpha));
+  res.stats.h = h;
+  res.stats.tau = tau;
+
+  // --- Per-node bucketing and auxiliary class lists (Lemma 3.8 planning,
+  // factored into oldc/class_plan for direct unit testing).
+  ClassPlanParams plan_params;
+  plan_params.h = h;
+  plan_params.hp = hp;
+  plan_params.tau_bar = tau_bar;
+  plan_params.alpha = alpha;
+  std::vector<ClassPlan> plans(n);
+  for (NodeId v = 0; v < n; ++v) {
+    plans[v] = plan_classes(inst.lists[v], orient.beta(v), plan_params);
+    res.stats.clamped_classes += plans[v].clamped;
+  }
+
+  net.mark("two-phase/aux");
+  // --- Assign gamma-classes by solving the auxiliary OLDC instance over
+  // color space [h] with window g = floor(log2 h) (Lemma 3.6).
+  std::vector<std::uint32_t> cls(n);
+  std::vector<std::uint32_t> dv(n);        // single rounded defect
+  std::vector<std::vector<Color>> used(n);  // bucket colors in play
+  {
+    LdcInstance aux;
+    aux.graph = &g;
+    aux.color_space = h;
+    aux.lists.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      aux.lists[v].colors = plans[v].aux_colors;
+      aux.lists[v].defects = plans[v].aux_defects;
+    }
+    MultiDefectInput mdi;
+    mdi.inst = &aux;
+    mdi.orientation = in.orientation;
+    mdi.initial = in.initial;
+    mdi.m = in.m;
+    mdi.g = ilog2(std::max(1u, h));
+    mdi.params = in.params;
+    mdi.run_repair = in.run_repair;
+    const auto aux_res = solve_multi_defect(net, mdi);
+    res.stats.aux_rounds = aux_res.stats.rounds;
+    res.stats.rounds += aux_res.stats.rounds;
+    res.stats.repair_rounds += aux_res.stats.repair_rounds;
+    for (NodeId v = 0; v < n; ++v) {
+      cls[v] = static_cast<std::uint32_t>(aux_res.phi[v]) + 1;
+      const std::uint32_t mu = plans[v].mu_of_class.at(cls[v]);
+      dv[v] = plans[v].bucket_defect(mu);
+      used[v] = plans[v].bucket_colors.at(mu);
+      std::sort(used[v].begin(), used[v].end());
+    }
+  }
+
+  net.mark("two-phase/class-announce");
+  // --- One round: everyone announces its gamma-class.
+  std::vector<std::vector<std::uint32_t>> nb_cls(n);
+  {
+    std::vector<Message> msgs(n);
+    for (NodeId v = 0; v < n; ++v) {
+      BitWriter w;
+      w.write_bounded(cls[v], h);
+      msgs[v] = Message::from(w);
+    }
+    const auto inboxes = net.exchange_broadcast(msgs);
+    ++res.stats.rounds;
+    for (NodeId v = 0; v < n; ++v) {
+      nb_cls[v].resize(g.degree(v));
+      for (const auto& [u, m] : inboxes[v]) {
+        auto r = m.reader();
+        nb_cls[v][g.neighbor_index(v, u)] =
+            static_cast<std::uint32_t>(r.read_bounded(h));
+      }
+    }
+  }
+
+  net.mark("two-phase/phase-I");
+  // --- Phase I: ascending classes; prune, pick candidate sets.
+  FamilyCache cache;
+  // Per node: chosen set (own) and per-neighbor chosen set once known.
+  std::vector<std::span<const Color>> own_set(n);
+  std::vector<std::vector<std::span<const Color>>> nb_set(n);
+  for (NodeId v = 0; v < n; ++v) nb_set[v].resize(g.degree(v));
+  std::vector<const mt::CandidateFamily*> pending_family(n, nullptr);
+
+  for (std::uint32_t i = 1; i <= h; ++i) {
+    // Local: members of V_i prune and build candidate families.
+    std::vector<bool> active(n, false);
+    std::vector<std::vector<Color>> pruned(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (cls[v] != i) continue;
+      active[v] = true;
+      std::vector<Color> keep;
+      keep.reserve(used[v].size());
+      for (Color x : used[v]) {
+        std::uint32_t cnt = 0;
+        for (NodeId u : orient.out(v)) {
+          const auto ui = g.neighbor_index(v, u);
+          if (nb_cls[v][ui] >= i) continue;
+          const auto cu = nb_set[v][ui];
+          if (std::binary_search(cu.begin(), cu.end(), x)) ++cnt;
+        }
+        if (4ULL * cnt > dv[v]) {
+          ++res.stats.pruned_colors;
+        } else {
+          keep.push_back(x);
+        }
+      }
+      if (keep.empty()) {
+        keep = used[v];  // safety: never run out of colors entirely
+        ++res.stats.p1_relaxed;
+      }
+      pruned[v] = std::move(keep);
+      const std::uint64_t ki = sat_mul(std::uint64_t{1} << i, tau);
+      const std::uint32_t set_size = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(ki, pruned[v].size()));
+      const std::uint64_t key = mt::type_key((*in.initial)[v], pruned[v]);
+      pending_family[v] =
+          &cache.get(key, pruned[v], set_size, in.params.kprime);
+      if (set_size < ki) ++res.stats.degraded;
+    }
+
+    // Round A: V_i broadcasts (initial color, pruned list).
+    std::vector<std::vector<const mt::CandidateFamily*>> nb_family(n);
+    {
+      std::vector<Message> msgs(n);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!active[v]) continue;
+        BitWriter w;
+        w.write_bounded((*in.initial)[v], in.m - 1);
+        encode_color_list(w, pruned[v], inst.color_space);
+        msgs[v] = Message::from(w);
+      }
+      const auto inboxes = net.exchange_broadcast(msgs, &active);
+      ++res.stats.rounds;
+      for (NodeId v = 0; v < n; ++v) {
+        nb_family[v].assign(g.degree(v), nullptr);
+        for (const auto& [u, m] : inboxes[v]) {
+          auto r = m.reader();
+          const std::uint64_t u_initial = r.read_bounded(in.m - 1);
+          const auto u_list = decode_color_list(r, inst.color_space);
+          const std::uint64_t ki = sat_mul(std::uint64_t{1} << i, tau);
+          const std::uint32_t set_size = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(ki, u_list.size()));
+          nb_family[v][g.neighbor_index(v, u)] = &cache.get(
+              mt::type_key(u_initial, u_list), u_list, set_size,
+              in.params.kprime);
+        }
+      }
+    }
+
+    // Local P1 against same-class out-neighbors only.
+    std::vector<std::uint32_t> chosen(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      const auto kv = pending_family[v]->view();
+      std::uint32_t best_j = 0, best_dc = ~0u;
+      for (std::uint32_t j = 0; j < kv.count && best_dc > 0; ++j) {
+        const auto cj = kv.set(j);
+        std::uint32_t dc = 0;
+        for (NodeId u : orient.out(v)) {
+          const auto ui = g.neighbor_index(v, u);
+          if (nb_cls[v][ui] != i || nb_family[v][ui] == nullptr) continue;
+          const auto ku = nb_family[v][ui]->view();
+          for (std::uint32_t s = 0; s < ku.count; ++s) {
+            if (mt::tau_g_conflict(cj, ku.set(s), tau, 0)) {
+              ++dc;
+              break;
+            }
+          }
+        }
+        if (dc < best_dc) {
+          best_dc = dc;
+          best_j = j;
+        }
+      }
+      chosen[v] = best_j;
+      if (4ULL * best_dc > dv[v]) ++res.stats.p1_relaxed;
+      own_set[v] = pending_family[v]->set(best_j);
+    }
+
+    // Round B: V_i broadcasts the chosen index.
+    {
+      std::vector<Message> msgs(n);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!active[v]) continue;
+        BitWriter w;
+        w.write_bounded(chosen[v], in.params.kprime - 1);
+        msgs[v] = Message::from(w);
+      }
+      const auto inboxes = net.exchange_broadcast(msgs, &active);
+      ++res.stats.rounds;
+      for (NodeId v = 0; v < n; ++v) {
+        for (const auto& [u, m] : inboxes[v]) {
+          auto r = m.reader();
+          const auto j = static_cast<std::uint32_t>(
+              r.read_bounded(in.params.kprime - 1));
+          const auto ui = g.neighbor_index(v, u);
+          const auto* fam = nb_family[v][ui];
+          if (fam != nullptr) {
+            nb_set[v][ui] = fam->set(std::min(j, fam->size() - 1));
+          }
+        }
+      }
+    }
+  }
+
+  net.mark("two-phase/phase-II");
+  // --- Phase II: descending classes pick final colors.
+  std::vector<std::vector<Color>> nb_final(n);
+  for (NodeId v = 0; v < n; ++v) nb_final[v].assign(g.degree(v), kUncolored);
+  for (std::uint32_t i = h; i >= 1; --i) {
+    std::vector<Message> msgs(n);
+    std::vector<bool> active(n, false);
+    for (NodeId v = 0; v < n; ++v) {
+      if (cls[v] != i) continue;
+      active[v] = true;
+      const auto cv = own_set[v];
+      Color best = cv.empty() ? used[v].front() : cv.front();
+      std::uint64_t best_f = ~0ULL;
+      for (Color x : cv) {
+        std::uint64_t f = 0;
+        for (NodeId u : orient.out(v)) {
+          const auto ui = g.neighbor_index(v, u);
+          const std::uint32_t uc = nb_cls[v][ui];
+          if (uc > i) {
+            if (nb_final[v][ui] == x) ++f;
+          } else if (uc == i) {
+            const auto cu = nb_set[v][ui];
+            // Only non-conflicted same-class neighbors count (the
+            // conflicted <= d_v/4 are charged to the P1 budget).
+            if (!cu.empty() &&
+                !mt::tau_g_conflict(cv, cu, tau, 0) &&
+                std::binary_search(cu.begin(), cu.end(), x)) {
+              ++f;
+            }
+          }
+          // Lower classes are covered by Phase I pruning.
+        }
+        if (f < best_f) {
+          best_f = f;
+          best = x;
+        }
+      }
+      res.phi[v] = best;
+      BitWriter w;
+      w.write_bounded(best, inst.color_space - 1);
+      msgs[v] = Message::from(w);
+    }
+    const auto inboxes = net.exchange_broadcast(msgs, &active);
+    ++res.stats.rounds;
+    for (NodeId v = 0; v < n; ++v) {
+      for (const auto& [u, m] : inboxes[v]) {
+        auto r = m.reader();
+        nb_final[v][g.neighbor_index(v, u)] =
+            static_cast<Color>(r.read_bounded(inst.color_space - 1));
+      }
+    }
+  }
+
+  // --- Validate against the original instance; repair if needed.
+  res.valid = static_cast<bool>(validate_oldc(inst, orient, res.phi, 0));
+  if (!res.valid && in.run_repair) {
+    repair::Options ropt;
+    ropt.orientation = in.orientation;
+    auto rep = repair::repair(net, inst, res.phi, ropt);
+    if (!rep.success) {
+      throw InfeasibleError("solve_two_phase: repair failed");
+    }
+    res.phi = std::move(rep.phi);
+    res.stats.repair_rounds += rep.rounds;
+    res.stats.repaired = true;
+    res.stats.rounds += rep.rounds;
+  }
+  return res;
+}
+
+}  // namespace ldc::oldc

@@ -1,0 +1,19 @@
+#include "ldc/reduction/speedup.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldc::reduction {
+
+std::uint64_t speedup_subspace_count(std::uint64_t beta, double kappa,
+                                     std::uint64_t color_space) {
+  const double lb = std::log2(static_cast<double>(std::max<std::uint64_t>(
+      2, beta)));
+  const double lk = std::log2(std::max(2.0, kappa));
+  const double exponent = std::ceil(std::sqrt(lb * lk));
+  const double p = std::exp2(std::min(exponent, 62.0));
+  return std::clamp<std::uint64_t>(static_cast<std::uint64_t>(p), 2,
+                                   std::max<std::uint64_t>(2, color_space));
+}
+
+}  // namespace ldc::reduction

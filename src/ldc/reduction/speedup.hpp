@@ -1,0 +1,19 @@
+// Corollary 4.1 — the speed-up parameterization of Theorem 1.2.
+//
+// For a base OLDC algorithm with round complexity poly(Lambda) + O(log* m)
+// and quality kappa(Lambda), choosing p = 2^Theta(sqrt(log beta * log
+// kappa)) balances the per-level cost against the level count
+// log_p |C| = Theta(sqrt(log beta / log kappa)), giving a
+// 2^O(sqrt(log beta log kappa)) overall bound. This header provides the
+// parameter choice; plug it into reduction::reduce_and_solve.
+#pragma once
+
+#include <cstdint>
+
+namespace ldc::reduction {
+
+/// p = 2^ceil(sqrt(log2(beta) * log2(kappa))), clamped to [2, color_space].
+std::uint64_t speedup_subspace_count(std::uint64_t beta, double kappa,
+                                     std::uint64_t color_space);
+
+}  // namespace ldc::reduction

@@ -1,0 +1,141 @@
+#include "ldc/repair/repair.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "ldc/support/prf.hpp"
+
+namespace ldc::repair {
+namespace {
+
+bool conflicting(Color a, Color b, std::uint32_t g) {
+  if (a == kUncolored || b == kUncolored) return false;
+  return static_cast<std::uint64_t>(
+             std::llabs(static_cast<std::int64_t>(a) - b)) <= g;
+}
+
+}  // namespace
+
+Result repair(Network& net, const LdcInstance& inst, Coloring phi,
+              const Options& opt) {
+  const Graph& g = net.graph();
+  phi.resize(g.n(), kUncolored);
+  const Prf prf(opt.seed);
+  Result res;
+
+  // Per-round wire format: 1 bit colored flag + the color.
+  const std::uint64_t space = inst.color_space;
+  auto encode = [&](Color c) {
+    BitWriter w;
+    if (c == kUncolored) {
+      w.write(0, 1);
+    } else {
+      w.write(1, 1);
+      w.write_bounded(c, space - 1);
+    }
+    return Message::from(w);
+  };
+
+  // The defect budget of v counts conflicts over this conflict set.
+  auto counts_conflict = [&](NodeId v, NodeId u) {
+    return opt.orientation == nullptr || opt.orientation->has_out_edge(v, u);
+  };
+
+  for (std::uint32_t round = 0; round < opt.max_rounds; ++round) {
+    std::vector<Message> msgs(g.n());
+    for (NodeId v = 0; v < g.n(); ++v) msgs[v] = encode(phi[v]);
+    const auto inboxes = net.exchange_broadcast(msgs);
+
+    // Decode neighbor colors.
+    std::vector<std::vector<std::pair<NodeId, Color>>> nb_colors(g.n());
+    for (NodeId v = 0; v < g.n(); ++v) {
+      for (const auto& [u, m] : inboxes[v]) {
+        auto r = m.reader();
+        const Color c = (r.read(1) == 1)
+                            ? static_cast<Color>(r.read_bounded(space - 1))
+                            : kUncolored;
+        nb_colors[v].emplace_back(u, c);
+      }
+    }
+
+    auto violated = [&](NodeId v) {
+      if (phi[v] == kUncolored) return true;
+      std::uint32_t cnt = 0;
+      for (const auto& [u, c] : nb_colors[v]) {
+        if (counts_conflict(v, u) && conflicting(phi[v], c, opt.g)) ++cnt;
+      }
+      return cnt > inst.lists[v].defect_of(phi[v]);
+    };
+
+    std::vector<bool> is_violated(g.n());
+    bool any = false;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      is_violated[v] = violated(v);
+      any = any || is_violated[v];
+    }
+    if (!any) {
+      res.success = true;
+      break;
+    }
+
+    // Second exchange: violating nodes announce contention (1 bit). A node
+    // cannot deduce a neighbor's violation status locally (it depends on
+    // the neighbor's private list), so this costs a round.
+    {
+      std::vector<Message> contend_msgs(g.n());
+      for (NodeId v = 0; v < g.n(); ++v) {
+        BitWriter w;
+        w.write(is_violated[v] ? 1 : 0, 1);
+        contend_msgs[v] = Message::from(w);
+      }
+      net.exchange_broadcast(contend_msgs);
+      ++res.rounds;
+    }
+
+    // Priorities are PRF(round, id): computable by neighbors without extra
+    // communication (ids are known).
+    auto priority = [&](NodeId v) {
+      return prf.at(hash_combine(round, g.id(v)));
+    };
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (!is_violated[v]) continue;
+      bool local_max = true;
+      for (const auto& [u, c] : nb_colors[v]) {
+        (void)c;
+        if (is_violated[u] && priority(u) > priority(v)) {
+          local_max = false;
+          break;
+        }
+      }
+      if (!local_max) continue;
+      // Recolor: admissible color with fewest conflicts.
+      const auto& list = inst.lists[v];
+      std::size_t best_i = 0;
+      std::uint32_t best_cnt = ~0u;
+      bool best_admissible = false;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        std::uint32_t cnt = 0;
+        for (const auto& [u, c] : nb_colors[v]) {
+          if (counts_conflict(v, u) && conflicting(list.colors[i], c, opt.g)) {
+            ++cnt;
+          }
+        }
+        const bool admissible = cnt <= list.defects[i];
+        // Prefer admissible colors; among them (or among all if none is
+        // admissible) prefer fewer conflicts.
+        if ((admissible && !best_admissible) ||
+            (admissible == best_admissible && cnt < best_cnt)) {
+          best_i = i;
+          best_cnt = cnt;
+          best_admissible = admissible;
+        }
+      }
+      phi[v] = list.colors[best_i];
+    }
+    ++res.rounds;
+  }
+  res.phi = std::move(phi);
+  return res;
+}
+
+}  // namespace ldc::repair

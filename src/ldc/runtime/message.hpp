@@ -1,0 +1,34 @@
+// A network message: an exactly-sized bit payload.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ldc/support/bitio.hpp"
+
+namespace ldc {
+
+class Message {
+ public:
+  Message() = default;
+
+  /// Captures the writer's payload (copies; writers are usually ephemeral).
+  static Message from(const BitWriter& w) {
+    Message m;
+    m.words_ = w.words();
+    m.bits_ = w.bit_count();
+    return m;
+  }
+
+  BitReader reader() const { return BitReader(&words_, bits_); }
+
+  std::size_t bit_count() const { return bits_; }
+  bool empty() const { return bits_ == 0; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace ldc

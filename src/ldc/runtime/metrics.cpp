@@ -1,0 +1,23 @@
+#include "ldc/runtime/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ldc {
+
+void RunMetrics::merge(const RunMetrics& other) {
+  rounds += other.rounds;
+  messages += other.messages;
+  total_bits += other.total_bits;
+  max_message_bits = std::max(max_message_bits, other.max_message_bits);
+  congest_violations += other.congest_violations;
+}
+
+std::ostream& operator<<(std::ostream& os, const RunMetrics& m) {
+  return os << "rounds=" << m.rounds << " messages=" << m.messages
+            << " total_bits=" << m.total_bits
+            << " max_message_bits=" << m.max_message_bits
+            << " congest_violations=" << m.congest_violations;
+}
+
+}  // namespace ldc

@@ -1,0 +1,27 @@
+// Communication metrics collected by the Network engine.
+//
+// These are the paper's two cost measures: round complexity (synchronous
+// rounds used) and message size (bits per message). Metrics are exact —
+// every bit crossing an edge is accounted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+namespace ldc {
+
+struct RunMetrics {
+  std::uint64_t rounds = 0;           ///< exchange() calls
+  std::uint64_t messages = 0;         ///< non-empty messages delivered
+  std::uint64_t total_bits = 0;       ///< sum of message sizes
+  std::size_t max_message_bits = 0;   ///< largest single message
+  std::uint64_t congest_violations = 0;  ///< messages over the bit budget
+
+  /// Accumulates a sub-run (e.g. a subroutine's own Network).
+  void merge(const RunMetrics& other);
+};
+
+std::ostream& operator<<(std::ostream& os, const RunMetrics& m);
+
+}  // namespace ldc

@@ -1,0 +1,69 @@
+#include "ldc/runtime/network.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace ldc {
+
+void Network::account(const Message& m) {
+  ++metrics_.messages;
+  metrics_.total_bits += m.bit_count();
+  metrics_.max_message_bits =
+      std::max(metrics_.max_message_bits, m.bit_count());
+  if (budget_bits_ != 0 && m.bit_count() > budget_bits_) {
+    ++metrics_.congest_violations;
+    if (strict_) {
+      throw CongestViolation("message of " + std::to_string(m.bit_count()) +
+                             " bits exceeds CONGEST budget of " +
+                             std::to_string(budget_bits_));
+    }
+  }
+}
+
+std::vector<Network::Inbox> Network::exchange(
+    const std::vector<Outbox>& outboxes) {
+  const auto n = graph_->n();
+  if (outboxes.size() != n) {
+    throw std::invalid_argument("Network::exchange: outbox count != n");
+  }
+  ++metrics_.rounds;
+  const std::uint64_t msgs_before = metrics_.messages;
+  const std::uint64_t bits_before = metrics_.total_bits;
+  std::size_t round_max_bits = 0;
+  std::vector<Inbox> inboxes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const auto& [dest, msg] : outboxes[u]) {
+      if (!graph_->has_edge(u, dest)) {
+        throw std::invalid_argument(
+            "Network::exchange: message to non-neighbor");
+      }
+      account(msg);
+      round_max_bits = std::max(round_max_bits, msg.bit_count());
+      inboxes[dest].emplace_back(u, msg);
+    }
+  }
+  for (auto& inbox : inboxes) {
+    std::sort(inbox.begin(), inbox.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  if (trace_ != nullptr) {
+    trace_->record_round(metrics_.messages - msgs_before,
+                         metrics_.total_bits - bits_before, round_max_bits);
+  }
+  return inboxes;
+}
+
+std::vector<Network::Inbox> Network::exchange_broadcast(
+    const std::vector<Message>& msgs, const std::vector<bool>* active) {
+  const auto n = graph_->n();
+  std::vector<Outbox> outboxes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (active != nullptr && !(*active)[u]) continue;
+    const auto nb = graph_->neighbors(u);
+    outboxes[u].reserve(nb.size());
+    for (NodeId v : nb) outboxes[u].emplace_back(v, msgs[u]);
+  }
+  return exchange(outboxes);
+}
+
+}  // namespace ldc

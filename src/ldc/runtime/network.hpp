@@ -1,0 +1,95 @@
+// Round-synchronous message-passing engine (LOCAL / CONGEST simulator).
+//
+// Algorithms are written in bulk-synchronous style: each call to exchange()
+// is one communication round — every node may send one message to each
+// neighbor, and receives its neighbors' messages afterwards. Node programs
+// must derive a node's outbox only from that node's own state and previously
+// received messages; the validators in ldc/coloring and the determinism
+// tests enforce the observable consequences of that discipline.
+//
+// A bit budget models CONGEST: any message exceeding the budget is counted
+// as a violation (and optionally throws in strict mode). Budget 0 means the
+// LOCAL model (unbounded messages).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "ldc/graph/graph.hpp"
+#include "ldc/runtime/message.hpp"
+#include "ldc/runtime/metrics.hpp"
+#include "ldc/runtime/trace.hpp"
+
+namespace ldc {
+
+class CongestViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Network {
+ public:
+  /// One outgoing message: destination must be a neighbor of the sender.
+  using Outbox = std::vector<std::pair<NodeId, Message>>;
+  /// One received message with its sender.
+  using Inbox = std::vector<std::pair<NodeId, Message>>;
+
+  /// budget_bits == 0 => LOCAL model. strict => throw on budget violation.
+  explicit Network(const Graph& g, std::size_t budget_bits = 0,
+                   bool strict = false)
+      : graph_(&g), budget_bits_(budget_bits), strict_(strict) {}
+
+  const Graph& graph() const { return *graph_; }
+
+  /// One synchronous round: delivers outboxes[u] (messages from u) and
+  /// returns per-node inboxes, sorted by sender. Destinations must be
+  /// neighbors of the sender and unique per round.
+  std::vector<Inbox> exchange(const std::vector<Outbox>& outboxes);
+
+  /// Convenience: every node with active[v] (or all nodes if active is
+  /// null) broadcasts msgs[v] to all its neighbors.
+  std::vector<Inbox> exchange_broadcast(const std::vector<Message>& msgs,
+                                        const std::vector<bool>* active =
+                                            nullptr);
+
+  /// Accounts `k` silent rounds (structural rounds in which an algorithm
+  /// phase passes without payload; kept so round counts match the paper's
+  /// accounting even when a phase sends nothing).
+  void advance_rounds(std::uint64_t k) { metrics_.rounds += k; }
+
+  /// Folds a sub-run's metrics into this network's (used when an algorithm
+  /// phase executes on induced subgraphs whose traffic belongs to this
+  /// network; the caller pre-aggregates parallel branches, with rounds =
+  /// max across branches).
+  void absorb(const RunMetrics& m) { metrics_.merge(m); }
+
+  const RunMetrics& metrics() const { return metrics_; }
+
+  std::size_t budget_bits() const { return budget_bits_; }
+
+  /// Attaches a transcript recorder (not owned); every subsequent
+  /// exchange() appends one Trace::Round. Pass nullptr to detach.
+  void attach_trace(Trace* trace) { trace_ = trace; }
+
+  /// The attached recorder (nullptr if none) — algorithms use it to mark
+  /// their phases.
+  Trace* trace() const { return trace_; }
+
+  /// Convenience: mark the attached trace, if any.
+  void mark(const char* label) {
+    if (trace_ != nullptr) trace_->mark(label);
+  }
+
+ private:
+  const Graph* graph_;
+  std::size_t budget_bits_;
+  bool strict_;
+  RunMetrics metrics_;
+  Trace* trace_ = nullptr;
+
+  void account(const Message& m);
+};
+
+}  // namespace ldc

@@ -1,0 +1,42 @@
+#include "ldc/runtime/trace.hpp"
+
+#include <ostream>
+
+#include "ldc/support/prf.hpp"
+
+namespace ldc {
+
+void Trace::record_round(std::uint64_t messages, std::uint64_t bits,
+                         std::size_t max_message_bits) {
+  Round r;
+  r.index = rounds_.size();
+  r.messages = messages;
+  r.bits = bits;
+  r.max_message_bits = max_message_bits;
+  r.mark = current_mark_;
+  rounds_.push_back(std::move(r));
+}
+
+std::uint64_t Trace::digest() const {
+  std::uint64_t h = 0x1dc0ffee;
+  for (const auto& r : rounds_) {
+    h = hash_combine(h, r.messages);
+    h = hash_combine(h, r.bits);
+    h = hash_combine(h, r.max_message_bits);
+  }
+  return hash_combine(h, rounds_.size());
+}
+
+void Trace::print(std::ostream& os) const {
+  std::string last_mark = "\x01";  // sentinel unequal to any real mark
+  for (const auto& r : rounds_) {
+    if (r.mark != last_mark) {
+      os << "--- " << (r.mark.empty() ? "(unmarked)" : r.mark) << " ---\n";
+      last_mark = r.mark;
+    }
+    os << "round " << r.index << ": " << r.messages << " msgs, " << r.bits
+       << " bits (max " << r.max_message_bits << ")\n";
+  }
+}
+
+}  // namespace ldc

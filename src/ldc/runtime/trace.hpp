@@ -1,0 +1,51 @@
+// Round-by-round transcript recording.
+//
+// A Trace subscribes to a Network and records, per round, how many
+// messages and bits crossed each edge. Transcripts serve three purposes:
+// (a) the determinism test suite compares digests of entire executions,
+// (b) experiment harnesses can attribute traffic to algorithm phases via
+// marks, and (c) users debugging an algorithm can dump a readable log.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ldc/runtime/metrics.hpp"
+
+namespace ldc {
+
+class Trace {
+ public:
+  struct Round {
+    std::uint64_t index = 0;       ///< round number within the run
+    std::uint64_t messages = 0;
+    std::uint64_t bits = 0;
+    std::size_t max_message_bits = 0;
+    std::string mark;              ///< phase label active at this round
+  };
+
+  /// Labels subsequent rounds (e.g. "linial", "phase I"); sticky until the
+  /// next mark.
+  void mark(std::string label) { current_mark_ = std::move(label); }
+
+  /// Records one round's aggregate (called by Network when attached).
+  void record_round(std::uint64_t messages, std::uint64_t bits,
+                    std::size_t max_message_bits);
+
+  const std::vector<Round>& rounds() const { return rounds_; }
+
+  /// Order-sensitive 64-bit digest of the whole transcript; equal digests
+  /// across two runs certify identical communication behaviour.
+  std::uint64_t digest() const;
+
+  /// Readable dump, one line per round, grouped by mark.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<Round> rounds_;
+  std::string current_mark_;
+};
+
+}  // namespace ldc

@@ -1,0 +1,63 @@
+#include "ldc/sequential/euler.hpp"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ldc::sequential {
+
+Orientation euler_orientation(const Graph& g) {
+  struct Edge {
+    NodeId a, b;
+    bool real;
+  };
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) edges.push_back({u, v, true});
+    }
+  }
+  // Pair odd-degree vertices with virtual edges (even count guaranteed).
+  {
+    std::vector<NodeId> odd;
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (g.degree(v) % 2 == 1) odd.push_back(v);
+    }
+    for (std::size_t i = 0; i + 1 < odd.size(); i += 2) {
+      edges.push_back({odd[i], odd[i + 1], false});
+    }
+  }
+  // Multigraph adjacency: (edge id) per endpoint.
+  std::vector<std::vector<std::uint32_t>> inc(g.n());
+  for (std::uint32_t e = 0; e < edges.size(); ++e) {
+    inc[edges[e].a].push_back(e);
+    inc[edges[e].b].push_back(e);
+  }
+  std::vector<bool> used(edges.size(), false);
+  std::vector<std::size_t> cursor(g.n(), 0);
+  std::vector<std::vector<NodeId>> out(g.n());
+
+  // Hierholzer over each component; orient edges in traversal direction.
+  for (NodeId start = 0; start < g.n(); ++start) {
+    if (cursor[start] >= inc[start].size()) continue;
+    std::vector<NodeId> stack{start};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      while (cursor[v] < inc[v].size() && used[inc[v][cursor[v]]]) {
+        ++cursor[v];
+      }
+      if (cursor[v] == inc[v].size()) {
+        stack.pop_back();
+        continue;
+      }
+      const std::uint32_t e = inc[v][cursor[v]];
+      used[e] = true;
+      const NodeId w = (edges[e].a == v) ? edges[e].b : edges[e].a;
+      if (edges[e].real) out[v].push_back(w);
+      stack.push_back(w);
+    }
+  }
+  return Orientation(g, std::move(out));
+}
+
+}  // namespace ldc::sequential

@@ -1,0 +1,16 @@
+// Balanced edge orientation via Euler tours (the tool behind Lemma A.2).
+//
+// Pairing odd-degree vertices with virtual edges makes every degree even;
+// orienting each component's Euler circuit then splits every vertex's edges
+// evenly, so each node ends with outdegree <= ceil(deg(v) / 2).
+#pragma once
+
+#include "ldc/graph/graph.hpp"
+#include "ldc/graph/orientation.hpp"
+
+namespace ldc::sequential {
+
+/// Orientation of all edges of g with outdeg(v) <= ceil(deg(v)/2) for all v.
+Orientation euler_orientation(const Graph& g);
+
+}  // namespace ldc::sequential

@@ -1,0 +1,50 @@
+#include "ldc/sequential/list_arbdefective.hpp"
+
+#include <map>
+#include <vector>
+
+#include "ldc/graph/subgraph.hpp"
+#include "ldc/sequential/euler.hpp"
+#include "ldc/sequential/list_defective.hpp"
+
+namespace ldc::sequential {
+
+std::optional<ArbdefectiveColoring> solve_list_arbdefective(
+    const LdcInstance& inst) {
+  // Doubled-defect instance.
+  LdcInstance doubled = inst;
+  for (auto& l : doubled.lists) {
+    for (auto& d : l.defects) d = 2 * d;
+  }
+  auto phi = solve_list_defective(doubled);
+  if (!phi.has_value()) return std::nullopt;
+
+  const Graph& g = *inst.graph;
+  // Group nodes by color.
+  std::map<Color, std::vector<NodeId>> classes;
+  for (NodeId v = 0; v < g.n(); ++v) classes[(*phi)[v]].push_back(v);
+
+  std::vector<std::vector<NodeId>> out(g.n());
+  // Intra-class edges: Euler orientation gives outdeg <= ceil(deg_class/2),
+  // and deg_class <= 2*d_v(x) within the class, so intra-class outdeg is
+  // <= d_v(x) -- unless deg_class is odd, where ceil((2d)/2) = d still.
+  for (const auto& [color, members] : classes) {
+    (void)color;
+    const Subgraph sub = induced_subgraph(g, members);
+    const Orientation o = euler_orientation(sub.graph);
+    for (NodeId i = 0; i < sub.graph.n(); ++i) {
+      for (NodeId j : o.out(i)) {
+        out[sub.to_parent[i]].push_back(sub.to_parent[j]);
+      }
+    }
+  }
+  // Cross-class edges: orient from smaller to larger index (arbitrary).
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v && (*phi)[u] != (*phi)[v]) out[u].push_back(v);
+    }
+  }
+  return ArbdefectiveColoring{std::move(*phi), Orientation(g, std::move(out))};
+}
+
+}  // namespace ldc::sequential

@@ -1,0 +1,21 @@
+// Sequential list arbdefective coloring (Lemma A.2).
+//
+// Strategy per the paper: solve the list *defective* instance with doubled
+// defects 2*d_v(x) (exists by Lemma A.1 when sum (2 d_v(x)+1) > deg(v)),
+// then orient each color class's induced subgraph with an Euler tour so each
+// node keeps at most d_v(x) same-colored out-neighbors. Cross-class edges
+// are oriented arbitrarily (they never contribute to arbdefect).
+#pragma once
+
+#include <optional>
+
+#include "ldc/coloring/instance.hpp"
+
+namespace ldc::sequential {
+
+/// Returns std::nullopt only when the doubled-defect instance is
+/// unsolvable, i.e. the Lemma A.2 condition fails.
+std::optional<ArbdefectiveColoring> solve_list_arbdefective(
+    const LdcInstance& inst);
+
+}  // namespace ldc::sequential

@@ -1,0 +1,107 @@
+#include "ldc/sequential/list_defective.hpp"
+
+#include <deque>
+#include <vector>
+
+namespace ldc::sequential {
+namespace {
+
+// Number of neighbors of v currently colored with c.
+std::uint32_t count_same(const Graph& g, const Coloring& phi, NodeId v,
+                         Color c) {
+  std::uint32_t k = 0;
+  for (NodeId u : g.neighbors(v)) {
+    if (phi[u] == c) ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+bool satisfies_ldc_condition(const LdcInstance& inst) {
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    if (inst.lists[v].weight() <= inst.graph->degree(v)) return false;
+  }
+  return true;
+}
+
+bool satisfies_arb_condition(const LdcInstance& inst) {
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    std::uint64_t w = 0;
+    for (auto d : inst.lists[v].defects) {
+      w += 2 * static_cast<std::uint64_t>(d) + 1;
+    }
+    if (w <= inst.graph->degree(v)) return false;
+  }
+  return true;
+}
+
+std::optional<Coloring> solve_list_defective(const LdcInstance& inst,
+                                             RecolorStats* stats,
+                                             const Coloring* initial) {
+  inst.check();
+  const Graph& g = *inst.graph;
+  Coloring phi(inst.n(), kUncolored);
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    if (inst.lists[v].size() == 0) return std::nullopt;
+    if (initial != nullptr && v < initial->size() &&
+        (*initial)[v] != kUncolored && inst.lists[v].contains((*initial)[v])) {
+      phi[v] = (*initial)[v];
+    } else {
+      phi[v] = inst.lists[v].colors.front();
+    }
+  }
+
+  auto unhappy = [&](NodeId v) {
+    return count_same(g, phi, v, phi[v]) > inst.lists[v].defect_of(phi[v]);
+  };
+
+  if (stats != nullptr) {
+    stats->steps = 0;
+    std::uint64_t mono = 0;
+    std::uint64_t slack = 0;
+    for (NodeId v = 0; v < inst.n(); ++v) {
+      mono += count_same(g, phi, v, phi[v]);
+      slack += g.degree(v) - std::min<std::uint32_t>(
+                                 g.degree(v), inst.lists[v].defect_of(phi[v]));
+    }
+    stats->initial_potential = mono / 2 + slack;
+  }
+
+  // Worklist of potentially unhappy nodes. A node only becomes unhappy when
+  // a neighbor adopts its color, so pushing recolored nodes' neighbors
+  // suffices for completeness.
+  std::deque<NodeId> work;
+  std::vector<bool> queued(inst.n(), false);
+  for (NodeId v = 0; v < inst.n(); ++v) {
+    work.push_back(v);
+    queued[v] = true;
+  }
+  while (!work.empty()) {
+    const NodeId v = work.front();
+    work.pop_front();
+    queued[v] = false;
+    if (!unhappy(v)) continue;
+    // Find an admissible color: at most d_v(y) neighbors already have y.
+    Color best = kUncolored;
+    for (std::size_t i = 0; i < inst.lists[v].size(); ++i) {
+      const Color y = inst.lists[v].colors[i];
+      if (count_same(g, phi, v, y) <= inst.lists[v].defects[i]) {
+        best = y;
+        break;
+      }
+    }
+    if (best == kUncolored) return std::nullopt;  // condition violated
+    phi[v] = best;
+    if (stats != nullptr) ++stats->steps;
+    for (NodeId u : g.neighbors(v)) {
+      if (!queued[u]) {
+        work.push_back(u);
+        queued[u] = true;
+      }
+    }
+  }
+  return phi;
+}
+
+}  // namespace ldc::sequential

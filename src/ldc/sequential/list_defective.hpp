@@ -1,0 +1,42 @@
+// Sequential list defective coloring by potential-function recoloring
+// (Lemma A.1 of the paper, generalizing Lovasz'66).
+//
+// If every node satisfies sum_{x in L_v} (d_v(x) + 1) > deg(v), the
+// recoloring process below terminates with a valid list defective coloring
+// after at most 3|E| + n recolor steps (the potential Phi = #monochromatic
+// edges + sum_v (deg(v) - d_v(phi(v))) starts at <= 3|E| and strictly
+// decreases).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ldc/coloring/instance.hpp"
+
+namespace ldc::sequential {
+
+struct RecolorStats {
+  std::uint64_t steps = 0;            ///< recolor operations performed
+  std::uint64_t initial_potential = 0;
+};
+
+/// Solves the instance; returns std::nullopt if some unhappy node has no
+/// admissible color (which the paper proves cannot happen when the weight
+/// condition sum (d_v(x)+1) > deg(v) holds for all v).
+///
+/// `initial` optionally seeds the process (partial colorings are completed
+/// with each node's first list color first); used by the failure-injection
+/// tests to demonstrate self-stabilization from corrupted colorings.
+std::optional<Coloring> solve_list_defective(const LdcInstance& inst,
+                                             RecolorStats* stats = nullptr,
+                                             const Coloring* initial =
+                                                 nullptr);
+
+/// True iff the instance satisfies Lemma A.1's existence condition.
+bool satisfies_ldc_condition(const LdcInstance& inst);
+
+/// True iff the instance satisfies Lemma A.2's arbdefective condition
+/// (sum (2 d_v(x) + 1) > deg(v)).
+bool satisfies_arb_condition(const LdcInstance& inst);
+
+}  // namespace ldc::sequential

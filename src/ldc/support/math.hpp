@@ -1,0 +1,68 @@
+// Small integer-math helpers used throughout the library.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace ldc {
+
+/// Floor of log2(x); requires x >= 1.
+constexpr int ilog2(std::uint64_t x) {
+  assert(x >= 1);
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// Ceiling of log2(x); requires x >= 1. ceil_log2(1) == 0.
+constexpr int ceil_log2(std::uint64_t x) {
+  assert(x >= 1);
+  return (x <= 1) ? 0 : ilog2(x - 1) + 1;
+}
+
+/// Ceiling division for non-negative integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  assert(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Smallest power of two >= x; requires x >= 1.
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  assert(x >= 1);
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+/// Iterated logarithm: number of times log2 must be applied to reach <= 1.
+/// log_star(1) == 0, log_star(2) == 1, log_star(4) == 2, log_star(16) == 3.
+constexpr int log_star(std::uint64_t x) {
+  int r = 0;
+  while (x > 1) {
+    x = static_cast<std::uint64_t>(ilog2(x));
+    ++r;
+  }
+  return r;
+}
+
+/// x^e with saturation at uint64 max (used for parameter formulas that can
+/// legitimately overflow; callers compare against practical caps).
+constexpr std::uint64_t sat_pow(std::uint64_t x, unsigned e) {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < e; ++i) {
+    if (x != 0 && r > std::numeric_limits<std::uint64_t>::max() / x) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    r *= x;
+  }
+  return r;
+}
+
+/// Saturating multiply.
+constexpr std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+}  // namespace ldc

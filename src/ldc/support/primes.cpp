@@ -1,0 +1,84 @@
+#include "ldc/support/primes.hpp"
+
+#include <cassert>
+
+namespace ldc {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  assert(m > 0);
+  std::uint64_t r = 1 % m;
+  a %= m;
+  while (e > 0) {
+    if (e & 1) r = mulmod(r, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+namespace {
+
+// One Miller-Rabin round for witness a; n-1 = d * 2^s with d odd.
+bool mr_round(std::uint64_t n, std::uint64_t a, std::uint64_t d, int s) {
+  std::uint64_t x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < s; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                          19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // This witness set is deterministic for all n < 2^64 (Sinclair/Jaeschke).
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                          19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!mr_round(n, a % n, d, s)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) {
+  if (n <= 2) return 2;
+  if ((n & 1) == 0) ++n;
+  while (!is_prime(n)) n += 2;
+  return n;
+}
+
+std::uint64_t poly_eval(std::span<const std::uint64_t> coeffs,
+                        std::uint64_t x, std::uint64_t q) {
+  std::uint64_t r = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    r = (mulmod(r, x, q) + coeffs[i]) % q;
+  }
+  return r;
+}
+
+void to_base_q(std::uint64_t value, std::uint64_t q,
+               std::span<std::uint64_t> out) {
+  for (auto& digit : out) {
+    digit = value % q;
+    value /= q;
+  }
+  assert(value == 0 && "value does not fit in the requested digit count");
+}
+
+}  // namespace ldc

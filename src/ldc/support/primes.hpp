@@ -1,0 +1,38 @@
+// Prime search and arithmetic over the prime field GF(q).
+//
+// Linial's O(log* n) coloring and its defective variant (Kuh09) are
+// implemented via Reed-Solomon cover-free families: a color is a polynomial
+// over GF(q), and the new color is an evaluation point/value pair. This
+// module supplies the primality test, prime search, and polynomial
+// evaluation those constructions need.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ldc {
+
+/// Deterministic Miller-Rabin primality test, valid for all 64-bit inputs.
+bool is_prime(std::uint64_t n);
+
+/// Smallest prime >= n (n >= 0; next_prime(0) == next_prime(1) == 2).
+std::uint64_t next_prime(std::uint64_t n);
+
+/// (a * b) mod m without overflow.
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+/// (a ^ e) mod m.
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m);
+
+/// Evaluates the polynomial with coefficient span `coeffs` (degree
+/// coeffs.size()-1, coeffs[i] is the coefficient of x^i) at point x over
+/// GF(q), by Horner's rule.
+std::uint64_t poly_eval(std::span<const std::uint64_t> coeffs,
+                        std::uint64_t x, std::uint64_t q);
+
+/// Writes the base-q digits of `value` into out[0..digits), least significant
+/// first. Requires value < q^digits.
+void to_base_q(std::uint64_t value, std::uint64_t q,
+               std::span<std::uint64_t> out);
+
+}  // namespace ldc

@@ -1,0 +1,35 @@
+// Minimal fixed-width table printer for the experiment harnesses in bench/.
+// Every experiment binary prints one or more of these tables; EXPERIMENTS.md
+// quotes them verbatim.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ldc {
+
+/// Column-aligned plain-text table.
+class Table {
+ public:
+  using Cell = std::variant<std::string, std::int64_t, std::uint64_t, double>;
+
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends one row; must match the header arity.
+  void add_row(std::vector<Cell> cells);
+
+  /// Renders the title, header, separator and all rows.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace ldc

@@ -1,0 +1,66 @@
+#include "ldc/coloring/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/graph/generators.hpp"
+
+namespace ldc {
+namespace {
+
+TEST(ColoringStats, ProperColoringHasZeroConflicts) {
+  const Graph g = gen::ring(8);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  const Coloring phi = {0, 1, 0, 1, 0, 1, 0, 1};
+  const auto s = coloring_stats(inst, phi);
+  EXPECT_EQ(s.colors_used, 2u);
+  EXPECT_EQ(s.monochromatic_conflicts, 0u);
+  EXPECT_EQ(s.max_realized_defect, 0u);
+  EXPECT_DOUBLE_EQ(s.budget_utilization, 0.0);
+  EXPECT_EQ(s.histogram.at(0), 4u);
+  EXPECT_EQ(s.max_class_size, 4u);
+}
+
+TEST(ColoringStats, CountsRealizedDefects) {
+  const Graph g = gen::clique(4);
+  const LdcInstance inst = uniform_defective_instance(g, 2, 2);
+  const Coloring phi = {0, 0, 1, 1};  // each node: 1 same-color neighbor
+  const auto s = coloring_stats(inst, phi);
+  EXPECT_EQ(s.colors_used, 2u);
+  EXPECT_EQ(s.max_realized_defect, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_realized_defect, 1.0);
+  EXPECT_EQ(s.total_defect_budget, 8u);     // 4 nodes x budget 2
+  EXPECT_DOUBLE_EQ(s.budget_utilization, 0.5);
+}
+
+TEST(ColoringStats, GeneralizedWindow) {
+  const Graph g = gen::path(2);
+  const LdcInstance inst = uniform_defective_instance(g, 10, 1);
+  const Coloring phi = {3, 5};
+  EXPECT_EQ(coloring_stats(inst, phi, 0).monochromatic_conflicts, 0u);
+  EXPECT_EQ(coloring_stats(inst, phi, 2).monochromatic_conflicts, 2u);
+}
+
+TEST(ColoringStats, OrientedCountsOutOnly) {
+  const Graph g = gen::path(2);
+  const LdcInstance inst = uniform_defective_instance(g, 1, 1);
+  std::vector<std::vector<NodeId>> out = {{1}, {}};
+  const Orientation o(g, std::move(out));
+  const Coloring phi = {0, 0};
+  const auto s = coloring_stats_oriented(inst, o, phi);
+  EXPECT_EQ(s.monochromatic_conflicts, 1u);  // only node 0's out-edge
+  EXPECT_EQ(s.max_realized_defect, 1u);
+}
+
+TEST(ColoringStats, SkipsUncoloredNodes) {
+  const Graph g = gen::path(3);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  const Coloring phi = {0, kUncolored, 0};
+  const auto s = coloring_stats(inst, phi);
+  EXPECT_EQ(s.colors_used, 1u);
+  EXPECT_EQ(s.monochromatic_conflicts, 0u);  // uncolored never conflicts
+  EXPECT_EQ(s.histogram.at(0), 2u);
+}
+
+}  // namespace
+}  // namespace ldc

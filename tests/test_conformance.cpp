@@ -1,0 +1,178 @@
+// Conformance grid: every OLDC solver configuration against every
+// instance class it claims to handle, across seeds — validity, transcript
+// determinism (via Trace digests), and the orientation-independence
+// contract (a solver must respect whatever orientation it is given).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/coloring/validate.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/linial/linial.hpp"
+#include "ldc/oldc/multi_defect.hpp"
+#include "ldc/oldc/two_phase.hpp"
+#include "ldc/reduction/color_space.hpp"
+#include "ldc/reduction/speedup.hpp"
+#include "ldc/runtime/trace.hpp"
+#include "ldc/support/prf.hpp"
+
+namespace ldc {
+namespace {
+
+enum class Solver { kMultiDefect, kTwoPhase, kReducedTwoPhase };
+enum class Kind { kUniformDefective, kWeighted, kWeightedHiDefect,
+                  kSkewedLists };
+
+const char* solver_name(Solver s) {
+  switch (s) {
+    case Solver::kMultiDefect: return "multi";
+    case Solver::kTwoPhase: return "two";
+    case Solver::kReducedTwoPhase: return "red";
+  }
+  return "?";
+}
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kUniformDefective: return "uniform";
+    case Kind::kWeighted: return "weighted";
+    case Kind::kWeightedHiDefect: return "hidef";
+    case Kind::kSkewedLists: return "skewed";
+  }
+  return "?";
+}
+
+LdcInstance make_instance(Kind k, const Graph& g, const Orientation& o,
+                          std::uint64_t seed) {
+  switch (k) {
+    case Kind::kUniformDefective:
+      return uniform_defective_instance(g, 2 * o.max_beta() + 1, 2);
+    case Kind::kWeighted: {
+      RandomLdcParams p;
+      p.color_space = 4096;
+      p.one_plus_nu = 2.0;
+      p.kappa = 40.0;
+      p.max_defect = 3;
+      p.seed = seed + 11;
+      return random_weighted_oriented_instance(g, o, p);
+    }
+    case Kind::kWeightedHiDefect: {
+      RandomLdcParams p;
+      p.color_space = 4096;
+      p.one_plus_nu = 2.0;
+      p.kappa = 40.0;
+      p.max_defect = 2 * o.max_beta();
+      p.seed = seed + 23;
+      return random_weighted_oriented_instance(g, o, p);
+    }
+    case Kind::kSkewedLists: {
+      // Half the nodes get generous lists, half get barely-sufficient
+      // ones — exercising heterogeneous gamma-class mixes.
+      LdcInstance inst;
+      inst.graph = &g;
+      inst.color_space = 4096;
+      inst.lists.resize(g.n());
+      const Prf prf(seed + 37);
+      for (NodeId v = 0; v < g.n(); ++v) {
+        const bool rich = (v % 2) == 0;
+        const std::size_t len = rich ? 40 * (o.beta(v) + 1)
+                                     : 4 * (o.beta(v) + 1);
+        auto idx = sample_distinct(prf, static_cast<std::uint64_t>(v) << 32,
+                                   4096, len);
+        inst.lists[v].colors.assign(idx.begin(), idx.end());
+        inst.lists[v].defects.assign(
+            len, rich ? 1 : o.beta(v));  // poor nodes get big defects
+      }
+      return inst;
+    }
+  }
+  return {};
+}
+
+class ConformanceSweep
+    : public ::testing::TestWithParam<
+          std::tuple<Solver, Kind, std::uint64_t>> {};
+
+TEST_P(ConformanceSweep, ValidAndDeterministic) {
+  const auto [solver, kind, seed] = GetParam();
+  Graph g = gen::random_regular(48, 8, seed);
+  gen::scramble_ids(g, 1 << 20, seed + 1);
+  const Orientation orient = Orientation::by_decreasing_id(g);
+  const LdcInstance inst = make_instance(kind, g, orient, seed);
+
+  auto run = [&]() -> std::pair<Coloring, std::uint64_t> {
+    Network net(g);
+    Trace trace;
+    net.attach_trace(&trace);
+    const auto lin = linial::color(net);
+    switch (solver) {
+      case Solver::kMultiDefect: {
+        oldc::MultiDefectInput in;
+        in.inst = &inst;
+        in.orientation = &orient;
+        in.initial = &lin.phi;
+        in.m = lin.palette;
+        return {oldc::solve_multi_defect(net, in).phi, trace.digest()};
+      }
+      case Solver::kTwoPhase: {
+        oldc::TwoPhaseInput in;
+        in.inst = &inst;
+        in.orientation = &orient;
+        in.initial = &lin.phi;
+        in.m = lin.palette;
+        return {oldc::solve_two_phase(net, in).phi, trace.digest()};
+      }
+      case Solver::kReducedTwoPhase: {
+        mt::CandidateParams params;
+        reduction::Options opt;
+        opt.p = reduction::subspace_count_for_depth(inst.color_space, 2);
+        const auto base = [&params](Network& n2, const LdcInstance& i2,
+                                    const Orientation& o2,
+                                    const Coloring& init2, std::uint64_t m2) {
+          oldc::TwoPhaseInput in;
+          in.inst = &i2;
+          in.orientation = &o2;
+          in.initial = &init2;
+          in.m = m2;
+          in.params = params;
+          const auto two = oldc::solve_two_phase(n2, in);
+          oldc::OldcResult r;
+          r.phi = two.phi;
+          r.stats = two.stats;
+          r.valid = two.valid;
+          return r;
+        };
+        return {reduction::reduce_and_solve(net, inst, orient, lin.phi,
+                                            lin.palette, opt, base)
+                    .phi,
+                trace.digest()};
+      }
+    }
+    return {};
+  };
+
+  const auto [phi1, digest1] = run();
+  EXPECT_TRUE(validate_oldc(inst, orient, phi1).ok)
+      << solver_name(solver) << "/" << kind_name(kind) << " seed " << seed;
+  const auto [phi2, digest2] = run();
+  EXPECT_EQ(phi1, phi2);
+  EXPECT_EQ(digest1, digest2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConformanceSweep,
+    ::testing::Combine(
+        ::testing::Values(Solver::kMultiDefect, Solver::kTwoPhase,
+                          Solver::kReducedTwoPhase),
+        ::testing::Values(Kind::kUniformDefective, Kind::kWeighted,
+                          Kind::kWeightedHiDefect, Kind::kSkewedLists),
+        ::testing::Values(1ULL, 2ULL)),
+    [](const auto& info) {
+      return std::string(solver_name(std::get<0>(info.param))) + "_" +
+             kind_name(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace ldc

@@ -1,0 +1,105 @@
+#include "ldc/d1lc/congest_colorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldc/baselines/color_reduction.hpp"
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/coloring/validate.hpp"
+#include "ldc/d1lc/fhk_local.hpp"
+#include "ldc/graph/generators.hpp"
+
+namespace ldc {
+namespace {
+
+d1lc::PipelineOptions small_params() {
+  d1lc::PipelineOptions opt;
+  opt.params.kprime = 12;
+  opt.params.tau_cap = 6;
+  return opt;
+}
+
+TEST(Congest, SolvesDeltaPlusOne) {
+  const Graph g = gen::random_regular(72, 8, 1);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Network net(g);
+  const auto res = d1lc::color(net, inst, small_params());
+  ASSERT_TRUE(res.valid);
+  EXPECT_TRUE(validate_proper(g, res.phi).ok);
+  EXPECT_TRUE(validate_membership(inst, res.phi).ok);
+}
+
+TEST(Congest, SolvesDegreePlusOneLists) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = gen::gnp(64, 0.12, seed);
+    const LdcInstance inst =
+        degree_plus_one_instance(g, 8 * (g.max_degree() + 1), seed);
+    Network net(g);
+    const auto res = d1lc::color(net, inst, small_params());
+    ASSERT_TRUE(res.valid) << seed;
+    EXPECT_TRUE(validate_proper(g, res.phi).ok) << seed;
+  }
+}
+
+TEST(Congest, ReductionShrinksMessagesVsLocalBaseline) {
+  const Graph g = gen::random_regular(72, 12, 3);
+  const LdcInstance inst =
+      degree_plus_one_instance(g, 16 * (g.max_degree() + 1), 4);
+
+  Network congest_net(g);
+  auto opt = small_params();
+  opt.reduction_levels = 2;
+  const auto congest = d1lc::color(congest_net, inst, opt);
+  ASSERT_TRUE(congest.valid);
+
+  Network local_net(g);
+  const auto local = d1lc::color_local_baseline(local_net, inst,
+                                                small_params());
+  ASSERT_TRUE(local.valid);
+
+  EXPECT_LT(congest_net.metrics().max_message_bits,
+            local_net.metrics().max_message_bits);
+}
+
+TEST(Congest, FewerRoundsThanClassReductionBaselineAtLargeDelta) {
+  // Realistic CONGEST ids (sparse in a large space): the baseline must pay
+  // one round per Linial-palette class (~Delta^2); the pipeline pays
+  // ~sqrt(Delta) * polylog.
+  Graph g = gen::random_regular(160, 24, 5);
+  gen::scramble_ids(g, 1ULL << 24, 6);
+  const LdcInstance inst = delta_plus_one_instance(g);
+
+  Network pipe_net(g);
+  const auto pipe = d1lc::color(pipe_net, inst, small_params());
+  ASSERT_TRUE(pipe.valid);
+
+  Network base_net(g);
+  const auto base = baselines::linial_then_reduce(base_net, inst);
+  EXPECT_TRUE(validate_ldc(inst, base.phi).ok);
+
+  // The baseline pays ~Delta^2 rounds; the pipeline should be far below.
+  EXPECT_LT(pipe.rounds, base.rounds);
+}
+
+TEST(Congest, ReportsStageBreakdown) {
+  const Graph g = gen::random_regular(64, 8, 7);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Network net(g);
+  const auto res = d1lc::color(net, inst, small_params());
+  ASSERT_TRUE(res.valid);
+  EXPECT_EQ(res.rounds, res.linial_rounds + res.t13.rounds);
+  EXPECT_GT(res.initial_palette, g.max_degree());
+}
+
+TEST(Congest, DeterministicEndToEnd) {
+  const Graph g = gen::gnp(56, 0.15, 9);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Network n1(g), n2(g);
+  const auto a = d1lc::color(n1, inst, small_params());
+  const auto b = d1lc::color(n2, inst, small_params());
+  EXPECT_EQ(a.phi, b.phi);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(n1.metrics().total_bits, n2.metrics().total_bits);
+}
+
+}  // namespace
+}  // namespace ldc

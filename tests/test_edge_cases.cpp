@@ -1,0 +1,154 @@
+// Edge cases across the whole stack: degenerate graphs (singletons,
+// stars, no edges), extreme instances (single-color lists, huge defects),
+// and boundary parameters. These are the inputs that break libraries in
+// the wild.
+#include <gtest/gtest.h>
+
+#include "ldc/baselines/greedy.hpp"
+#include "ldc/baselines/luby.hpp"
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/coloring/validate.hpp"
+#include "ldc/d1lc/congest_colorer.hpp"
+#include "ldc/graph/builder.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/linial/linial.hpp"
+#include "ldc/repair/repair.hpp"
+#include "ldc/sequential/euler.hpp"
+#include "ldc/sequential/list_defective.hpp"
+
+namespace ldc {
+namespace {
+
+Graph edgeless(std::uint32_t n) { return GraphBuilder(n).build(); }
+
+TEST(EdgeCases, SingleNodeGraph) {
+  const Graph g = edgeless(1);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  EXPECT_EQ(inst.color_space, 1u);
+  Network net(g);
+  const auto res = d1lc::color(net, inst);
+  ASSERT_TRUE(res.valid);
+  EXPECT_EQ(res.phi[0], 0u);
+}
+
+TEST(EdgeCases, EdgelessGraphManyNodes) {
+  const Graph g = edgeless(50);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Network net(g);
+  const auto res = d1lc::color(net, inst);
+  ASSERT_TRUE(res.valid);
+  for (Color c : res.phi) EXPECT_EQ(c, 0u);
+}
+
+TEST(EdgeCases, StarGraph) {
+  // Hub of degree 49; leaves of degree 1.
+  const Graph g = gen::complete_bipartite(1, 49);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Network net(g);
+  const auto res = d1lc::color(net, inst);
+  ASSERT_TRUE(res.valid);
+  EXPECT_TRUE(validate_proper(g, res.phi).ok);
+  // Two colors suffice and the pipeline should not use more than Delta+1.
+  EXPECT_LE(colors_used(res.phi), 50u);
+}
+
+TEST(EdgeCases, TwoNodeGraph) {
+  const Graph g = gen::path(2);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Network net(g);
+  const auto res = d1lc::color(net, inst);
+  ASSERT_TRUE(res.valid);
+  EXPECT_NE(res.phi[0], res.phi[1]);
+}
+
+TEST(EdgeCases, SingleColorListsWithGiantDefect) {
+  // Everyone must take color 0; defect Delta makes it valid.
+  const Graph g = gen::clique(6);
+  LdcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 1;
+  inst.lists.resize(6);
+  for (auto& l : inst.lists) {
+    l.colors = {0};
+    l.defects = {5};
+  }
+  const auto phi = sequential::solve_list_defective(inst);
+  ASSERT_TRUE(phi.has_value());
+  EXPECT_TRUE(validate_ldc(inst, *phi).ok);
+  Network net(g);
+  const auto rep = repair::repair(net, inst, Coloring(6, kUncolored));
+  ASSERT_TRUE(rep.success);
+}
+
+TEST(EdgeCases, LinialOnCompleteBipartite) {
+  Graph g = gen::complete_bipartite(8, 8);
+  gen::scramble_ids(g, 1 << 20, 4);
+  Network net(g);
+  const auto res = linial::color(net);
+  EXPECT_TRUE(validate_proper(g, res.phi).ok);
+}
+
+TEST(EdgeCases, LubyOnStar) {
+  const Graph g = gen::complete_bipartite(1, 30);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Network net(g);
+  const auto res = baselines::luby_list_coloring(net, inst);
+  ASSERT_TRUE(res.success);
+  EXPECT_TRUE(validate_ldc(inst, res.phi).ok);
+}
+
+TEST(EdgeCases, GreedyOnEdgeless) {
+  const Graph g = edgeless(10);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  const auto phi = baselines::greedy_list_coloring(inst);
+  ASSERT_TRUE(phi.has_value());
+}
+
+TEST(EdgeCases, EulerOnEdgeless) {
+  const Graph g = edgeless(5);
+  const Orientation o = sequential::euler_orientation(g);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(o.outdeg(v), 0u);
+}
+
+TEST(EdgeCases, PathGraphsOfAllSmallSizes) {
+  for (std::uint32_t n = 2; n <= 8; ++n) {
+    Graph g = gen::path(n);
+    const LdcInstance inst = delta_plus_one_instance(g);
+    Network net(g);
+    const auto res = d1lc::color(net, inst);
+    ASSERT_TRUE(res.valid) << "n=" << n;
+    EXPECT_TRUE(validate_proper(g, res.phi).ok) << "n=" << n;
+  }
+}
+
+TEST(EdgeCases, HighDegreeHubWithLongTail) {
+  // Lollipop-ish: a clique attached to a long path — mixed degrees.
+  GraphBuilder b(40);
+  for (std::uint32_t u = 0; u < 8; ++u) {
+    for (std::uint32_t v = u + 1; v < 8; ++v) b.add_edge(u, v);
+  }
+  for (std::uint32_t v = 7; v + 1 < 40; ++v) b.add_edge(v, v + 1);
+  Graph g = b.build();
+  gen::scramble_ids(g, 1 << 18, 9);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Network net(g);
+  const auto res = d1lc::color(net, inst);
+  ASSERT_TRUE(res.valid);
+  EXPECT_TRUE(validate_proper(g, res.phi).ok);
+}
+
+TEST(EdgeCases, VarintBoundaries) {
+  BitWriter w;
+  for (int bits = 0; bits <= 63; ++bits) {
+    w.write_varint((1ULL << bits) - 1);
+    w.write_varint(1ULL << bits);
+  }
+  BitReader r(w);
+  for (int bits = 0; bits <= 63; ++bits) {
+    EXPECT_EQ(r.read_varint(), (1ULL << bits) - 1);
+    EXPECT_EQ(r.read_varint(), 1ULL << bits);
+  }
+}
+
+}  // namespace
+}  // namespace ldc

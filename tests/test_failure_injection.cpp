@@ -1,0 +1,148 @@
+// Failure injection: the self-stabilization flavour of the repair module
+// (DESIGN.md §6). Valid colorings corrupted in adversarial patterns must
+// be restored distributively, touching only what must move, within the
+// repair round budget — including oriented instances and generalized
+// conflict windows.
+#include <gtest/gtest.h>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/coloring/validate.hpp"
+#include "ldc/d1lc/congest_colorer.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/repair/repair.hpp"
+#include "ldc/support/prf.hpp"
+
+namespace ldc {
+namespace {
+
+// Produces a valid (Delta+1)-coloring to corrupt.
+Coloring valid_coloring(const Graph& g, const LdcInstance& inst) {
+  Network net(g);
+  const auto res = d1lc::color(net, inst);
+  EXPECT_TRUE(validate_ldc(inst, res.phi).ok);
+  return res.phi;
+}
+
+TEST(FailureInjection, SingleNodeFlip) {
+  const Graph g = gen::random_regular(60, 8, 1);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Coloring phi = valid_coloring(g, inst);
+  // Flip node 0 to its neighbor's color.
+  phi[0] = phi[g.neighbors(0)[0]];
+  Network net(g);
+  const auto res = repair::repair(net, inst, phi);
+  ASSERT_TRUE(res.success);
+  EXPECT_TRUE(validate_ldc(inst, res.phi).ok);
+  // Only nodes in the corrupted neighborhood may have moved.
+  std::uint32_t moved = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (res.phi[v] != phi[v]) ++moved;
+  }
+  EXPECT_LE(moved, 1u + g.degree(0));
+}
+
+TEST(FailureInjection, CorruptRandomFraction) {
+  for (double frac : {0.1, 0.3, 0.7}) {
+    const Graph g = gen::gnp(80, 0.1, 3);
+    const LdcInstance inst = delta_plus_one_instance(g);
+    Coloring phi = valid_coloring(g, inst);
+    SplitMix64 rng(99);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (rng.next_double() < frac) {
+        phi[v] = static_cast<Color>(rng.next_below(inst.color_space));
+      }
+    }
+    Network net(g);
+    const auto res = repair::repair(net, inst, phi);
+    ASSERT_TRUE(res.success) << "frac " << frac;
+    EXPECT_TRUE(validate_ldc(inst, res.phi).ok);
+  }
+}
+
+TEST(FailureInjection, EraseRegion) {
+  // Uncolor a ball around a node: repair recolors exactly that region.
+  const Graph g = gen::torus(10, 10);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Coloring phi = valid_coloring(g, inst);
+  Coloring corrupted = phi;
+  corrupted[0] = kUncolored;
+  for (NodeId u : g.neighbors(0)) {
+    corrupted[u] = kUncolored;
+    for (NodeId w : g.neighbors(u)) corrupted[w] = kUncolored;
+  }
+  Network net(g);
+  const auto res = repair::repair(net, inst, corrupted);
+  ASSERT_TRUE(res.success);
+  EXPECT_TRUE(validate_ldc(inst, res.phi).ok);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (corrupted[v] != kUncolored) {
+      EXPECT_EQ(res.phi[v], phi[v]);
+    }
+  }
+}
+
+TEST(FailureInjection, OrientedInstanceCorruption) {
+  const Graph g = gen::random_regular(48, 6, 5);
+  const Orientation orient = Orientation::by_decreasing_id(g);
+  const LdcInstance inst = uniform_defective_instance(g, 4, 1);
+  repair::Options opt;
+  opt.orientation = &orient;
+  Network net0(g);
+  const auto base =
+      repair::repair(net0, inst, Coloring(g.n(), kUncolored), opt);
+  ASSERT_TRUE(base.success);
+  Coloring phi = base.phi;
+  for (NodeId v = 0; v < g.n(); v += 3) phi[v] = 0;
+  Network net(g);
+  const auto res = repair::repair(net, inst, phi, opt);
+  ASSERT_TRUE(res.success);
+  EXPECT_TRUE(validate_oldc(inst, orient, res.phi).ok);
+}
+
+TEST(FailureInjection, GeneralizedWindowCorruption) {
+  const Graph g = gen::ring(30);
+  LdcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 30;
+  inst.lists.resize(g.n());
+  for (auto& l : inst.lists) {
+    l.colors = {0, 5, 10, 15, 20, 25};
+    l.defects.assign(6, 0);
+  }
+  repair::Options opt;
+  opt.g = 4;
+  Network net0(g);
+  const auto base =
+      repair::repair(net0, inst, Coloring(g.n(), kUncolored), opt);
+  ASSERT_TRUE(base.success);
+  Coloring phi = base.phi;
+  // Shift a contiguous arc to clashing colors.
+  for (NodeId v = 5; v < 12; ++v) phi[v] = 10;
+  Network net(g);
+  const auto res = repair::repair(net, inst, phi, opt);
+  ASSERT_TRUE(res.success);
+  EXPECT_TRUE(validate_ldc(inst, res.phi, 4).ok);
+}
+
+TEST(FailureInjection, RepeatedCorruptionCycles) {
+  // Stabilize -> corrupt -> stabilize, five cycles; the system must
+  // always return to a valid state.
+  const Graph g = gen::gnp(50, 0.15, 7);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Coloring phi(g.n(), kUncolored);
+  SplitMix64 rng(4242);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    Network net(g);
+    const auto res = repair::repair(net, inst, phi);
+    ASSERT_TRUE(res.success) << "cycle " << cycle;
+    ASSERT_TRUE(validate_ldc(inst, res.phi).ok) << "cycle " << cycle;
+    phi = res.phi;
+    for (int k = 0; k < 10; ++k) {
+      phi[rng.next_below(g.n())] =
+          static_cast<Color>(rng.next_below(inst.color_space));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldc

@@ -1,0 +1,116 @@
+// Monkey fuzzing: random graph family x random instance x random solver
+// options, many iterations. The contract under test: the library either
+// produces a *valid* coloring or throws a typed error (InfeasibleError /
+// std::invalid_argument) — it never returns an invalid coloring and never
+// crashes.
+#include <gtest/gtest.h>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/coloring/validate.hpp"
+#include "ldc/d1lc/congest_colorer.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/linial/linial.hpp"
+#include "ldc/oldc/multi_defect.hpp"
+#include "ldc/oldc/two_phase.hpp"
+#include "ldc/support/prf.hpp"
+
+namespace ldc {
+namespace {
+
+Graph random_graph(SplitMix64& rng) {
+  switch (rng.next_below(6)) {
+    case 0: return gen::ring(3 + rng.next_below(60));
+    case 1: return gen::clique(2 + rng.next_below(12));
+    case 2: return gen::gnp(10 + rng.next_below(60),
+                            0.02 + rng.next_double() * 0.3, rng.next());
+    case 3: {
+      std::uint32_t n = 10 + rng.next_below(60);
+      std::uint32_t d = 2 + rng.next_below(6);
+      if ((static_cast<std::uint64_t>(n) * d) % 2) ++n;
+      return gen::random_regular(n, d, rng.next());
+    }
+    case 4: return gen::random_tree(2 + rng.next_below(60), rng.next());
+    default: return gen::torus(3 + rng.next_below(5), 3 + rng.next_below(5));
+  }
+}
+
+TEST(Fuzz, PipelineNeverReturnsInvalid) {
+  SplitMix64 rng(0xf022);
+  for (int iter = 0; iter < 25; ++iter) {
+    Graph g = random_graph(rng);
+    gen::scramble_ids(g, 1ULL << (16 + rng.next_below(16)), rng.next());
+    const std::uint64_t space =
+        (g.max_degree() + 1) * (1 + rng.next_below(8));
+    const LdcInstance inst =
+        space == g.max_degree() + 1
+            ? delta_plus_one_instance(g)
+            : degree_plus_one_instance(g, space, rng.next());
+    d1lc::PipelineOptions opt;
+    opt.reduction_levels = static_cast<std::uint32_t>(rng.next_below(4));
+    opt.params.kprime = 4 + static_cast<std::uint32_t>(rng.next_below(28));
+    opt.params.tau_cap = 2 + static_cast<std::uint32_t>(rng.next_below(18));
+    opt.t13.q_factor = 0.5 + rng.next_double() * 4.0;
+    Network net(g);
+    try {
+      const auto res = d1lc::color(net, inst, opt);
+      EXPECT_TRUE(validate_proper(g, res.phi).ok) << "iter " << iter;
+      EXPECT_TRUE(validate_membership(inst, res.phi).ok) << "iter " << iter;
+    } catch (const InfeasibleError&) {
+      // Acceptable typed failure (extreme random parameters).
+    }
+  }
+}
+
+TEST(Fuzz, OldcSolversNeverReturnInvalid) {
+  SplitMix64 rng(0xf023);
+  for (int iter = 0; iter < 25; ++iter) {
+    Graph g = random_graph(rng);
+    if (g.max_degree() == 0) continue;
+    gen::scramble_ids(g, 1ULL << 20, rng.next());
+    const Orientation orient = (rng.next() & 1)
+                                   ? Orientation::by_decreasing_id(g)
+                                   : Orientation::random(g, rng.next());
+    RandomLdcParams p;
+    p.color_space = 256 + rng.next_below(1 << 14);
+    p.one_plus_nu = 2.0;
+    p.kappa = 1.0 + rng.next_double() * 60.0;
+    p.max_defect = static_cast<std::uint32_t>(
+        rng.next_below(orient.max_beta() + 2));
+    p.seed = rng.next();
+    LdcInstance inst;
+    try {
+      inst = random_weighted_oriented_instance(g, orient, p);
+    } catch (const std::invalid_argument&) {
+      continue;  // color space too small for the drawn parameters
+    }
+    Network net(g);
+    const auto lin = linial::color(net);
+    try {
+      if (rng.next() & 1) {
+        oldc::MultiDefectInput in;
+        in.inst = &inst;
+        in.orientation = &orient;
+        in.initial = &lin.phi;
+        in.m = lin.palette;
+        in.g = static_cast<std::uint32_t>(rng.next_below(3));
+        const auto res = oldc::solve_multi_defect(net, in);
+        EXPECT_TRUE(validate_oldc(inst, orient, res.phi, in.g).ok)
+            << "iter " << iter;
+      } else {
+        oldc::TwoPhaseInput in;
+        in.inst = &inst;
+        in.orientation = &orient;
+        in.initial = &lin.phi;
+        in.m = lin.palette;
+        const auto res = oldc::solve_two_phase(net, in);
+        EXPECT_TRUE(validate_oldc(inst, orient, res.phi).ok)
+            << "iter " << iter;
+      }
+    } catch (const InfeasibleError&) {
+      // Acceptable typed failure.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldc

@@ -1,0 +1,140 @@
+#include "ldc/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "ldc/graph/stats.hpp"
+
+namespace ldc {
+namespace {
+
+TEST(Generators, Ring) {
+  const Graph g = gen::ring(10);
+  EXPECT_EQ(g.n(), 10u);
+  EXPECT_EQ(g.m(), 10u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(check_graph(g));
+}
+
+TEST(Generators, RingRejectsTiny) {
+  EXPECT_THROW(gen::ring(2), std::invalid_argument);
+}
+
+TEST(Generators, Path) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.m(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Generators, Clique) {
+  const Graph g = gen::clique(7);
+  EXPECT_EQ(g.m(), 21u);
+  EXPECT_EQ(g.max_degree(), 6u);
+  EXPECT_TRUE(check_graph(g));
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(g.n(), 7u);
+  EXPECT_EQ(g.m(), 12u);
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(5), 3u);
+}
+
+TEST(Generators, GnpEdgeCountNearExpectation) {
+  const Graph g = gen::gnp(200, 0.1, 42);
+  EXPECT_TRUE(check_graph(g));
+  const double expected = 0.1 * 200 * 199 / 2;
+  EXPECT_NEAR(static_cast<double>(g.m()), expected, expected * 0.25);
+}
+
+TEST(Generators, GnpSparseAndDensePathsAgreeInDistribution) {
+  // p = 0 and p = 1 corner cases.
+  EXPECT_EQ(gen::gnp(50, 0.0, 1).m(), 0u);
+  EXPECT_EQ(gen::gnp(20, 1.0, 1).m(), 190u);
+}
+
+TEST(Generators, GnpDeterministic) {
+  const Graph a = gen::gnp(100, 0.05, 9);
+  const Graph b = gen::gnp(100, 0.05, 9);
+  ASSERT_EQ(a.m(), b.m());
+  for (NodeId v = 0; v < a.n(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  const Graph g = gen::random_regular(100, 6, 3);
+  EXPECT_TRUE(check_graph(g));
+  EXPECT_LE(g.max_degree(), 6u);
+  // At most a few deficient nodes.
+  int deficient = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (g.degree(v) < 6) ++deficient;
+  }
+  EXPECT_LE(deficient, 6);
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  EXPECT_THROW(gen::random_regular(5, 3, 1), std::invalid_argument);
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const Graph g = gen::torus(5, 4);
+  EXPECT_EQ(g.n(), 20u);
+  for (NodeId v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, RandomTreeHasNMinusOneEdges) {
+  for (std::uint32_t n : {1u, 2u, 3u, 10u, 100u}) {
+    const Graph g = gen::random_tree(n, 5);
+    EXPECT_EQ(g.m(), n - 1);
+    EXPECT_TRUE(check_graph(g));
+  }
+}
+
+TEST(Generators, PowerLawProducesSkewedDegrees) {
+  const Graph g = gen::power_law(300, 2.5, 4.0, 11);
+  EXPECT_TRUE(check_graph(g));
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.max_degree, 2 * static_cast<std::uint32_t>(s.avg_degree));
+}
+
+TEST(Generators, LineGraphOfTriangleIsTriangle) {
+  const Graph t = gen::clique(3);
+  const Graph lg = gen::line_graph(t);
+  EXPECT_EQ(lg.n(), 3u);
+  EXPECT_EQ(lg.m(), 3u);
+}
+
+TEST(Generators, LineGraphOfStar) {
+  const Graph star = gen::complete_bipartite(1, 5);
+  const Graph lg = gen::line_graph(star);
+  EXPECT_EQ(lg.n(), 5u);
+  EXPECT_EQ(lg.m(), 10u);  // all edges share the hub -> clique K5
+}
+
+TEST(Generators, ScrambleIdsUniqueAndBounded) {
+  Graph g = gen::ring(50);
+  gen::scramble_ids(g, 1u << 20, 77);
+  std::set<std::uint64_t> ids;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    ids.insert(g.id(v));
+    EXPECT_LT(g.id(v), 1u << 20);
+  }
+  EXPECT_EQ(ids.size(), g.n());
+}
+
+TEST(Generators, ScrambleIdsRejectsSmallSpace) {
+  Graph g = gen::ring(50);
+  EXPECT_THROW(gen::scramble_ids(g, 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ldc

@@ -1,0 +1,160 @@
+#include "ldc/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldc/graph/builder.hpp"
+#include "ldc/graph/orientation.hpp"
+#include "ldc/graph/stats.hpp"
+#include "ldc/graph/subgraph.hpp"
+
+namespace ldc {
+namespace {
+
+Graph triangle_plus_pendant() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+TEST(GraphBuilder, BasicTopology) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_EQ(g.n(), 4u);
+  EXPECT_EQ(g.m(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_TRUE(check_graph(g));
+}
+
+TEST(GraphBuilder, DeduplicatesEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.m(), 1u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoopAndBadNode) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 3), std::out_of_range);
+}
+
+TEST(Graph, DefaultIdsAreIndices) {
+  const Graph g = triangle_plus_pendant();
+  for (NodeId v = 0; v < g.n(); ++v) EXPECT_EQ(g.id(v), v);
+  EXPECT_EQ(g.max_id(), 3u);
+}
+
+TEST(Graph, SetIdsValidatesUniqueness) {
+  Graph g = triangle_plus_pendant();
+  EXPECT_THROW(g.set_ids({1, 2, 3}), std::invalid_argument);   // wrong size
+  EXPECT_THROW(g.set_ids({1, 2, 3, 3}), std::invalid_argument);  // dup
+  g.set_ids({10, 20, 30, 40});
+  EXPECT_EQ(g.id(2), 30u);
+  EXPECT_EQ(g.max_id(), 40u);
+}
+
+TEST(Graph, NeighborIndex) {
+  const Graph g = triangle_plus_pendant();
+  EXPECT_EQ(g.neighbor_index(2, 0), 0u);
+  EXPECT_EQ(g.neighbor_index(2, 1), 1u);
+  EXPECT_EQ(g.neighbor_index(2, 3), 2u);
+  EXPECT_EQ(g.neighbor_index(0, 3), g.n());
+}
+
+TEST(Orientation, ByDecreasingIdIsAcyclicAndComplete) {
+  const Graph g = triangle_plus_pendant();
+  const Orientation o = Orientation::by_decreasing_id(g);
+  // Each edge oriented exactly once, from larger id to smaller.
+  std::uint64_t directed = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    directed += o.outdeg(v);
+    for (NodeId u : o.out(v)) EXPECT_GT(g.id(v), g.id(u));
+  }
+  EXPECT_EQ(directed, g.m());
+}
+
+TEST(Orientation, BetaConvention) {
+  const Graph g = triangle_plus_pendant();
+  const Orientation o = Orientation::by_decreasing_id(g);
+  EXPECT_EQ(o.outdeg(0), 0u);
+  EXPECT_EQ(o.beta(0), 1u);  // beta_v = max(1, outdeg)
+}
+
+TEST(Orientation, RandomCoversEachEdgeOnce) {
+  const Graph g = triangle_plus_pendant();
+  const Orientation o = Orientation::random(g, 7);
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      EXPECT_NE(o.has_out_edge(u, v), o.has_out_edge(v, u));
+    }
+  }
+}
+
+TEST(Orientation, BidirectedDoublesEdges) {
+  const Graph g = triangle_plus_pendant();
+  const Orientation o = Orientation::bidirected(g);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(o.outdeg(v), g.degree(v));
+  }
+}
+
+TEST(Orientation, ExplicitListsValidated) {
+  const Graph g = triangle_plus_pendant();
+  // Edge {0,1} oriented both ways -> invalid.
+  std::vector<std::vector<NodeId>> bad = {{1}, {0, 2}, {0, 3}, {}};
+  EXPECT_THROW(Orientation(g, std::move(bad)), std::invalid_argument);
+  std::vector<std::vector<NodeId>> good = {{1, 2}, {2}, {3}, {}};
+  const Orientation o(g, std::move(good));
+  EXPECT_EQ(o.outdeg(0), 2u);
+  EXPECT_EQ(o.max_beta(), 2u);
+}
+
+TEST(Subgraph, InducedTriangle) {
+  const Graph g = triangle_plus_pendant();
+  const std::vector<NodeId> nodes = {0, 1, 2};
+  const Subgraph s = induced_subgraph(g, nodes);
+  EXPECT_EQ(s.graph.n(), 3u);
+  EXPECT_EQ(s.graph.m(), 3u);
+  EXPECT_EQ(s.from_parent[3], g.n());
+  EXPECT_EQ(s.to_parent[s.from_parent[1]], 1u);
+}
+
+TEST(Subgraph, InheritsIds) {
+  Graph g = triangle_plus_pendant();
+  g.set_ids({100, 200, 300, 400});
+  const std::vector<NodeId> nodes = {1, 3};
+  const Subgraph s = induced_subgraph(g, nodes);
+  EXPECT_EQ(s.graph.n(), 2u);
+  EXPECT_EQ(s.graph.m(), 0u);
+  EXPECT_EQ(s.graph.id(s.from_parent[3]), 400u);
+}
+
+TEST(Subgraph, RejectsDuplicates) {
+  const Graph g = triangle_plus_pendant();
+  const std::vector<NodeId> nodes = {0, 0};
+  EXPECT_THROW(induced_subgraph(g, nodes), std::invalid_argument);
+}
+
+TEST(DegreeStats, Histogram) {
+  const Graph g = triangle_plus_pendant();
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+  EXPECT_EQ(s.histogram[1], 1u);
+  EXPECT_EQ(s.histogram[2], 2u);
+  EXPECT_EQ(s.histogram[3], 1u);
+}
+
+}  // namespace
+}  // namespace ldc

@@ -1,0 +1,141 @@
+#include "ldc/coloring/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/graph/generators.hpp"
+
+namespace ldc {
+namespace {
+
+TEST(ColorList, FindAndDefect) {
+  ColorList l;
+  l.colors = {2, 5, 9};
+  l.defects = {0, 3, 1};
+  EXPECT_EQ(l.find(5), 1u);
+  EXPECT_EQ(l.find(4), l.size());
+  EXPECT_TRUE(l.contains(9));
+  EXPECT_FALSE(l.contains(1));
+  EXPECT_EQ(l.defect_of(5), 3u);
+}
+
+TEST(ColorList, Weights) {
+  ColorList l;
+  l.colors = {0, 1, 2};
+  l.defects = {0, 1, 3};
+  EXPECT_EQ(l.weight(), 1u + 2u + 4u);
+  EXPECT_EQ(l.weight_sq(), 1u + 4u + 16u);
+  EXPECT_DOUBLE_EQ(l.weight_pow(2.0), 21.0);
+  EXPECT_DOUBLE_EQ(l.weight_pow(1.0), 7.0);
+}
+
+TEST(ColorList, NormalizeSortsAndPairs) {
+  ColorList l;
+  l.colors = {9, 2, 5};
+  l.defects = {1, 0, 3};
+  l.normalize();
+  EXPECT_EQ(l.colors, (std::vector<Color>{2, 5, 9}));
+  EXPECT_EQ(l.defects, (std::vector<std::uint32_t>{0, 3, 1}));
+}
+
+TEST(ColorList, NormalizeRejectsDuplicates) {
+  ColorList l;
+  l.colors = {1, 1};
+  l.defects = {0, 0};
+  EXPECT_THROW(l.normalize(), std::invalid_argument);
+}
+
+TEST(InstanceGen, DeltaPlusOne) {
+  const Graph g = gen::clique(5);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  inst.check();
+  EXPECT_EQ(inst.color_space, 5u);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(inst.lists[v].size(), 5u);
+    for (auto d : inst.lists[v].defects) EXPECT_EQ(d, 0u);
+  }
+}
+
+TEST(InstanceGen, DegreePlusOneListSizes) {
+  const Graph g = gen::gnp(60, 0.1, 4);
+  const LdcInstance inst = degree_plus_one_instance(g, 256, 1);
+  inst.check();
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(inst.lists[v].size(), g.degree(v) + 1);
+  }
+}
+
+TEST(InstanceGen, DegreePlusOneRejectsSmallSpace) {
+  const Graph g = gen::clique(6);
+  EXPECT_THROW(degree_plus_one_instance(g, 5, 1), std::invalid_argument);
+}
+
+TEST(InstanceGen, UniformDefective) {
+  const Graph g = gen::ring(6);
+  const LdcInstance inst = uniform_defective_instance(g, 3, 2);
+  inst.check();
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(inst.lists[v].size(), 3u);
+    for (auto d : inst.lists[v].defects) EXPECT_EQ(d, 2u);
+  }
+}
+
+TEST(InstanceGen, RandomWeightedMeetsCondition) {
+  const Graph g = gen::random_regular(40, 6, 2);
+  RandomLdcParams p;
+  p.color_space = 4096;
+  p.one_plus_nu = 2.0;
+  p.kappa = 3.0;
+  p.max_defect = 2;
+  p.seed = 5;
+  const LdcInstance inst = random_weighted_instance(g, p);
+  inst.check();
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const double bound =
+        std::pow(static_cast<double>(g.degree(v)), 2.0) * p.kappa;
+    EXPECT_GE(inst.lists[v].weight_pow(2.0), bound);
+  }
+}
+
+TEST(InstanceGen, RandomWeightedOrientedUsesBeta) {
+  const Graph g = gen::random_regular(40, 6, 2);
+  const Orientation o = Orientation::by_decreasing_id(g);
+  RandomLdcParams p;
+  p.color_space = 4096;
+  p.one_plus_nu = 2.0;
+  p.kappa = 2.0;
+  p.seed = 6;
+  const LdcInstance inst = random_weighted_oriented_instance(g, o, p);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const double bound = std::pow(static_cast<double>(o.beta(v)), 2.0) * p.kappa;
+    EXPECT_GE(inst.lists[v].weight_pow(2.0), bound);
+  }
+}
+
+TEST(InstanceGen, InfeasibleSpaceThrows) {
+  const Graph g = gen::clique(20);
+  RandomLdcParams p;
+  p.color_space = 4;  // cannot reach deg^2 weight with defect 0 and 4 colors
+  p.one_plus_nu = 2.0;
+  p.kappa = 1.0;
+  p.max_defect = 0;
+  EXPECT_THROW(random_weighted_instance(g, p), std::invalid_argument);
+}
+
+TEST(Instance, CheckRejectsBadColor) {
+  const Graph g = gen::path(2);
+  LdcInstance inst;
+  inst.graph = &g;
+  inst.color_space = 4;
+  inst.lists.resize(2);
+  inst.lists[0].colors = {0, 7};  // 7 outside space
+  inst.lists[0].defects = {0, 0};
+  inst.lists[1].colors = {0};
+  inst.lists[1].defects = {0};
+  EXPECT_THROW(inst.check(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ldc

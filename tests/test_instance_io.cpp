@@ -1,0 +1,71 @@
+#include "ldc/coloring/instance_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/graph/generators.hpp"
+
+namespace ldc {
+namespace {
+
+TEST(InstanceIo, RoundTrip) {
+  const Graph g = gen::gnp(30, 0.2, 5);
+  RandomLdcParams p;
+  p.color_space = 128;
+  p.one_plus_nu = 1.0;
+  p.kappa = 1.5;
+  p.max_defect = 3;
+  p.seed = 6;
+  const LdcInstance inst = random_weighted_instance(g, p);
+  std::ostringstream os;
+  io::write_instance(os, inst);
+  std::istringstream is(os.str());
+  const LdcInstance back = io::read_instance(is, g);
+  ASSERT_EQ(back.color_space, inst.color_space);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(back.lists[v].colors, inst.lists[v].colors) << v;
+    EXPECT_EQ(back.lists[v].defects, inst.lists[v].defects) << v;
+  }
+}
+
+TEST(InstanceIo, AcceptsUnsortedInputAndNormalizes) {
+  const Graph g = gen::path(2);
+  std::istringstream is(
+      "space 10\n"
+      "l 0 5/1 2/0\n"
+      "l 1 9/2\n");
+  const LdcInstance inst = io::read_instance(is, g);
+  EXPECT_EQ(inst.lists[0].colors, (std::vector<Color>{2, 5}));
+  EXPECT_EQ(inst.lists[0].defects, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(InstanceIo, RejectsMalformed) {
+  const Graph g = gen::path(2);
+  const char* bad[] = {
+      "l 0 1/0\n",                 // before space
+      "space 4\nl 7 1/0\n",        // node out of range
+      "space 4\nl 0 1\n",          // missing defect
+      "space 4\nl 0 9/0\nl 1 0/0\n",  // color outside space (check())
+      "space 4\nl 0 1/0\nl 0 2/0\nl 1 0/0\n",  // duplicate node
+      "space 4\nx 0\n",            // unknown record
+      "space 0\n",                 // zero space
+  };
+  for (const char* text : bad) {
+    std::istringstream is(text);
+    EXPECT_THROW(io::read_instance(is, g), std::invalid_argument) << text;
+  }
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  const Graph g = gen::ring(6);
+  const LdcInstance inst = uniform_defective_instance(g, 3, 1);
+  io::save_instance("/tmp/ldc_inst_test.txt", inst);
+  const LdcInstance back = io::load_instance("/tmp/ldc_inst_test.txt", g);
+  EXPECT_EQ(back.color_space, 3u);
+  EXPECT_EQ(back.lists[5].defects, (std::vector<std::uint32_t>{1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace ldc

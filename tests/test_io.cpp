@@ -1,0 +1,110 @@
+#include "ldc/graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ldc/graph/generators.hpp"
+#include "ldc/graph/stats.hpp"
+
+namespace ldc {
+namespace {
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  Graph g = gen::gnp(40, 0.15, 7);
+  std::ostringstream os;
+  io::write_edge_list(os, g);
+  std::istringstream is(os.str());
+  const Graph back = io::read_edge_list(is);
+  ASSERT_EQ(back.n(), g.n());
+  ASSERT_EQ(back.m(), g.m());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = back.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GraphIo, PreservesCustomIds) {
+  Graph g = gen::ring(10);
+  gen::scramble_ids(g, 1 << 16, 3);
+  std::ostringstream os;
+  io::write_edge_list(os, g);
+  std::istringstream is(os.str());
+  const Graph back = io::read_edge_list(is);
+  for (NodeId v = 0; v < g.n(); ++v) EXPECT_EQ(back.id(v), g.id(v));
+}
+
+TEST(GraphIo, IgnoresCommentsAndBlankLines) {
+  std::istringstream is(
+      "# a comment\n"
+      "\n"
+      "n 3\n"
+      "# another\n"
+      "e 0 1\n"
+      "e 1 2\n");
+  const Graph g = io::read_edge_list(is);
+  EXPECT_EQ(g.n(), 3u);
+  EXPECT_EQ(g.m(), 2u);
+  EXPECT_TRUE(check_graph(g));
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  {
+    std::istringstream is("e 0 1\n");  // edge before n
+    EXPECT_THROW(io::read_edge_list(is), std::invalid_argument);
+  }
+  {
+    std::istringstream is("n 2\ne 0 5\n");  // node out of range
+    EXPECT_THROW(io::read_edge_list(is), std::invalid_argument);
+  }
+  {
+    std::istringstream is("n 2\nz 0 1\n");  // unknown record
+    EXPECT_THROW(io::read_edge_list(is), std::invalid_argument);
+  }
+  {
+    std::istringstream is("n 2\nn 3\n");  // duplicate n
+    EXPECT_THROW(io::read_edge_list(is), std::invalid_argument);
+  }
+  {
+    std::istringstream is("");  // missing n
+    EXPECT_THROW(io::read_edge_list(is), std::invalid_argument);
+  }
+}
+
+TEST(GraphIo, ErrorMessagesCarryLineNumbers) {
+  std::istringstream is("n 2\ne 0 5\n");
+  try {
+    io::read_edge_list(is);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(GraphIo, DotOutputMentionsEveryEdge) {
+  const Graph g = gen::path(4);
+  Coloring phi = {0, 1, 0, 1};
+  std::ostringstream os;
+  io::write_dot(os, g, &phi);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("2 -- 3"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph g = gen::torus(4, 4);
+  const std::string path = "/tmp/ldc_io_test.el";
+  io::save_edge_list(path, g);
+  const Graph back = io::load_edge_list(path);
+  EXPECT_EQ(back.n(), g.n());
+  EXPECT_EQ(back.m(), g.m());
+  EXPECT_THROW(io::load_edge_list("/nonexistent/dir/x.el"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ldc

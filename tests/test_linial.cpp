@@ -1,0 +1,171 @@
+#include "ldc/linial/linial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldc/coloring/validate.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/linial/cover_free.hpp"
+#include "ldc/linial/defective_linial.hpp"
+#include "ldc/support/math.hpp"
+
+namespace ldc {
+namespace {
+
+using linial::choose_family;
+using linial::kth_root_ceil;
+using linial::RsFamily;
+
+TEST(CoverFree, KthRootCeil) {
+  EXPECT_EQ(kth_root_ceil(1, 2), 1u);
+  EXPECT_EQ(kth_root_ceil(4, 2), 2u);
+  EXPECT_EQ(kth_root_ceil(5, 2), 3u);
+  EXPECT_EQ(kth_root_ceil(27, 3), 3u);
+  EXPECT_EQ(kth_root_ceil(28, 3), 4u);
+  EXPECT_EQ(kth_root_ceil(1000000, 1), 1000000u);
+}
+
+TEST(CoverFree, FamilySatisfiesConstraints) {
+  for (std::uint64_t m : {10ULL, 100ULL, 10000ULL, 1ULL << 20}) {
+    for (std::uint64_t D : {1ULL, 3ULL, 10ULL, 50ULL}) {
+      for (std::uint32_t d : {0u, 1u, 4u}) {
+        const RsFamily f = choose_family(m, D, d);
+        EXPECT_GE(sat_pow(f.q, f.deg + 1), m) << m << " " << D << " " << d;
+        EXPECT_GT(f.q * (d + 1), D * f.deg) << m << " " << D << " " << d;
+      }
+    }
+  }
+}
+
+TEST(CoverFree, ProperFamilyShrinksLargePalettes) {
+  // For m >> Delta^2 the output must be far smaller than m.
+  const RsFamily f = choose_family(1ULL << 20, 8, 0);
+  EXPECT_LT(f.output_space(), 1ULL << 16);
+}
+
+TEST(CoverFree, ElementEncodesPointValuePair) {
+  const RsFamily f = choose_family(100, 3, 0);
+  for (std::uint64_t c : {0ULL, 1ULL, 57ULL, 99ULL}) {
+    for (std::uint64_t x = 0; x < f.q; x += 3) {
+      const auto e = f.element(c, x);
+      EXPECT_EQ(e / f.q, x);
+      EXPECT_EQ(e % f.q, f.evaluate(c, x));
+      EXPECT_LT(e, f.output_space());
+    }
+  }
+}
+
+TEST(CoverFree, DistinctColorsDisagreeSomewhere) {
+  const RsFamily f = choose_family(64, 4, 0);
+  for (std::uint64_t a = 0; a < 20; ++a) {
+    for (std::uint64_t b = a + 1; b < 20; ++b) {
+      std::uint64_t agreements = 0;
+      for (std::uint64_t x = 0; x < f.q; ++x) {
+        if (f.evaluate(a, x) == f.evaluate(b, x)) ++agreements;
+      }
+      EXPECT_LE(agreements, f.deg);
+    }
+  }
+}
+
+TEST(Linial, ProperColoringOnRing) {
+  const Graph g = gen::ring(64);
+  Network net(g);
+  const auto res = linial::color(net);
+  EXPECT_TRUE(validate_proper(g, res.phi).ok);
+  // Fixpoint palette is O(Delta^2): small constant for Delta = 2.
+  EXPECT_LE(res.palette, 64u);
+  for (Color c : res.phi) EXPECT_LT(c, res.palette);
+}
+
+TEST(Linial, LogStarRoundScaling) {
+  // Rounds grow like log* of the id space.
+  Graph g = gen::ring(128);
+  gen::scramble_ids(g, 1ULL << 48, 3);
+  Network net(g);
+  const auto res = linial::color(net);
+  EXPECT_TRUE(validate_proper(g, res.phi).ok);
+  EXPECT_LE(res.rounds, 8u);
+}
+
+TEST(Linial, MessageSizeIsLogarithmic) {
+  Graph g = gen::ring(64);
+  gen::scramble_ids(g, 1ULL << 30, 5);
+  Network net(g);
+  linial::color(net);
+  // First round sends the ids: <= 30 bits; never more.
+  EXPECT_LE(net.metrics().max_message_bits, 31u);
+}
+
+TEST(Linial, WorksOnVariousFamilies) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = gen::gnp(120, 0.05, seed);
+    Network net(g);
+    const auto res = linial::color(net);
+    EXPECT_TRUE(validate_proper(g, res.phi).ok) << "seed " << seed;
+    const std::uint64_t delta = std::max(1u, g.max_degree());
+    EXPECT_LE(res.palette, 16 * delta * delta + 64) << "seed " << seed;
+  }
+}
+
+TEST(Linial, OrientedVariantProperOnOutNeighbors) {
+  const Graph g = gen::random_regular(60, 6, 7);
+  const Orientation o = Orientation::by_decreasing_id(g);
+  Network net(g);
+  linial::Options opt;
+  opt.orientation = &o;
+  const auto res = linial::color(net, opt);
+  // Proper w.r.t. out-neighbors: no node shares a color with an
+  // out-neighbor.
+  for (NodeId v = 0; v < g.n(); ++v) {
+    for (NodeId u : o.out(v)) {
+      EXPECT_NE(res.phi[v], res.phi[u]);
+    }
+  }
+  // beta = Delta here, but the id orientation halves typical outdegree;
+  // the palette should be bounded by O(beta^2).
+  const std::uint64_t beta = o.max_beta();
+  EXPECT_LE(res.palette, 16 * beta * beta + 64);
+}
+
+TEST(Linial, ColorFromAcceptsExistingColoring) {
+  const Graph g = gen::torus(8, 8);
+  Network net(g);
+  // Start from a proper coloring with a large, sparse palette (distinct
+  // colors, far above the O(Delta^2) fixpoint).
+  Coloring phi(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) phi[v] = v * 64;
+  const auto res = linial::color_from(net, phi, 64 * g.n());
+  EXPECT_TRUE(validate_proper(g, res.phi).ok);
+  EXPECT_LT(res.palette, 64u * g.n() / 8);
+}
+
+TEST(DefectiveLinial, DefectBudgetsHold) {
+  const Graph g = gen::random_regular(80, 8, 1);
+  for (std::uint32_t d : {1u, 2u, 4u}) {
+    Network net(g);
+    const auto res = linial::defective_color(net, d);
+    auto check = validate_defective(g, res.phi,
+                                    static_cast<std::uint32_t>(res.palette),
+                                    d);
+    EXPECT_TRUE(check.ok) << "defect " << d;
+  }
+}
+
+TEST(DefectiveLinial, PaletteShrinksWithDefect) {
+  const Graph g = gen::random_regular(128, 16, 2);
+  Network net0(g);
+  const auto proper = linial::color(net0);
+  Network net(g);
+  const auto res = linial::defective_color(net, 8);
+  EXPECT_LT(res.palette, proper.palette);
+}
+
+TEST(DefectiveLinial, ZeroDefectEqualsProper) {
+  const Graph g = gen::ring(32);
+  Network net(g);
+  const auto res = linial::defective_color(net, 0);
+  EXPECT_TRUE(validate_proper(g, res.phi).ok);
+}
+
+}  // namespace
+}  // namespace ldc

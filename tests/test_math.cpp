@@ -1,0 +1,69 @@
+#include "ldc/support/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ldc {
+namespace {
+
+TEST(Math, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(4), 2);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(ilog2(~0ULL), 63);
+}
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1ULL << 40), 40);
+  EXPECT_EQ(ceil_log2((1ULL << 40) + 1), 41);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+  EXPECT_EQ(ceil_div(5, 5), 1u);
+  EXPECT_EQ(ceil_div(6, 5), 2u);
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Math, LogStar) {
+  EXPECT_EQ(log_star(1), 0);
+  EXPECT_EQ(log_star(2), 1);
+  EXPECT_EQ(log_star(4), 2);
+  EXPECT_EQ(log_star(16), 3);
+  EXPECT_EQ(log_star(65536), 4);
+  // 2^64-1 -> 63 -> 5 -> 2 -> 1: four applications of floor(log2).
+  EXPECT_EQ(log_star(~0ULL), 4);
+}
+
+TEST(Math, SatPow) {
+  EXPECT_EQ(sat_pow(2, 10), 1024u);
+  EXPECT_EQ(sat_pow(10, 0), 1u);
+  EXPECT_EQ(sat_pow(2, 64), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(sat_pow(1ULL << 32, 3), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Math, SatMul) {
+  EXPECT_EQ(sat_mul(3, 4), 12u);
+  EXPECT_EQ(sat_mul(1ULL << 40, 1ULL << 40),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(sat_mul(0, ~0ULL), 0u);
+}
+
+}  // namespace
+}  // namespace ldc

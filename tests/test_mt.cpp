@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ldc/mt/candidates.hpp"
+#include "ldc/mt/conflict.hpp"
+#include "ldc/mt/greedy_types.hpp"
+
+namespace ldc {
+namespace {
+
+using mt::FamilyView;
+
+TEST(Conflict, MuGCountsWindow) {
+  const std::vector<Color> c = {2, 5, 9, 14};
+  EXPECT_EQ(mt::mu_g(5, c, 0), 1u);
+  EXPECT_EQ(mt::mu_g(6, c, 0), 0u);
+  EXPECT_EQ(mt::mu_g(6, c, 1), 1u);   // 5
+  EXPECT_EQ(mt::mu_g(7, c, 2), 2u);   // 5, 9
+  EXPECT_EQ(mt::mu_g(0, c, 2), 1u);   // 2 (no underflow)
+  EXPECT_EQ(mt::mu_g(20, c, 100), 4u);
+}
+
+TEST(Conflict, WeightSymmetric) {
+  const std::vector<Color> a = {1, 4, 8};
+  const std::vector<Color> b = {2, 4, 9};
+  for (std::uint32_t g : {0u, 1u, 2u, 5u}) {
+    EXPECT_EQ(mt::conflict_weight(a, b, g), mt::conflict_weight(b, a, g))
+        << g;
+  }
+  EXPECT_EQ(mt::conflict_weight(a, b, 0), 1u);  // only 4
+  EXPECT_EQ(mt::conflict_weight(a, b, 1), 3u);  // (1,2) (4,4) (8,9)
+}
+
+TEST(Conflict, WeightAgainstBruteForce) {
+  const std::vector<Color> a = {0, 3, 7, 12, 20};
+  const std::vector<Color> b = {1, 3, 8, 13, 14, 25};
+  for (std::uint32_t g = 0; g <= 6; ++g) {
+    std::uint64_t brute = 0;
+    for (Color x : a) {
+      for (Color y : b) {
+        const std::int64_t d = static_cast<std::int64_t>(x) - y;
+        if ((d < 0 ? -d : d) <= g) ++brute;
+      }
+    }
+    EXPECT_EQ(mt::conflict_weight(a, b, g), brute) << "g=" << g;
+  }
+}
+
+TEST(Conflict, TauGConflictThreshold) {
+  const std::vector<Color> a = {1, 2, 3, 4};
+  const std::vector<Color> b = {1, 2, 3, 9};
+  EXPECT_TRUE(mt::tau_g_conflict(a, b, 3, 0));
+  EXPECT_FALSE(mt::tau_g_conflict(a, b, 4, 0));
+  EXPECT_TRUE(mt::tau_g_conflict(a, b, 0, 0));  // zero threshold
+}
+
+TEST(Conflict, PsiRelation) {
+  // K1 has two sets heavily overlapping K2's set; tau'=2 triggers.
+  const std::vector<Color> storage1 = {1, 2, 3, /**/ 2, 3, 4};
+  const std::vector<Color> storage2 = {2, 3, 4, /**/ 10, 11, 12};
+  const FamilyView k1{storage1, 3, 2};
+  const FamilyView k2{storage2, 3, 2};
+  EXPECT_EQ(mt::conflicting_sets(k1, k2, 2, 0), 2u);
+  EXPECT_TRUE(mt::psi_conflict(k1, k2, 2, 2, 0));
+  EXPECT_FALSE(mt::psi_conflict(k1, k2, 3, 2, 0));
+  EXPECT_FALSE(mt::psi_conflict(k1, k2, 1, 4, 0));  // no 4-overlap
+}
+
+TEST(Candidates, TauFormulaMonotone) {
+  EXPECT_LT(mt::tau_formula(1, 16, 16), mt::tau_formula(8, 16, 16));
+  EXPECT_LE(mt::tau_formula(1, 16, 16), mt::tau_formula(1, 1 << 20, 16));
+}
+
+TEST(Candidates, EffectiveTauRespectsCapAndOverride) {
+  mt::CandidateParams p;
+  p.tau_cap = 10;
+  EXPECT_EQ(mt::effective_tau(p, 8, 1 << 16, 1 << 16), 10u);
+  p.tau = 3;
+  EXPECT_EQ(mt::effective_tau(p, 8, 1 << 16, 1 << 16), 3u);
+}
+
+TEST(Candidates, FamilyIsPureFunctionOfType) {
+  std::vector<Color> list;
+  for (Color c = 0; c < 100; c += 2) list.push_back(c);
+  const auto key = mt::type_key(7, list);
+  mt::CandidateFamily a(key, list, 10, 8);
+  mt::CandidateFamily b(key, list, 10, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::uint32_t j = 0; j < a.size(); ++j) {
+    const auto sa = a.set(j);
+    const auto sb = b.set(j);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+  }
+}
+
+TEST(Candidates, SetsAreSortedDistinctSubsetsOfList) {
+  std::vector<Color> list = {3, 7, 11, 19, 23, 31, 40, 41, 55, 60};
+  mt::CandidateFamily fam(mt::type_key(1, list), list, 4, 6);
+  EXPECT_FALSE(fam.degraded());
+  for (std::uint32_t j = 0; j < fam.size(); ++j) {
+    const auto s = fam.set(j);
+    EXPECT_EQ(s.size(), 4u);
+    std::set<Color> distinct(s.begin(), s.end());
+    EXPECT_EQ(distinct.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    for (Color c : s) {
+      EXPECT_TRUE(std::binary_search(list.begin(), list.end(), c));
+    }
+  }
+}
+
+TEST(Candidates, DegradedWhenListTooShort) {
+  std::vector<Color> list = {1, 2, 3};
+  mt::CandidateFamily fam(mt::type_key(0, list), list, 10, 4);
+  EXPECT_TRUE(fam.degraded());
+  EXPECT_EQ(fam.set_size(), 3u);
+}
+
+TEST(Candidates, DifferentTypesGiveDifferentFamilies) {
+  std::vector<Color> list;
+  for (Color c = 0; c < 64; ++c) list.push_back(c);
+  mt::CandidateFamily a(mt::type_key(1, list), list, 8, 4);
+  mt::CandidateFamily b(mt::type_key(2, list), list, 8, 4);
+  bool any_diff = false;
+  for (std::uint32_t j = 0; j < 4 && !any_diff; ++j) {
+    const auto sa = a.set(j);
+    const auto sb = b.set(j);
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      if (sa[i] != sb[i]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Candidates, BestResidueSublist) {
+  // g = 1 => mod 3. Colors 0,3,6,9 (residue 0) dominate.
+  const std::vector<Color> list = {0, 1, 3, 5, 6, 9};
+  std::uint32_t residue = 99;
+  const auto sub = mt::best_residue_sublist(list, 1, &residue);
+  EXPECT_EQ(residue, 0u);
+  EXPECT_EQ(sub, (std::vector<Color>{0, 3, 6, 9}));
+  // g = 0: whole list.
+  EXPECT_EQ(mt::best_residue_sublist(list, 0).size(), list.size());
+}
+
+TEST(GreedyTypes, CombinationsEnumeration) {
+  const auto c52 = mt::combinations(5, 2);
+  EXPECT_EQ(c52.size(), 10u);
+  EXPECT_EQ(c52.front(), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(c52.back(), (std::vector<std::uint32_t>{3, 4}));
+  EXPECT_EQ(mt::combinations(4, 4).size(), 1u);
+  EXPECT_TRUE(mt::combinations(3, 4).empty());
+}
+
+TEST(GreedyTypes, Lemma35TinyInstanceSolvable) {
+  // Small parameters where the greedy succeeds: generous tau so conflicts
+  // are rare.
+  mt::TinyParams p;
+  p.color_space = 6;
+  p.ell = 4;
+  p.k = 2;
+  p.kprime = 2;
+  p.tau = 2;        // sets conflict only if identical (k = tau = 2)
+  p.tau_prime = 2;  // both sets must clash
+  p.m = 2;
+  const auto a = mt::greedy_assign(p);
+  EXPECT_TRUE(a.complete);
+  EXPECT_TRUE(mt::verify_pairwise(a, p));
+  EXPECT_EQ(a.types.size(), 2u * 15u);  // m * binom(6,4)
+}
+
+TEST(GreedyTypes, ImpossibleWhenTauTooSmall) {
+  // tau = 1: any shared color conflicts; tau' = 1: one clash kills the
+  // family; lists overlap heavily -> greedy must fail.
+  mt::TinyParams p;
+  p.color_space = 4;
+  p.ell = 3;
+  p.k = 2;
+  p.kprime = 2;
+  p.tau = 1;
+  p.tau_prime = 1;
+  p.m = 2;
+  const auto a = mt::greedy_assign(p);
+  EXPECT_FALSE(a.complete);
+}
+
+}  // namespace
+}  // namespace ldc

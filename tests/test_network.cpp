@@ -1,0 +1,122 @@
+#include "ldc/runtime/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldc/graph/generators.hpp"
+
+namespace ldc {
+namespace {
+
+Message make_msg(std::uint64_t value, int bits) {
+  BitWriter w;
+  w.write(value, bits);
+  return Message::from(w);
+}
+
+TEST(Network, DeliversToNeighborsOnly) {
+  const Graph g = gen::path(3);  // 0-1-2
+  Network net(g);
+  std::vector<Network::Outbox> out(3);
+  out[0].emplace_back(1, make_msg(42, 8));
+  auto in = net.exchange(out);
+  ASSERT_EQ(in[1].size(), 1u);
+  EXPECT_EQ(in[1][0].first, 0u);
+  auto r = in[1][0].second.reader();
+  EXPECT_EQ(r.read(8), 42u);
+  EXPECT_TRUE(in[0].empty());
+  EXPECT_TRUE(in[2].empty());
+}
+
+TEST(Network, RejectsNonNeighborDelivery) {
+  const Graph g = gen::path(3);
+  Network net(g);
+  std::vector<Network::Outbox> out(3);
+  out[0].emplace_back(2, make_msg(1, 1));  // 0 and 2 are not adjacent
+  EXPECT_THROW(net.exchange(out), std::invalid_argument);
+}
+
+TEST(Network, CountsRoundsAndBits) {
+  const Graph g = gen::ring(4);
+  Network net(g);
+  std::vector<Message> msgs(4, make_msg(5, 10));
+  net.exchange_broadcast(msgs);
+  net.exchange_broadcast(msgs);
+  const auto& m = net.metrics();
+  EXPECT_EQ(m.rounds, 2u);
+  EXPECT_EQ(m.messages, 16u);       // 4 nodes x 2 neighbors x 2 rounds
+  EXPECT_EQ(m.total_bits, 160u);
+  EXPECT_EQ(m.max_message_bits, 10u);
+}
+
+TEST(Network, InboxSortedBySender) {
+  const Graph g = gen::clique(5);
+  Network net(g);
+  std::vector<Message> msgs(5, make_msg(1, 4));
+  auto in = net.exchange_broadcast(msgs);
+  for (NodeId v = 0; v < 5; ++v) {
+    ASSERT_EQ(in[v].size(), 4u);
+    for (std::size_t i = 1; i < in[v].size(); ++i) {
+      EXPECT_LT(in[v][i - 1].first, in[v][i].first);
+    }
+  }
+}
+
+TEST(Network, BroadcastActiveMask) {
+  const Graph g = gen::ring(4);
+  Network net(g);
+  std::vector<Message> msgs(4, make_msg(7, 4));
+  std::vector<bool> active = {true, false, false, false};
+  auto in = net.exchange_broadcast(msgs, &active);
+  EXPECT_EQ(in[1].size(), 1u);
+  EXPECT_EQ(in[3].size(), 1u);
+  EXPECT_TRUE(in[0].empty());
+  EXPECT_TRUE(in[2].empty());
+}
+
+TEST(Network, CongestBudgetCountsViolations) {
+  const Graph g = gen::path(2);
+  Network net(g, /*budget_bits=*/8);
+  std::vector<Network::Outbox> out(2);
+  out[0].emplace_back(1, make_msg(0, 16));  // 16 > 8: violation
+  out[1].emplace_back(0, make_msg(0, 8));   // exactly at budget: fine
+  net.exchange(out);
+  EXPECT_EQ(net.metrics().congest_violations, 1u);
+}
+
+TEST(Network, StrictModeThrows) {
+  const Graph g = gen::path(2);
+  Network net(g, /*budget_bits=*/4, /*strict=*/true);
+  std::vector<Network::Outbox> out(2);
+  out[0].emplace_back(1, make_msg(0, 5));
+  EXPECT_THROW(net.exchange(out), CongestViolation);
+}
+
+TEST(Network, AdvanceRoundsAccountsSilentRounds) {
+  const Graph g = gen::path(2);
+  Network net(g);
+  net.advance_rounds(3);
+  EXPECT_EQ(net.metrics().rounds, 3u);
+}
+
+TEST(Network, EmptyMessagesCountAsMessages) {
+  const Graph g = gen::path(2);
+  Network net(g);
+  std::vector<Message> msgs(2);  // zero-bit messages
+  net.exchange_broadcast(msgs);
+  EXPECT_EQ(net.metrics().messages, 2u);
+  EXPECT_EQ(net.metrics().total_bits, 0u);
+}
+
+TEST(RunMetrics, Merge) {
+  RunMetrics a{1, 2, 30, 10, 0};
+  RunMetrics b{4, 1, 5, 20, 2};
+  a.merge(b);
+  EXPECT_EQ(a.rounds, 5u);
+  EXPECT_EQ(a.messages, 3u);
+  EXPECT_EQ(a.total_bits, 35u);
+  EXPECT_EQ(a.max_message_bits, 20u);
+  EXPECT_EQ(a.congest_violations, 2u);
+}
+
+}  // namespace
+}  // namespace ldc

@@ -1,0 +1,117 @@
+#include "ldc/support/prf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace ldc {
+namespace {
+
+TEST(SplitMix, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix, NextBelowInRange) {
+  SplitMix64 rng(9);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000000007ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(SplitMix, NextDoubleInUnitInterval) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix, RoughlyUniform) {
+  SplitMix64 rng(5);
+  std::vector<int> buckets(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++buckets[rng.next_below(10)];
+  for (int b : buckets) {
+    EXPECT_NEAR(b, trials / 10, trials / 100);
+  }
+}
+
+TEST(Prf, StatelessRandomAccess) {
+  Prf prf(123);
+  const auto v5 = prf.at(5);
+  prf.at(99);
+  EXPECT_EQ(prf.at(5), v5);  // no hidden state
+}
+
+TEST(Prf, KeySeparation) {
+  Prf a(1), b(2);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (a.at(i) == b.at(i)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prf, AtBelowInRange) {
+  Prf prf(77);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_LT(prf.at_below(i, 13), 13u);
+  }
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Fingerprint, SensitiveToContentAndLength) {
+  std::vector<std::uint32_t> a = {1, 2, 3};
+  std::vector<std::uint32_t> b = {1, 2, 4};
+  std::vector<std::uint32_t> c = {1, 2, 3, 0};
+  EXPECT_NE(fingerprint(std::span<const std::uint32_t>(a)),
+            fingerprint(std::span<const std::uint32_t>(b)));
+  EXPECT_NE(fingerprint(std::span<const std::uint32_t>(a)),
+            fingerprint(std::span<const std::uint32_t>(c)));
+  EXPECT_EQ(fingerprint(std::span<const std::uint32_t>(a)),
+            fingerprint(std::span<const std::uint32_t>(a)));
+}
+
+TEST(SampleDistinct, ProducesSortedDistinct) {
+  Prf prf(3);
+  for (std::size_t k : {0u, 1u, 5u, 50u, 99u, 100u}) {
+    auto s = sample_distinct(prf, 1000, 100, k);
+    ASSERT_EQ(s.size(), k);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_EQ(std::set<std::uint64_t>(s.begin(), s.end()).size(), k);
+    for (auto x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(SampleDistinct, FullUniverse) {
+  Prf prf(4);
+  auto s = sample_distinct(prf, 0, 10, 10);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(SampleDistinct, DeterministicPerKeyAndOffset) {
+  Prf prf(9);
+  EXPECT_EQ(sample_distinct(prf, 0, 1000, 10),
+            sample_distinct(prf, 0, 1000, 10));
+  EXPECT_NE(sample_distinct(prf, 0, 1000, 10),
+            sample_distinct(prf, 1, 1000, 10));
+}
+
+}  // namespace
+}  // namespace ldc

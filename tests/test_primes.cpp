@@ -1,0 +1,93 @@
+#include "ldc/support/primes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ldc {
+namespace {
+
+TEST(Primes, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+}
+
+TEST(Primes, AgreesWithSieve) {
+  const int limit = 10000;
+  std::vector<bool> composite(limit, false);
+  for (int i = 2; i < limit; ++i) {
+    if (!composite[i]) {
+      for (int j = 2 * i; j < limit; j += i) composite[j] = true;
+    }
+  }
+  for (int i = 0; i < limit; ++i) {
+    EXPECT_EQ(is_prime(i), i >= 2 && !composite[i]) << "at " << i;
+  }
+}
+
+TEST(Primes, LargeKnownValues) {
+  EXPECT_TRUE(is_prime(2147483647ULL));            // 2^31 - 1
+  EXPECT_TRUE(is_prime(1000000007ULL));
+  EXPECT_TRUE(is_prime(18446744073709551557ULL));  // largest 64-bit prime
+  EXPECT_FALSE(is_prime(2147483647ULL * 3));
+  // Carmichael number 561 = 3*11*17 must be rejected.
+  EXPECT_FALSE(is_prime(561));
+}
+
+TEST(Primes, NextPrime) {
+  EXPECT_EQ(next_prime(0), 2u);
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(3), 3u);
+  EXPECT_EQ(next_prime(4), 5u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(next_prime(90), 97u);
+  EXPECT_EQ(next_prime(1000000000), 1000000007u);
+}
+
+TEST(Primes, MulmodNoOverflow) {
+  const std::uint64_t m = 18446744073709551557ULL;
+  EXPECT_EQ(mulmod(m - 1, m - 1, m), 1u);  // (-1)^2 = 1 mod m
+}
+
+TEST(Primes, Powmod) {
+  EXPECT_EQ(powmod(2, 10, 1000000007), 1024u);
+  EXPECT_EQ(powmod(5, 0, 7), 1u);
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(powmod(123456, 1000000006, 1000000007), 1u);
+}
+
+TEST(Primes, PolyEvalHorner) {
+  // p(x) = 3 + 2x + x^2 over GF(7); p(2) = 3 + 4 + 4 = 11 = 4 mod 7.
+  const std::vector<std::uint64_t> coeffs = {3, 2, 1};
+  EXPECT_EQ(poly_eval(coeffs, 2, 7), 4u);
+  EXPECT_EQ(poly_eval(coeffs, 0, 7), 3u);
+}
+
+TEST(Primes, PolyEvalDistinctPolysAgreeOnAtMostDegPoints) {
+  // Degree-2 polynomials over GF(11) agree on at most 2 points.
+  const std::vector<std::uint64_t> p = {1, 2, 3};
+  const std::vector<std::uint64_t> q = {4, 5, 3};
+  int agreements = 0;
+  for (std::uint64_t x = 0; x < 11; ++x) {
+    if (poly_eval(p, x, 11) == poly_eval(q, x, 11)) ++agreements;
+  }
+  EXPECT_LE(agreements, 2);
+}
+
+TEST(Primes, ToBaseQ) {
+  std::vector<std::uint64_t> digits(3);
+  to_base_q(5 + 2 * 7 + 6 * 49, 7, digits);
+  EXPECT_EQ(digits[0], 5u);
+  EXPECT_EQ(digits[1], 2u);
+  EXPECT_EQ(digits[2], 6u);
+}
+
+}  // namespace
+}  // namespace ldc

@@ -1,0 +1,135 @@
+// Property sweeps for the sequential solvers (Lemmas A.1 / A.2) and the
+// Euler orientation: the existence conditions must be *sufficient* on
+// every graph family and every random instance, and outputs must always
+// validate.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/coloring/validate.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/sequential/euler.hpp"
+#include "ldc/sequential/list_arbdefective.hpp"
+#include "ldc/sequential/list_defective.hpp"
+#include "ldc/support/math.hpp"
+
+namespace ldc {
+namespace {
+
+enum class Family { kRing, kClique, kGnp, kRegular, kTree, kTorus, kPower };
+
+Graph make_graph(Family f, std::uint64_t seed) {
+  switch (f) {
+    case Family::kRing:
+      return gen::ring(40 + seed % 7);
+    case Family::kClique:
+      return gen::clique(12 + seed % 5);
+    case Family::kGnp:
+      return gen::gnp(60, 0.12, seed);
+    case Family::kRegular:
+      return gen::random_regular(60, 6, seed);
+    case Family::kTree:
+      return gen::random_tree(60, seed);
+    case Family::kTorus:
+      return gen::torus(6 + seed % 3, 6);
+    case Family::kPower:
+      return gen::power_law(70, 2.6, 4.0, seed);
+  }
+  return gen::ring(3);
+}
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kRing: return "ring";
+    case Family::kClique: return "clique";
+    case Family::kGnp: return "gnp";
+    case Family::kRegular: return "regular";
+    case Family::kTree: return "tree";
+    case Family::kTorus: return "torus";
+    case Family::kPower: return "power";
+  }
+  return "?";
+}
+
+class SequentialSweep
+    : public ::testing::TestWithParam<std::tuple<Family, std::uint64_t>> {};
+
+TEST_P(SequentialSweep, LemmaA1SolvesWhenConditionHolds) {
+  const auto [fam, seed] = GetParam();
+  const Graph g = make_graph(fam, seed);
+  RandomLdcParams p;
+  p.color_space = 512;
+  p.one_plus_nu = 1.0;
+  p.kappa = 1.1;  // just above the existence threshold
+  p.max_defect = 2;
+  p.seed = seed + 17;
+  const LdcInstance inst = random_weighted_instance(g, p);
+  ASSERT_TRUE(sequential::satisfies_ldc_condition(inst));
+  sequential::RecolorStats stats;
+  const auto phi = sequential::solve_list_defective(inst, &stats);
+  ASSERT_TRUE(phi.has_value()) << family_name(fam) << " seed " << seed;
+  EXPECT_TRUE(validate_ldc(inst, *phi).ok);
+  // Lemma A.1's potential bound.
+  EXPECT_LE(stats.steps, 3 * g.m() + g.n());
+}
+
+TEST_P(SequentialSweep, LemmaA2SolvesWhenConditionHolds) {
+  const auto [fam, seed] = GetParam();
+  const Graph g = make_graph(fam, seed);
+  RandomLdcParams p;
+  p.color_space = 512;
+  p.one_plus_nu = 1.0;
+  p.kappa = 2.1;  // sum(d+1) >= 2.1 deg  =>  sum(2d+1) > deg
+  p.max_defect = 3;
+  p.seed = seed + 31;
+  const LdcInstance inst = random_weighted_instance(g, p);
+  ASSERT_TRUE(sequential::satisfies_arb_condition(inst));
+  const auto out = sequential::solve_list_arbdefective(inst);
+  ASSERT_TRUE(out.has_value()) << family_name(fam) << " seed " << seed;
+  EXPECT_TRUE(validate_arbdefective(inst, *out).ok);
+}
+
+TEST_P(SequentialSweep, EulerOrientationBalanced) {
+  const auto [fam, seed] = GetParam();
+  const Graph g = make_graph(fam, seed);
+  const Orientation o = sequential::euler_orientation(g);
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_LE(o.outdeg(v), ceil_div(g.degree(v), 2));
+    total += o.outdeg(v);
+  }
+  EXPECT_EQ(total, g.m());
+}
+
+TEST_P(SequentialSweep, RecoveryFromAdversarialInitialColorings) {
+  const auto [fam, seed] = GetParam();
+  const Graph g = make_graph(fam, seed);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  // Adversarial starts: all-same, striped, reversed-greedy.
+  std::vector<Coloring> starts;
+  starts.emplace_back(g.n(), 0);
+  Coloring striped(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) striped[v] = v % 2;
+  starts.push_back(striped);
+  for (const auto& start : starts) {
+    const auto phi = sequential::solve_list_defective(inst, nullptr, &start);
+    ASSERT_TRUE(phi.has_value());
+    EXPECT_TRUE(validate_ldc(inst, *phi).ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SequentialSweep,
+    ::testing::Combine(::testing::Values(Family::kRing, Family::kClique,
+                                         Family::kGnp, Family::kRegular,
+                                         Family::kTree, Family::kTorus,
+                                         Family::kPower),
+                       ::testing::Values(1ULL, 2ULL, 3ULL)),
+    [](const auto& info) {
+      return std::string(family_name(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ldc

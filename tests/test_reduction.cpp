@@ -1,0 +1,167 @@
+#include "ldc/reduction/color_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/coloring/validate.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/linial/linial.hpp"
+#include "ldc/oldc/multi_defect.hpp"
+
+namespace ldc {
+namespace {
+
+reduction::OldcSolver multi_defect_base(mt::CandidateParams params) {
+  return [params](Network& net, const LdcInstance& inst,
+                  const Orientation& orientation, const Coloring& initial,
+                  std::uint64_t m) {
+    oldc::MultiDefectInput in;
+    in.inst = &inst;
+    in.orientation = &orientation;
+    in.initial = &initial;
+    in.m = m;
+    in.params = params;
+    return oldc::solve_multi_defect(net, in);
+  };
+}
+
+struct RedEnv {
+  Graph g;
+  Orientation orient;
+  LdcInstance inst;
+  Coloring initial;
+  std::uint64_t m;
+};
+
+RedEnv make_setup(std::uint64_t seed, std::uint64_t color_space, double kappa,
+                 std::uint32_t max_defect) {
+  RedEnv s;
+  s.g = gen::random_regular(48, 8, seed);
+  s.orient = Orientation::by_decreasing_id(s.g);
+  RandomLdcParams p;
+  p.color_space = color_space;
+  p.one_plus_nu = 2.0;
+  p.kappa = kappa;
+  p.max_defect = max_defect;
+  p.seed = seed + 500;
+  s.inst = random_weighted_oriented_instance(s.g, s.orient, p);
+  return s;
+}
+
+TEST(Reduction, SubspaceCountForDepth) {
+  EXPECT_EQ(reduction::subspace_count_for_depth(4096, 1), 4096u);
+  EXPECT_EQ(reduction::subspace_count_for_depth(4096, 2), 64u);
+  EXPECT_EQ(reduction::subspace_count_for_depth(4096, 3), 16u);
+  EXPECT_EQ(reduction::subspace_count_for_depth(4097, 2), 65u);
+}
+
+TEST(Reduction, NoOpWhenPZero) {
+  RedEnv s = make_setup(1, 4096, 60.0, 7);
+  Network net(s.g);
+  const auto lin = linial::color(net);
+  mt::CandidateParams params;
+  params.kprime = 12;
+  params.tau_cap = 8;
+  reduction::Options opt;  // p = 0
+  const auto res = reduction::reduce_and_solve(
+      net, s.inst, s.orient, lin.phi, lin.palette, opt,
+      multi_defect_base(params));
+  EXPECT_EQ(res.levels, 1u);
+  EXPECT_TRUE(validate_oldc(s.inst, s.orient, res.phi).ok);
+}
+
+TEST(Reduction, TwoLevelRecursionValid) {
+  RedEnv s = make_setup(2, 4096, 60.0, 7);
+  Network net(s.g);
+  const auto lin = linial::color(net);
+  mt::CandidateParams params;
+  params.kprime = 12;
+  params.tau_cap = 8;
+  reduction::Options opt;
+  opt.p = reduction::subspace_count_for_depth(4096, 2);  // 64
+  const auto res = reduction::reduce_and_solve(
+      net, s.inst, s.orient, lin.phi, lin.palette, opt,
+      multi_defect_base(params));
+  EXPECT_GE(res.levels, 2u);
+  EXPECT_TRUE(validate_oldc(s.inst, s.orient, res.phi).ok);
+}
+
+TEST(Reduction, ReducesMaxMessageSize) {
+  // Same instance solved with and without reduction: the reduced variant
+  // must use strictly smaller maximum messages (lists over a smaller
+  // space).
+  RedEnv s1 = make_setup(3, 1 << 14, 80.0, 7);
+  mt::CandidateParams params;
+  params.kprime = 12;
+  params.tau_cap = 8;
+
+  Network flat(s1.g);
+  const auto lin1 = linial::color(flat);
+  reduction::Options none;  // direct solve
+  reduction::reduce_and_solve(flat, s1.inst, s1.orient, lin1.phi,
+                              lin1.palette, none, multi_defect_base(params));
+
+  Network red(s1.g);
+  const auto lin2 = linial::color(red);
+  reduction::Options two;
+  two.p = reduction::subspace_count_for_depth(1 << 14, 3);
+  reduction::reduce_and_solve(red, s1.inst, s1.orient, lin2.phi,
+                              lin2.palette, two, multi_defect_base(params));
+
+  EXPECT_LT(red.metrics().max_message_bits, flat.metrics().max_message_bits);
+}
+
+TEST(Reduction, DisjointBlocksNeverConflictAcross) {
+  // Nodes choosing different blocks get colors from disjoint ranges.
+  RedEnv s = make_setup(4, 1024, 60.0, 7);
+  Network net(s.g);
+  const auto lin = linial::color(net);
+  mt::CandidateParams params;
+  params.kprime = 8;
+  params.tau_cap = 6;
+  reduction::Options opt;
+  opt.p = 4;
+  const auto res = reduction::reduce_and_solve(
+      net, s.inst, s.orient, lin.phi, lin.palette, opt,
+      multi_defect_base(params));
+  EXPECT_TRUE(validate_oldc(s.inst, s.orient, res.phi).ok);
+  EXPECT_TRUE(validate_membership(s.inst, res.phi).ok);
+}
+
+TEST(Reduction, LinearExponentVariant) {
+  // Theorem 1.2 with nu = 0 (exponent 1): auxiliary defects come from the
+  // plain weight sum; validity must still hold.
+  RedEnv s = make_setup(7, 2048, 60.0, 7);
+  Network net(s.g);
+  const auto lin = linial::color(net);
+  mt::CandidateParams params;
+  params.kprime = 12;
+  params.tau_cap = 8;
+  reduction::Options opt;
+  opt.p = 8;
+  opt.one_plus_nu = 1.0;
+  const auto res = reduction::reduce_and_solve(
+      net, s.inst, s.orient, lin.phi, lin.palette, opt,
+      multi_defect_base(params));
+  EXPECT_TRUE(validate_oldc(s.inst, s.orient, res.phi).ok);
+}
+
+TEST(Reduction, DepthCapStopsRecursion) {
+  RedEnv s = make_setup(8, 4096, 60.0, 7);
+  Network net(s.g);
+  const auto lin = linial::color(net);
+  mt::CandidateParams params;
+  params.kprime = 8;
+  params.tau_cap = 6;
+  reduction::Options opt;
+  opt.p = 2;          // would recurse ~12 levels
+  opt.max_depth = 3;  // cap
+  const auto res = reduction::reduce_and_solve(
+      net, s.inst, s.orient, lin.phi, lin.palette, opt,
+      multi_defect_base(params));
+  EXPECT_LE(res.levels, 4u);
+  EXPECT_TRUE(validate_oldc(s.inst, s.orient, res.phi).ok);
+}
+
+}  // namespace
+}  // namespace ldc

@@ -1,0 +1,38 @@
+#include "ldc/oldc/rounding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldc::oldc {
+namespace {
+
+TEST(Rounding, Pow2Floor) {
+  EXPECT_EQ(pow2_floor(0), 1u);  // clamped
+  EXPECT_EQ(pow2_floor(1), 1u);
+  EXPECT_EQ(pow2_floor(2), 2u);
+  EXPECT_EQ(pow2_floor(3), 2u);
+  EXPECT_EQ(pow2_floor(1023), 512u);
+  EXPECT_EQ(pow2_floor(1024), 1024u);
+}
+
+TEST(Rounding, Pow4Ceil) {
+  EXPECT_EQ(pow4_ceil(0), 1u);
+  EXPECT_EQ(pow4_ceil(1), 1u);
+  EXPECT_EQ(pow4_ceil(2), 4u);
+  EXPECT_EQ(pow4_ceil(4), 4u);
+  EXPECT_EQ(pow4_ceil(5), 16u);
+  EXPECT_EQ(pow4_ceil(65), 256u);
+}
+
+TEST(Rounding, CeilLog4Ratio) {
+  EXPECT_EQ(ceil_log4_ratio(1, 1), 0u);
+  EXPECT_EQ(ceil_log4_ratio(3, 1), 1u);
+  EXPECT_EQ(ceil_log4_ratio(4, 1), 1u);
+  EXPECT_EQ(ceil_log4_ratio(5, 1), 2u);
+  EXPECT_EQ(ceil_log4_ratio(100, 25), 1u);
+  EXPECT_EQ(ceil_log4_ratio(101, 25), 2u);
+  // lambda = 4^{-r} >= D_mu/(4 D): r = ceil(log4(D/D_mu)).
+  EXPECT_EQ(ceil_log4_ratio(64, 1), 3u);
+}
+
+}  // namespace
+}  // namespace ldc::oldc

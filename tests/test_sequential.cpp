@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/coloring/validate.hpp"
+#include "ldc/graph/builder.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/sequential/euler.hpp"
+#include "ldc/sequential/list_arbdefective.hpp"
+#include "ldc/sequential/list_defective.hpp"
+#include "ldc/support/math.hpp"
+
+namespace ldc {
+namespace {
+
+TEST(Euler, OutdegreeAtMostHalfCeil) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = gen::gnp(80, 0.08, seed);
+    const Orientation o = sequential::euler_orientation(g);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_LE(o.outdeg(v), ceil_div(g.degree(v), 2)) << "node " << v;
+    }
+  }
+}
+
+TEST(Euler, OddDegreeGraph) {
+  const Graph g = gen::clique(4);  // all degrees 3 (odd)
+  const Orientation o = sequential::euler_orientation(g);
+  for (NodeId v = 0; v < g.n(); ++v) EXPECT_LE(o.outdeg(v), 2u);
+  // Every edge oriented exactly once.
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < g.n(); ++v) total += o.outdeg(v);
+  EXPECT_EQ(total, g.m());
+}
+
+TEST(Euler, DisconnectedComponents) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  const Orientation o = sequential::euler_orientation(g);
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < g.n(); ++v) {
+    total += o.outdeg(v);
+    EXPECT_LE(o.outdeg(v), ceil_div(g.degree(v), 2));
+  }
+  EXPECT_EQ(total, g.m());
+}
+
+TEST(SequentialLdc, ConditionPredicates) {
+  const Graph g = gen::clique(4);  // degrees 3
+  // Lists of weight 4 > 3: condition holds.
+  LdcInstance ok = uniform_defective_instance(g, 4, 0);
+  EXPECT_TRUE(sequential::satisfies_ldc_condition(ok));
+  // Weight 3 = deg: fails.
+  LdcInstance bad = uniform_defective_instance(g, 3, 0);
+  EXPECT_FALSE(sequential::satisfies_ldc_condition(bad));
+  // Arb condition: sum (2d+1): with d=1 and 1 color, weight 3 = deg fails;
+  // with 2 colors weight 6 > 3 holds.
+  LdcInstance arb1 = uniform_defective_instance(g, 1, 1);
+  EXPECT_FALSE(sequential::satisfies_arb_condition(arb1));
+  LdcInstance arb2 = uniform_defective_instance(g, 2, 1);
+  EXPECT_TRUE(sequential::satisfies_arb_condition(arb2));
+}
+
+TEST(SequentialLdc, SolvesProperColoringOnClique) {
+  const Graph g = gen::clique(8);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  auto phi = sequential::solve_list_defective(inst);
+  ASSERT_TRUE(phi.has_value());
+  EXPECT_TRUE(validate_ldc(inst, *phi).ok);
+  EXPECT_TRUE(validate_proper(g, *phi).ok);
+}
+
+TEST(SequentialLdc, SolvesAtTheExistenceThreshold) {
+  // K_{D+1} with c colors and defect d such that c(d+1) = D+1 > D: the
+  // tight sufficient condition of Lemma A.1.
+  const std::uint32_t d = 2, c = 3;
+  const Graph g = gen::clique(c * (d + 1));  // Delta = c(d+1)-1
+  const LdcInstance inst = uniform_defective_instance(g, c, d);
+  ASSERT_TRUE(sequential::satisfies_ldc_condition(inst));
+  auto phi = sequential::solve_list_defective(inst);
+  ASSERT_TRUE(phi.has_value());
+  EXPECT_TRUE(validate_ldc(inst, *phi).ok);
+}
+
+TEST(SequentialLdc, StepBoundFromPotential) {
+  const Graph g = gen::gnp(60, 0.15, 3);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  sequential::RecolorStats stats;
+  auto phi = sequential::solve_list_defective(inst, &stats);
+  ASSERT_TRUE(phi.has_value());
+  // Lemma A.1: steps bounded by the initial potential <= 3|E| + n.
+  EXPECT_LE(stats.steps, 3 * g.m() + g.n());
+}
+
+TEST(SequentialLdc, HeterogeneousLists) {
+  // Random per-node lists with random defects meeting the weight condition.
+  const Graph g = gen::random_regular(50, 4, 9);
+  RandomLdcParams p;
+  p.color_space = 64;
+  p.one_plus_nu = 1.0;  // weight condition sum (d+1) >= deg * kappa
+  p.kappa = 1.5;
+  p.max_defect = 2;
+  p.seed = 12;
+  const LdcInstance inst = random_weighted_instance(g, p);
+  ASSERT_TRUE(sequential::satisfies_ldc_condition(inst));
+  auto phi = sequential::solve_list_defective(inst);
+  ASSERT_TRUE(phi.has_value());
+  EXPECT_TRUE(validate_ldc(inst, *phi).ok);
+}
+
+TEST(SequentialLdc, RecoversFromCorruptedInitialColoring) {
+  const Graph g = gen::clique(6);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  const Coloring corrupted(g.n(), 0);  // everyone color 0
+  auto phi = sequential::solve_list_defective(inst, nullptr, &corrupted);
+  ASSERT_TRUE(phi.has_value());
+  EXPECT_TRUE(validate_ldc(inst, *phi).ok);
+}
+
+TEST(SequentialLdc, ReturnsNulloptWhenInfeasible) {
+  // K_3, one color, defect 0: impossible.
+  const Graph g = gen::clique(3);
+  const LdcInstance inst = uniform_defective_instance(g, 1, 0);
+  EXPECT_FALSE(sequential::solve_list_defective(inst).has_value());
+}
+
+TEST(SequentialArb, SolvesAtArbThreshold) {
+  // Lemma A.2 condition: c(2d+1) > Delta. K_6 with c=2, d=1: 2*3=6 > 5.
+  const Graph g = gen::clique(6);
+  const LdcInstance inst = uniform_defective_instance(g, 2, 1);
+  ASSERT_TRUE(sequential::satisfies_arb_condition(inst));
+  auto out = sequential::solve_list_arbdefective(inst);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(validate_arbdefective(inst, *out).ok);
+}
+
+TEST(SequentialArb, RandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = gen::gnp(40, 0.2, seed);
+    RandomLdcParams p;
+    p.color_space = 128;
+    p.one_plus_nu = 1.0;
+    p.kappa = 2.0;  // sum (d+1) >= 2 deg  =>  sum (2d+1) > deg
+    p.max_defect = 3;
+    p.seed = seed + 100;
+    const LdcInstance inst = random_weighted_instance(g, p);
+    ASSERT_TRUE(sequential::satisfies_arb_condition(inst));
+    auto out = sequential::solve_list_arbdefective(inst);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_TRUE(validate_arbdefective(inst, *out).ok);
+  }
+}
+
+TEST(SequentialArb, OrientationCoversAllEdges) {
+  const Graph g = gen::clique(6);
+  const LdcInstance inst = uniform_defective_instance(g, 2, 1);
+  auto out = sequential::solve_list_arbdefective(inst);
+  ASSERT_TRUE(out.has_value());
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < g.n(); ++v) total += out->orientation.outdeg(v);
+  EXPECT_EQ(total, g.m());
+}
+
+}  // namespace
+}  // namespace ldc

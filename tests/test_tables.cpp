@@ -1,0 +1,55 @@
+#include "ldc/support/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ldc {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo", {"a", "bb", "ccc"});
+  t.add_row({std::uint64_t{1}, std::string("x"), 2.5});
+  t.add_row({std::uint64_t{10}, std::string("yy"), -0.125});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("ccc"), std::string::npos);
+  EXPECT_NE(out.find("2.500"), std::string::npos);
+  EXPECT_NE(out.find("-0.125"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t("align", {"col", "v"});
+  t.add_row({std::string("short"), std::uint64_t{1}});
+  t.add_row({std::string("much-longer-cell"), std::uint64_t{22}});
+  std::ostringstream os;
+  t.print(os);
+  // Every data line has the same length (fixed-width columns).
+  std::istringstream in(os.str());
+  std::string line;
+  std::getline(in, line);  // title
+  std::size_t len = 0;
+  int data_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '-') continue;
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+    ++data_lines;
+  }
+  EXPECT_EQ(data_lines, 3);  // header + 2 rows
+}
+
+TEST(Table, SignedAndUnsignedCells) {
+  Table t("cells", {"i64", "u64"});
+  t.add_row({std::int64_t{-5}, std::uint64_t{18446744073709551615ULL}});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("-5"), std::string::npos);
+  EXPECT_NE(os.str().find("18446744073709551615"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldc

@@ -1,0 +1,124 @@
+#include "ldc/runtime/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/d1lc/congest_colorer.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/runtime/network.hpp"
+
+namespace ldc {
+namespace {
+
+Message make_msg(std::uint64_t v, int bits) {
+  BitWriter w;
+  w.write(v, bits);
+  return Message::from(w);
+}
+
+TEST(Trace, RecordsPerRoundAggregates) {
+  const Graph g = gen::ring(4);
+  Network net(g);
+  Trace trace;
+  net.attach_trace(&trace);
+  trace.mark("phase-a");
+  net.exchange_broadcast(std::vector<Message>(4, make_msg(1, 8)));
+  trace.mark("phase-b");
+  net.exchange_broadcast(std::vector<Message>(4, make_msg(1, 4)));
+  ASSERT_EQ(trace.rounds().size(), 2u);
+  EXPECT_EQ(trace.rounds()[0].messages, 8u);
+  EXPECT_EQ(trace.rounds()[0].bits, 64u);
+  EXPECT_EQ(trace.rounds()[0].max_message_bits, 8u);
+  EXPECT_EQ(trace.rounds()[0].mark, "phase-a");
+  EXPECT_EQ(trace.rounds()[1].bits, 32u);
+  EXPECT_EQ(trace.rounds()[1].mark, "phase-b");
+}
+
+TEST(Trace, DigestDistinguishesTranscripts) {
+  const Graph g = gen::ring(4);
+  Trace a, b, c;
+  {
+    Network net(g);
+    net.attach_trace(&a);
+    net.exchange_broadcast(std::vector<Message>(4, make_msg(1, 8)));
+  }
+  {
+    Network net(g);
+    net.attach_trace(&b);
+    net.exchange_broadcast(std::vector<Message>(4, make_msg(1, 8)));
+  }
+  {
+    Network net(g);
+    net.attach_trace(&c);
+    net.exchange_broadcast(std::vector<Message>(4, make_msg(1, 9)));
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(Trace, PipelineTranscriptIsDeterministic) {
+  Graph g = gen::gnp(48, 0.15, 4);
+  gen::scramble_ids(g, 1 << 20, 5);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  auto run = [&]() {
+    Network net(g);
+    Trace t;
+    net.attach_trace(&t);
+    d1lc::color(net, inst);
+    return t.digest();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Trace, PrintGroupsByMark) {
+  Trace t;
+  t.mark("setup");
+  t.record_round(2, 16, 8);
+  t.record_round(2, 16, 8);
+  t.mark("solve");
+  t.record_round(1, 4, 4);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("--- setup ---"), std::string::npos);
+  EXPECT_NE(out.find("--- solve ---"), std::string::npos);
+  EXPECT_NE(out.find("round 2: 1 msgs, 4 bits"), std::string::npos);
+}
+
+TEST(Trace, SolverPhaseMarksAppear) {
+  // Solvers label their phases on the attached trace; a pipeline run must
+  // show the linial and Theorem 1.3 sections in order.
+  Graph g = gen::gnp(40, 0.15, 6);
+  gen::scramble_ids(g, 1 << 20, 7);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Network net(g);
+  Trace t;
+  net.attach_trace(&t);
+  d1lc::color(net, inst);
+  bool saw_linial = false, saw_t13 = false;
+  std::size_t first_linial = 0, first_t13 = 0;
+  for (std::size_t i = 0; i < t.rounds().size(); ++i) {
+    const auto& mark = t.rounds()[i].mark;
+    if (!saw_linial && mark == "pipeline/linial") {
+      saw_linial = true;
+      first_linial = i;
+    }
+    if (!saw_t13 && mark == "pipeline/theorem-1.3") {
+      saw_t13 = true;
+      first_t13 = i;
+    }
+  }
+  EXPECT_TRUE(saw_linial);
+  EXPECT_TRUE(saw_t13);
+  EXPECT_LT(first_linial, first_t13);
+}
+
+TEST(Trace, EmptyTraceDigestStable) {
+  Trace a, b;
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+}  // namespace
+}  // namespace ldc

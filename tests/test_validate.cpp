@@ -1,0 +1,94 @@
+#include "ldc/coloring/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/graph/generators.hpp"
+
+namespace ldc {
+namespace {
+
+TEST(Validate, MembershipDetectsUncoloredAndForeignColor) {
+  const Graph g = gen::path(3);
+  LdcInstance inst = uniform_defective_instance(g, 2, 0);
+  Coloring phi = {0, 1, kUncolored};
+  auto r = validate_membership(inst, phi);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].node, 2u);
+
+  phi = {0, 5, 1};  // 5 not in the list
+  r = validate_membership(inst, phi);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.violations[0].node, 1u);
+}
+
+TEST(Validate, LdcDefectBudgets) {
+  const Graph g = gen::clique(3);
+  LdcInstance inst = uniform_defective_instance(g, 1, 1);
+  // All three nodes share color 0; each sees 2 same-colored neighbors but
+  // budget is 1 -> all violate.
+  const Coloring phi = {0, 0, 0};
+  auto r = validate_ldc(inst, phi);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.violations.size(), 3u);
+
+  LdcInstance relaxed = uniform_defective_instance(g, 1, 2);
+  EXPECT_TRUE(validate_ldc(relaxed, phi).ok);
+}
+
+TEST(Validate, GeneralizedGCountsNearbyColors) {
+  const Graph g = gen::path(2);
+  LdcInstance inst = uniform_defective_instance(g, 10, 0);
+  const Coloring phi = {3, 5};
+  EXPECT_TRUE(validate_ldc(inst, phi, /*g=*/0).ok);
+  EXPECT_TRUE(validate_ldc(inst, phi, /*g=*/1).ok);
+  EXPECT_FALSE(validate_ldc(inst, phi, /*g=*/2).ok);  // |3-5| <= 2
+}
+
+TEST(Validate, OldcCountsOutNeighborsOnly) {
+  const Graph g = gen::path(2);
+  LdcInstance inst = uniform_defective_instance(g, 1, 0);
+  // Orient 0 -> 1. Node 0 has an out-conflict; node 1 does not.
+  std::vector<std::vector<NodeId>> out = {{1}, {}};
+  const Orientation o(g, std::move(out));
+  const Coloring phi = {0, 0};
+  auto r = validate_oldc(inst, o, phi);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].node, 0u);
+}
+
+TEST(Validate, ArbdefectiveUsesOutputOrientation) {
+  const Graph g = gen::clique(3);
+  LdcInstance inst = uniform_defective_instance(g, 1, 1);
+  // All same color; orient as a directed cycle so each node has exactly
+  // one same-colored out-neighbor = within budget 1.
+  std::vector<std::vector<NodeId>> out = {{1}, {2}, {0}};
+  ArbdefectiveColoring ac{{0, 0, 0}, Orientation(g, std::move(out))};
+  EXPECT_TRUE(validate_arbdefective(inst, ac).ok);
+}
+
+TEST(Validate, ProperColoring) {
+  const Graph g = gen::ring(4);
+  EXPECT_TRUE(validate_proper(g, {0, 1, 0, 1}).ok);
+  EXPECT_FALSE(validate_proper(g, {0, 1, 0, 0}).ok);
+  EXPECT_FALSE(validate_proper(g, {0, 1, 0, kUncolored}).ok);
+}
+
+TEST(Validate, DefectiveColoring) {
+  const Graph g = gen::clique(4);
+  // 2 colors, defect 1: {0,0,1,1} gives each node exactly 1 same-color
+  // neighbor.
+  EXPECT_TRUE(validate_defective(g, {0, 0, 1, 1}, 2, 1).ok);
+  EXPECT_FALSE(validate_defective(g, {0, 0, 0, 1}, 2, 1).ok);
+  EXPECT_FALSE(validate_defective(g, {0, 0, 2, 1}, 2, 1).ok);  // color >= c
+}
+
+TEST(Validate, ColorsUsed) {
+  EXPECT_EQ(colors_used({0, 1, 1, 5, kUncolored}), 3u);
+  EXPECT_EQ(colors_used({}), 0u);
+}
+
+}  // namespace
+}  // namespace ldc
