@@ -1,0 +1,120 @@
+// M5 — serial vs parallel round-engine throughput (google-benchmark).
+//
+// Measures one synchronous round — a full-graph broadcast exchange plus a
+// per-node compute pass over the received messages — under the serial
+// engine and the sharded parallel engine at various thread counts, up to
+// n = 2^20 (~10^6) nodes at Delta = 64. The two engines are bit-for-bit
+// equivalent (tests/test_parallel_equivalence.cpp); this bench quantifies
+// the wall-clock side of that contract. Thread count 0 means "auto"
+// (LDC_THREADS / hardware concurrency), 1 is the serial code path.
+//
+// The workload graph is a circulant ring-lattice (v ~ v +- 1..32 mod n):
+// exactly Delta = 64 everywhere, O(n) to build — the configuration-model
+// generator would dominate setup at this size.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ldc/graph/generators.hpp"
+#include "ldc/linial/linial.hpp"
+#include "ldc/runtime/network.hpp"
+
+namespace {
+
+using namespace ldc;
+
+Graph circulant(std::uint32_t n, std::uint32_t half) {
+  std::vector<std::uint32_t> offsets(n + 1);
+  std::vector<NodeId> adj;
+  adj.reserve(static_cast<std::size_t>(n) * 2 * half);
+  std::vector<NodeId> nb;
+  for (NodeId v = 0; v < n; ++v) {
+    nb.clear();
+    for (std::uint32_t k = 1; k <= half; ++k) {
+      nb.push_back((v + k) % n);
+      nb.push_back((v + n - k) % n);
+    }
+    std::sort(nb.begin(), nb.end());
+    offsets[v + 1] = offsets[v] + static_cast<std::uint32_t>(nb.size());
+    adj.insert(adj.end(), nb.begin(), nb.end());
+  }
+  return Graph(std::move(offsets), std::move(adj));
+}
+
+const Graph& cached_circulant(std::uint32_t n, std::uint32_t half) {
+  static std::map<std::pair<std::uint32_t, std::uint32_t>, Graph> cache;
+  auto it = cache.find({n, half});
+  if (it == cache.end()) {
+    it = cache.emplace(std::make_pair(n, half), circulant(n, half)).first;
+  }
+  return it->second;
+}
+
+void configure(Network& net, std::int64_t threads) {
+  if (threads != 1) {
+    net.set_engine(Network::Engine::kParallel,
+                   static_cast<std::size_t>(threads));
+  }
+}
+
+// One round: everyone broadcasts 16 bits, then every node folds its inbox
+// (the shape of every colorer's per-round work).
+void BM_ExchangeCompute(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto deg = static_cast<std::uint32_t>(state.range(1));
+  const Graph& g = cached_circulant(n, deg / 2);
+  Network net(g);
+  configure(net, state.range(2));
+  BitWriter w;
+  w.write(0xbeef, 16);
+  const std::vector<Message> msgs(g.n(), Message::from(w));
+  std::vector<std::uint64_t> acc(g.n());
+  for (auto _ : state) {
+    const auto inboxes = net.exchange_broadcast(msgs);
+    net.run_node_programs([&](NodeId v) {
+      std::uint64_t s = 0;
+      for (const auto& [u, m] : inboxes[v]) {
+        auto r = m.reader();
+        s += r.read(16) + u;
+      }
+      acc[v] = s;
+    });
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.counters["threads"] =
+      static_cast<double>(net.threads());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.n() * deg);
+}
+BENCHMARK(BM_ExchangeCompute)
+    ->Args({1 << 16, 64, 1})
+    ->Args({1 << 16, 64, 2})
+    ->Args({1 << 16, 64, 4})
+    ->Args({1 << 16, 64, 0})
+    ->Args({1 << 20, 64, 1})
+    ->Args({1 << 20, 64, 0})
+    ->Unit(benchmark::kMillisecond);
+
+// Full algorithm under both engines: Linial to the fixpoint palette.
+void BM_LinialEngines(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const Graph& g = cached_circulant(n, 8);  // Delta = 16
+  for (auto _ : state) {
+    Network net(g);
+    configure(net, state.range(1));
+    benchmark::DoNotOptimize(linial::color(net).palette);
+  }
+}
+BENCHMARK(BM_LinialEngines)
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 0})
+    ->Args({1 << 17, 1})
+    ->Args({1 << 17, 0})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

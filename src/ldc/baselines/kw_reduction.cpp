@@ -20,21 +20,21 @@ KwResult kw_reduce(Network& net, const Coloring& initial, std::uint64_t m) {
   std::vector<std::vector<Color>> nb_color(g.n());
   {
     std::vector<Message> msgs(g.n());
-    for (NodeId v = 0; v < g.n(); ++v) {
+    net.run_node_programs([&](NodeId v) {
       BitWriter w;
       w.write_bounded(res.phi[v], m - 1);
       msgs[v] = Message::from(w);
-    }
+    });
     const auto in = net.exchange_broadcast(msgs);
     ++res.rounds;
-    for (NodeId v = 0; v < g.n(); ++v) {
+    net.run_node_programs([&](NodeId v) {
       nb_color[v].resize(g.degree(v));
       for (const auto& [u, msg] : in[v]) {
         auto r = msg.reader();
         nb_color[v][g.neighbor_index(v, u)] =
             static_cast<Color>(r.read_bounded(m - 1));
       }
-    }
+    });
   }
 
   while (res.palette > B) {
@@ -44,10 +44,13 @@ KwResult kw_reduce(Network& net, const Coloring& initial, std::uint64_t m) {
       std::vector<Message> msgs(g.n());
       std::vector<bool> active(g.n(), false);
       std::vector<Color> next = res.phi;
-      for (NodeId v = 0; v < g.n(); ++v) {
+      // Parallel pass picks colors into `recolor`; vector<bool> writes are
+      // not per-element thread-safe, so the mask is set serially below.
+      std::vector<Color> recolor(g.n(), kUncolored);
+      net.run_node_programs([&](NodeId v) {
         const std::uint64_t c = res.phi[v];
         const std::uint64_t block = c / (2 * B);
-        if (c % (2 * B) != B + off) continue;  // not this round's class
+        if (c % (2 * B) != B + off) return;  // not this round's class
         // Pick a free color in [2*block*B, 2*block*B + B).
         const std::uint64_t lo = 2 * block * B;
         Color chosen = kUncolored;
@@ -67,21 +70,25 @@ KwResult kw_reduce(Network& net, const Coloring& initial, std::uint64_t m) {
         if (chosen == kUncolored) {
           throw std::logic_error("kw_reduce: no free color in block");
         }
-        next[v] = chosen;
-        active[v] = true;
+        recolor[v] = chosen;
         BitWriter w;
         w.write_bounded(chosen, res.palette - 1);
         msgs[v] = Message::from(w);
+      });
+      for (NodeId v = 0; v < g.n(); ++v) {
+        if (recolor[v] == kUncolored) continue;
+        next[v] = recolor[v];
+        active[v] = true;
       }
       const auto in = net.exchange_broadcast(msgs, &active);
       ++res.rounds;
-      for (NodeId v = 0; v < g.n(); ++v) {
+      net.run_node_programs([&](NodeId v) {
         for (const auto& [u, msg] : in[v]) {
           auto r = msg.reader();
           nb_color[v][g.neighbor_index(v, u)] =
               static_cast<Color>(r.read_bounded(res.palette - 1));
         }
-      }
+      });
       res.phi = std::move(next);
     }
     // Renumber: block k's lower half [2kB, 2kB+B) -> [kB, kB+B).
@@ -89,10 +96,10 @@ KwResult kw_reduce(Network& net, const Coloring& initial, std::uint64_t m) {
       const std::uint64_t block = c / (2 * B);
       return static_cast<Color>(block * B + (c % (2 * B)));
     };
-    for (NodeId v = 0; v < g.n(); ++v) {
+    net.run_node_programs([&](NodeId v) {
       res.phi[v] = renumber(res.phi[v]);
       for (auto& c : nb_color[v]) c = renumber(c);
-    }
+    });
     res.palette = ceil_div(res.palette, 2 * B) * B;
   }
   return res;

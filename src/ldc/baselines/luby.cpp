@@ -39,7 +39,7 @@ LubyResult luby_list_coloring(Network& net, const LdcInstance& inst,
     // Wire format: 1 bit fixed? + color.
     std::vector<Color> proposal(g.n(), kUncolored);
     std::vector<Message> msgs(g.n());
-    for (NodeId v = 0; v < g.n(); ++v) {
+    net.run_node_programs([&](NodeId v) {
       BitWriter w;
       if (res.phi[v] != kUncolored) {
         w.write(1, 1);
@@ -56,12 +56,12 @@ LubyResult luby_list_coloring(Network& net, const LdcInstance& inst,
         w.write_bounded(proposal[v], space - 1);
       }
       msgs[v] = Message::from(w);
-    }
+    });
     const auto inboxes = net.exchange_broadcast(msgs);
     ++res.rounds;
 
-    for (NodeId v = 0; v < g.n(); ++v) {
-      if (res.phi[v] != kUncolored || proposal[v] == kUncolored) continue;
+    net.run_node_programs([&](NodeId v) {
+      if (res.phi[v] != kUncolored || proposal[v] == kUncolored) return;
       bool keep = true;
       for (const auto& [u, m] : inboxes[v]) {
         (void)u;
@@ -81,12 +81,14 @@ LubyResult luby_list_coloring(Network& net, const LdcInstance& inst,
         // Prune this color from neighbors' availability next round via the
         // fixed-color broadcast (handled below on receipt).
       }
-    }
+    });
     // Prune availability with colors announced as *fixed* in this round's
     // messages (colors fixed this very round are only visible — and only
-    // pruned — from the next round's rebroadcast).
-    for (NodeId v = 0; v < g.n(); ++v) {
-      if (res.phi[v] != kUncolored) continue;
+    // pruned — from the next round's rebroadcast). Safe in parallel: the
+    // decision pass above writes phi[v] before this pass reads it, and the
+    // two passes are separated by a pool barrier.
+    net.run_node_programs([&](NodeId v) {
+      if (res.phi[v] != kUncolored) return;
       for (const auto& [u, m] : inboxes[v]) {
         (void)u;
         auto r = m.reader();
@@ -100,7 +102,7 @@ LubyResult luby_list_coloring(Network& net, const LdcInstance& inst,
           }
         }
       }
-    }
+    });
   }
   return res;
 }

@@ -22,15 +22,15 @@ std::uint64_t reduce_once(Network& net, Coloring& phi, std::uint64_t palette,
 
   // Round: everyone broadcasts its current color (O(log palette) bits).
   std::vector<Message> msgs(g.n());
-  for (NodeId v = 0; v < g.n(); ++v) {
+  net.run_node_programs([&](NodeId v) {
     BitWriter w;
     w.write_bounded(phi[v], palette - 1);
     msgs[v] = Message::from(w);
-  }
+  });
   const auto inboxes = net.exchange_broadcast(msgs);
 
   Coloring next(g.n());
-  for (NodeId v = 0; v < g.n(); ++v) {
+  net.run_node_programs([&](NodeId v) {
     // Conflicting neighbors' colors.
     std::vector<std::uint64_t> conflict_colors;
     for (const auto& [u, m] : inboxes[v]) {
@@ -63,7 +63,7 @@ std::uint64_t reduce_once(Network& net, Coloring& phi, std::uint64_t palette,
           "coloring was not proper w.r.t. the conflict sets");
     }
     next[v] = static_cast<Color>(fam.element(phi[v], best_x));
-  }
+  });
   phi = std::move(next);
   return fam.output_space();
 }
@@ -87,9 +87,8 @@ Result color_from(Network& net, Coloring phi, std::uint64_t palette,
 Result color(Network& net, const Options& opt) {
   const Graph& g = net.graph();
   Coloring phi(g.n());
-  for (NodeId v = 0; v < g.n(); ++v) {
-    phi[v] = static_cast<Color>(g.id(v));
-  }
+  net.run_node_programs(
+      [&](NodeId v) { phi[v] = static_cast<Color>(g.id(v)); });
   return color_from(net, std::move(phi), g.max_id() + 1, opt);
 }
 

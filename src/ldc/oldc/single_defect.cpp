@@ -93,16 +93,18 @@ OldcResult solve_single_defect(Network& net, const SingleDefectInput& in) {
   std::vector<std::vector<NeighborInfo>> nb(n);
   {
     std::vector<Message> msgs(n);
-    for (NodeId v = 0; v < n; ++v) {
+    net.run_node_programs([&](NodeId v) {
       BitWriter w;
       w.write_bounded((*in.initial)[v], in.m - 1);
       w.write_bounded(gamma[v], h);
       w.write_varint(in.defects[v]);
       encode_color_list(w, restricted[v], in.color_space);
       msgs[v] = Message::from(w);
-    }
+    });
     const auto inboxes = net.exchange_broadcast(msgs);
     ++res.stats.rounds;
+    // Serial decode: FamilyCache is shared-mutable (memoizes candidate
+    // families across equal-typed nodes), so this pass must not fan out.
     for (NodeId v = 0; v < n; ++v) {
       nb[v].resize(g.degree(v));
       for (const auto& [u, m] : inboxes[v]) {
@@ -128,7 +130,8 @@ OldcResult solve_single_defect(Network& net, const SingleDefectInput& in) {
   // --- Local P1: pick the candidate set with the fewest conflicted
   // out-neighbors of gamma-class <= own.
   std::vector<std::uint32_t> chosen_index(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
+  std::vector<std::uint8_t> p1_relaxed(n, 0);
+  net.run_node_programs([&](NodeId v) {
     const auto kv = family[v]->view();
     std::uint32_t best_j = 0;
     std::uint32_t best_dc = ~0u;
@@ -152,21 +155,22 @@ OldcResult solve_single_defect(Network& net, const SingleDefectInput& in) {
       }
     }
     chosen_index[v] = best_j;
-    if (2 * best_dc > in.defects[v]) ++res.stats.p1_relaxed;
-  }
+    p1_relaxed[v] = (2 * best_dc > in.defects[v]) ? 1 : 0;
+  });
+  for (NodeId v = 0; v < n; ++v) res.stats.p1_relaxed += p1_relaxed[v];
 
   // --- Round 2: broadcast the chosen candidate index.
   net.mark("oldc/p1-index");
   {
     std::vector<Message> msgs(n);
-    for (NodeId v = 0; v < n; ++v) {
+    net.run_node_programs([&](NodeId v) {
       BitWriter w;
       w.write_bounded(chosen_index[v], in.params.kprime - 1);
       msgs[v] = Message::from(w);
-    }
+    });
     const auto inboxes = net.exchange_broadcast(msgs);
     ++res.stats.rounds;
-    for (NodeId v = 0; v < n; ++v) {
+    net.run_node_programs([&](NodeId v) {
       for (const auto& [u, m] : inboxes[v]) {
         auto r = m.reader();
         const auto j = static_cast<std::uint32_t>(
@@ -175,7 +179,7 @@ OldcResult solve_single_defect(Network& net, const SingleDefectInput& in) {
         info.chosen_set = info.family->set(
             std::min(j, info.family->size() - 1));
       }
-    }
+    });
   }
 
   // --- Problem P0: descending gamma-classes pick minimum-frequency colors.
@@ -184,8 +188,9 @@ OldcResult solve_single_defect(Network& net, const SingleDefectInput& in) {
   for (std::uint32_t cls = h; cls >= 1; --cls) {
     std::vector<Message> msgs(n);
     std::vector<bool> active(n, false);
-    for (NodeId v = 0; v < n; ++v) {
-      if (gamma[v] != cls) continue;
+    for (NodeId v = 0; v < n; ++v) active[v] = (gamma[v] == cls);
+    net.run_node_programs([&](NodeId v) {
+      if (gamma[v] != cls) return;
       const auto cv = my_set(v);
       Color best = cv.empty() ? restricted[v].front() : cv.front();
       std::uint64_t best_f = ~0ULL;
@@ -210,20 +215,19 @@ OldcResult solve_single_defect(Network& net, const SingleDefectInput& in) {
         }
       }
       res.phi[v] = best;
-      active[v] = true;
       BitWriter w;
       w.write_bounded(best, in.color_space - 1);
       msgs[v] = Message::from(w);
-    }
+    });
     const auto inboxes = net.exchange_broadcast(msgs, &active);
     ++res.stats.rounds;
-    for (NodeId v = 0; v < n; ++v) {
+    net.run_node_programs([&](NodeId v) {
       for (const auto& [u, m] : inboxes[v]) {
         auto r = m.reader();
         nb[v][g.neighbor_index(v, u)].chosen_color =
             static_cast<Color>(r.read_bounded(in.color_space - 1));
       }
-    }
+    });
   }
 
   // --- Validate; repair if the pigeonhole margin was missed.

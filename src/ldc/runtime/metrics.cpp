@@ -11,13 +11,22 @@ void RunMetrics::merge(const RunMetrics& other) {
   total_bits += other.total_bits;
   max_message_bits = std::max(max_message_bits, other.max_message_bits);
   congest_violations += other.congest_violations;
+  wall_ns += other.wall_ns;
+}
+
+bool RunMetrics::same_communication(const RunMetrics& other) const {
+  return rounds == other.rounds && messages == other.messages &&
+         total_bits == other.total_bits &&
+         max_message_bits == other.max_message_bits &&
+         congest_violations == other.congest_violations;
 }
 
 std::ostream& operator<<(std::ostream& os, const RunMetrics& m) {
   return os << "rounds=" << m.rounds << " messages=" << m.messages
             << " total_bits=" << m.total_bits
             << " max_message_bits=" << m.max_message_bits
-            << " congest_violations=" << m.congest_violations;
+            << " congest_violations=" << m.congest_violations
+            << " wall_ms=" << (static_cast<double>(m.wall_ns) / 1e6);
 }
 
 }  // namespace ldc

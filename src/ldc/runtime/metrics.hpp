@@ -3,6 +3,11 @@
 // These are the paper's two cost measures: round complexity (synchronous
 // rounds used) and message size (bits per message). Metrics are exact —
 // every bit crossing an edge is accounted.
+//
+// wall_ns is the one observational (non-model) field: host wall-clock time
+// spent simulating exchanges and node programs. It exists so engine
+// speedups are measurable; it is excluded from determinism comparisons and
+// trace digests, which cover the model-exact fields only.
 #pragma once
 
 #include <cstddef>
@@ -17,9 +22,14 @@ struct RunMetrics {
   std::uint64_t total_bits = 0;       ///< sum of message sizes
   std::size_t max_message_bits = 0;   ///< largest single message
   std::uint64_t congest_violations = 0;  ///< messages over the bit budget
+  std::uint64_t wall_ns = 0;  ///< host time simulating (observational)
 
   /// Accumulates a sub-run (e.g. a subroutine's own Network).
   void merge(const RunMetrics& other);
+
+  /// True when all model-exact fields match; wall_ns is ignored. This is
+  /// the equivalence the cross-engine test suite asserts.
+  bool same_communication(const RunMetrics& other) const;
 };
 
 std::ostream& operator<<(std::ostream& os, const RunMetrics& m);

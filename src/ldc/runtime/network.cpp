@@ -1,9 +1,37 @@
 #include "ldc/runtime/network.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 namespace ldc {
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void Network::set_engine(Engine engine, std::size_t threads) {
+  engine_ = engine;
+  if (engine == Engine::kSerial) {
+    pool_.reset();
+    return;
+  }
+  const std::size_t t =
+      threads == 0 ? ThreadPool::default_thread_count() : threads;
+  if (t <= 1) {
+    pool_.reset();  // one lane: run the exact serial code path
+    return;
+  }
+  if (pool_ == nullptr || pool_->size() != t) {
+    pool_ = std::make_unique<ThreadPool>(t);
+  }
+}
 
 void Network::account(const Message& m) {
   ++metrics_.messages;
@@ -20,16 +48,17 @@ void Network::account(const Message& m) {
   }
 }
 
-std::vector<Network::Inbox> Network::exchange(
-    const std::vector<Outbox>& outboxes) {
-  const auto n = graph_->n();
-  if (outboxes.size() != n) {
-    throw std::invalid_argument("Network::exchange: outbox count != n");
+void Network::check_budget(const Message& m) const {
+  if (budget_bits_ != 0 && m.bit_count() > budget_bits_ && strict_) {
+    throw CongestViolation("message of " + std::to_string(m.bit_count()) +
+                           " bits exceeds CONGEST budget of " +
+                           std::to_string(budget_bits_));
   }
-  ++metrics_.rounds;
-  const std::uint64_t msgs_before = metrics_.messages;
-  const std::uint64_t bits_before = metrics_.total_bits;
-  std::size_t round_max_bits = 0;
+}
+
+std::vector<Network::Inbox> Network::exchange_serial(
+    const std::vector<Outbox>& outboxes, std::size_t& round_max_bits) {
+  const auto n = graph_->n();
   std::vector<Inbox> inboxes(n);
   for (NodeId u = 0; u < n; ++u) {
     for (const auto& [dest, msg] : outboxes[u]) {
@@ -46,9 +75,120 @@ std::vector<Network::Inbox> Network::exchange(
     std::sort(inbox.begin(), inbox.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
   }
+  return inboxes;
+}
+
+std::vector<Network::Inbox> Network::exchange_parallel(
+    const std::vector<Outbox>& outboxes, std::size_t& round_max_bits) {
+  const auto n = graph_->n();
+  // Per-shard staging: metrics and per-destination message counts. Shards
+  // are contiguous ascending sender ranges, so concatenating them in shard
+  // order reproduces the serial sender order exactly.
+  struct Shard {
+    RunMetrics metrics;
+    std::size_t round_max_bits = 0;
+    std::vector<std::uint32_t> counts;  ///< then: write cursors per dest
+  };
+  const std::size_t lanes = std::min<std::size_t>(pool_->size(), n);
+  std::vector<Shard> shards(lanes);
+
+  // Pass 1 (by sender): validate, account into the shard, count per dest.
+  // Exception order matches serial: parallel_for rethrows the lowest chunk
+  // = lowest sender, and account() text is position-independent.
+  pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t t) {
+    Shard& sh = shards[t];
+    sh.counts.assign(n, 0);
+    for (std::size_t u = b; u < e; ++u) {
+      for (const auto& [dest, msg] : outboxes[u]) {
+        if (!graph_->has_edge(static_cast<NodeId>(u), dest)) {
+          throw std::invalid_argument(
+              "Network::exchange: message to non-neighbor");
+        }
+        ++sh.metrics.messages;
+        sh.metrics.total_bits += msg.bit_count();
+        sh.metrics.max_message_bits =
+            std::max(sh.metrics.max_message_bits, msg.bit_count());
+        if (budget_bits_ != 0 && msg.bit_count() > budget_bits_) {
+          ++sh.metrics.congest_violations;
+          check_budget(msg);
+        }
+        sh.round_max_bits = std::max(sh.round_max_bits, msg.bit_count());
+        ++sh.counts[dest];
+      }
+    }
+  });
+
+  // Pass 2 (by destination): turn counts into shard start cursors and size
+  // each inbox to its exact final length.
+  std::vector<Inbox> inboxes(n);
+  pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t dest = b; dest < e; ++dest) {
+      std::uint32_t total = 0;
+      for (auto& sh : shards) {
+        const std::uint32_t c = sh.counts[dest];
+        sh.counts[dest] = total;
+        total += c;
+      }
+      inboxes[dest].resize(total);
+    }
+  });
+
+  // Pass 3 (by sender, same sharding): write messages at the shard's
+  // cursor — disjoint slots, and slot order equals serial insert order.
+  pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t t) {
+    Shard& sh = shards[t];
+    for (std::size_t u = b; u < e; ++u) {
+      for (const auto& [dest, msg] : outboxes[u]) {
+        inboxes[dest][sh.counts[dest]++] = {static_cast<NodeId>(u), msg};
+      }
+    }
+  });
+
+  // Pass 4 (by destination): the same sort over the same input permutation
+  // as the serial engine.
+  pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t dest = b; dest < e; ++dest) {
+      std::sort(
+          inboxes[dest].begin(), inboxes[dest].end(),
+          [](const auto& a, const auto& b2) { return a.first < b2.first; });
+    }
+  });
+
+  // Deterministic merge: all folds are sums / maxes, so the totals equal
+  // the serial accounting regardless of shard boundaries.
+  for (const Shard& sh : shards) {
+    metrics_.messages += sh.metrics.messages;
+    metrics_.total_bits += sh.metrics.total_bits;
+    metrics_.max_message_bits =
+        std::max(metrics_.max_message_bits, sh.metrics.max_message_bits);
+    metrics_.congest_violations += sh.metrics.congest_violations;
+    round_max_bits = std::max(round_max_bits, sh.round_max_bits);
+  }
+  return inboxes;
+}
+
+std::vector<Network::Inbox> Network::exchange(
+    const std::vector<Outbox>& outboxes) {
+  const auto n = graph_->n();
+  if (outboxes.size() != n) {
+    throw std::invalid_argument("Network::exchange: outbox count != n");
+  }
+  ++metrics_.rounds;
+  const std::uint64_t msgs_before = metrics_.messages;
+  const std::uint64_t bits_before = metrics_.total_bits;
+  std::size_t round_max_bits = 0;
+  const std::uint64_t t0 = now_ns();
+  std::vector<Inbox> inboxes =
+      (pool_ != nullptr && pool_->size() > 1)
+          ? exchange_parallel(outboxes, round_max_bits)
+          : exchange_serial(outboxes, round_max_bits);
+  const std::uint64_t wall_ns = (now_ns() - t0) + pending_compute_ns_;
+  pending_compute_ns_ = 0;
+  metrics_.wall_ns += wall_ns;
   if (trace_ != nullptr) {
     trace_->record_round(metrics_.messages - msgs_before,
-                         metrics_.total_bits - bits_before, round_max_bits);
+                         metrics_.total_bits - bits_before, round_max_bits,
+                         wall_ns);
   }
   return inboxes;
 }
@@ -56,14 +196,38 @@ std::vector<Network::Inbox> Network::exchange(
 std::vector<Network::Inbox> Network::exchange_broadcast(
     const std::vector<Message>& msgs, const std::vector<bool>* active) {
   const auto n = graph_->n();
+  if (msgs.size() != n) {
+    throw std::invalid_argument(
+        "Network::exchange_broadcast: msgs count != n");
+  }
+  if (active != nullptr && active->size() != n) {
+    throw std::invalid_argument(
+        "Network::exchange_broadcast: active mask size != n");
+  }
   std::vector<Outbox> outboxes(n);
-  for (NodeId u = 0; u < n; ++u) {
-    if (active != nullptr && !(*active)[u]) continue;
+  run_node_programs([&](NodeId u) {
+    if (active != nullptr && !(*active)[u]) return;
     const auto nb = graph_->neighbors(u);
     outboxes[u].reserve(nb.size());
     for (NodeId v : nb) outboxes[u].emplace_back(v, msgs[u]);
-  }
+  });
   return exchange(outboxes);
+}
+
+void Network::run_node_programs(const std::function<void(NodeId)>& fn) {
+  const auto n = graph_->n();
+  const std::uint64_t t0 = now_ns();
+  if (pool_ != nullptr && pool_->size() > 1) {
+    pool_->parallel_for(n,
+                        [&](std::size_t b, std::size_t e, std::size_t) {
+                          for (std::size_t v = b; v < e; ++v) {
+                            fn(static_cast<NodeId>(v));
+                          }
+                        });
+  } else {
+    for (NodeId v = 0; v < n; ++v) fn(v);
+  }
+  pending_compute_ns_ += now_ns() - t0;
 }
 
 }  // namespace ldc

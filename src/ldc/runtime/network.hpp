@@ -10,9 +10,36 @@
 // A bit budget models CONGEST: any message exceeding the budget is counted
 // as a violation (and optionally throws in strict mode). Budget 0 means the
 // LOCAL model (unbounded messages).
+//
+// Execution engines. The simulator has two engines producing byte-identical
+// results (colors, metrics, trace digests) — the cross-engine equivalence
+// suite in tests/test_parallel_equivalence.cpp locks this down:
+//
+//  * kSerial (default): one thread walks all senders in node order.
+//  * kParallel: senders are sharded across a ThreadPool in contiguous
+//    node-order ranges; each shard validates and accounts its messages into
+//    per-shard staging (counts + RunMetrics), and the shards are merged in
+//    shard order. Because shards are contiguous and ascending, the merged
+//    inbox order equals the serial sender order exactly, so the final
+//    per-inbox sort sees the same input permutation and determinism is
+//    independent of thread count and schedule. Per-node compute runs
+//    through run_node_programs(), which fans node callbacks out over the
+//    same pool (callbacks must only write state owned by their node).
+//
+// Thread count: an explicit set_engine() parameter, else the LDC_THREADS
+// environment variable, else hardware concurrency. One thread reproduces
+// the exact serial code path. The only engine-visible difference is wall
+// time, which is recorded (metrics().wall_ns, Trace::Round::wall_ns) but
+// excluded from digests and equivalence.
+//
+// Error fidelity: both engines throw the same exception for the first
+// offending message in sender order (non-neighbor delivery, strict CONGEST
+// violation); metric values after a throw are unspecified under kParallel.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -20,6 +47,7 @@
 #include "ldc/graph/graph.hpp"
 #include "ldc/runtime/message.hpp"
 #include "ldc/runtime/metrics.hpp"
+#include "ldc/runtime/thread_pool.hpp"
 #include "ldc/runtime/trace.hpp"
 
 namespace ldc {
@@ -36,6 +64,8 @@ class Network {
   /// One received message with its sender.
   using Inbox = std::vector<std::pair<NodeId, Message>>;
 
+  enum class Engine { kSerial, kParallel };
+
   /// budget_bits == 0 => LOCAL model. strict => throw on budget violation.
   explicit Network(const Graph& g, std::size_t budget_bits = 0,
                    bool strict = false)
@@ -43,21 +73,47 @@ class Network {
 
   const Graph& graph() const { return *graph_; }
 
+  /// Selects the execution engine. threads == 0 resolves via LDC_THREADS /
+  /// hardware concurrency (ThreadPool::default_thread_count()); a resolved
+  /// count of 1 runs the serial code path. Results are engine-independent.
+  void set_engine(Engine engine, std::size_t threads = 0);
+
+  Engine engine() const { return engine_; }
+
+  /// Lanes the parallel engine uses (1 under kSerial).
+  std::size_t threads() const {
+    return pool_ == nullptr ? 1 : pool_->size();
+  }
+
   /// One synchronous round: delivers outboxes[u] (messages from u) and
   /// returns per-node inboxes, sorted by sender. Destinations must be
   /// neighbors of the sender and unique per round.
   std::vector<Inbox> exchange(const std::vector<Outbox>& outboxes);
 
   /// Convenience: every node with active[v] (or all nodes if active is
-  /// null) broadcasts msgs[v] to all its neighbors.
+  /// null) broadcasts msgs[v] to all its neighbors. Both vectors must have
+  /// one entry per node.
   std::vector<Inbox> exchange_broadcast(const std::vector<Message>& msgs,
                                         const std::vector<bool>* active =
                                             nullptr);
 
+  /// Evaluates fn(v) for every node, in parallel under kParallel. fn must
+  /// only write state owned by node v (its own message slot, color, inbox
+  /// decode target, ...) — shared reads are fine, shared writes are not.
+  /// Wall time is attributed to the next recorded round. Exceptions
+  /// propagate; the one of the smallest throwing node wins, as in a serial
+  /// loop (though under kParallel other nodes' callbacks may already have
+  /// run).
+  void run_node_programs(const std::function<void(NodeId)>& fn);
+
   /// Accounts `k` silent rounds (structural rounds in which an algorithm
   /// phase passes without payload; kept so round counts match the paper's
-  /// accounting even when a phase sends nothing).
-  void advance_rounds(std::uint64_t k) { metrics_.rounds += k; }
+  /// accounting even when a phase sends nothing). An attached Trace records
+  /// k empty rounds so transcript length always equals metrics().rounds.
+  void advance_rounds(std::uint64_t k) {
+    metrics_.rounds += k;
+    if (trace_ != nullptr) trace_->record_silent(k);
+  }
 
   /// Folds a sub-run's metrics into this network's (used when an algorithm
   /// phase executes on induced subgraphs whose traffic belongs to this
@@ -88,8 +144,20 @@ class Network {
   bool strict_;
   RunMetrics metrics_;
   Trace* trace_ = nullptr;
+  Engine engine_ = Engine::kSerial;
+  std::unique_ptr<ThreadPool> pool_;
+  std::uint64_t pending_compute_ns_ = 0;  ///< run_node_programs time since
+                                          ///< the last recorded round
 
   void account(const Message& m);
+  /// Validates m against the CONGEST budget without touching metrics;
+  /// throws under strict mode (the parallel engine accounts per shard).
+  void check_budget(const Message& m) const;
+
+  std::vector<Inbox> exchange_serial(const std::vector<Outbox>& outboxes,
+                                     std::size_t& round_max_bits);
+  std::vector<Inbox> exchange_parallel(const std::vector<Outbox>& outboxes,
+                                       std::size_t& round_max_bits);
 };
 
 }  // namespace ldc

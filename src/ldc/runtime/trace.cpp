@@ -7,14 +7,20 @@
 namespace ldc {
 
 void Trace::record_round(std::uint64_t messages, std::uint64_t bits,
-                         std::size_t max_message_bits) {
+                         std::size_t max_message_bits,
+                         std::uint64_t wall_ns) {
   Round r;
   r.index = rounds_.size();
   r.messages = messages;
   r.bits = bits;
   r.max_message_bits = max_message_bits;
+  r.wall_ns = wall_ns;
   r.mark = current_mark_;
   rounds_.push_back(std::move(r));
+}
+
+void Trace::record_silent(std::uint64_t k) {
+  for (std::uint64_t i = 0; i < k; ++i) record_round(0, 0, 0, 0);
 }
 
 std::uint64_t Trace::digest() const {

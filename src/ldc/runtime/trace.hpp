@@ -23,6 +23,8 @@ class Trace {
     std::uint64_t messages = 0;
     std::uint64_t bits = 0;
     std::size_t max_message_bits = 0;
+    std::uint64_t wall_ns = 0;     ///< host time simulating the round
+                                   ///< (observational; not in digest())
     std::string mark;              ///< phase label active at this round
   };
 
@@ -32,7 +34,12 @@ class Trace {
 
   /// Records one round's aggregate (called by Network when attached).
   void record_round(std::uint64_t messages, std::uint64_t bits,
-                    std::size_t max_message_bits);
+                    std::size_t max_message_bits, std::uint64_t wall_ns = 0);
+
+  /// Records `k` silent rounds (no traffic) under the current mark — the
+  /// Network::advance_rounds() counterpart, keeping the transcript length
+  /// equal to the metrics' round count.
+  void record_silent(std::uint64_t k);
 
   const std::vector<Round>& rounds() const { return rounds_; }
 

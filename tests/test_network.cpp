@@ -91,6 +91,63 @@ TEST(Network, StrictModeThrows) {
   EXPECT_THROW(net.exchange(out), CongestViolation);
 }
 
+TEST(Network, BroadcastRejectsWrongMessageCount) {
+  const Graph g = gen::ring(4);
+  Network net(g);
+  std::vector<Message> too_few(3, make_msg(1, 4));
+  EXPECT_THROW(net.exchange_broadcast(too_few), std::invalid_argument);
+  std::vector<Message> too_many(5, make_msg(1, 4));
+  EXPECT_THROW(net.exchange_broadcast(too_many), std::invalid_argument);
+  // A failed precondition must not consume a round or account traffic.
+  EXPECT_EQ(net.metrics().rounds, 0u);
+  EXPECT_EQ(net.metrics().messages, 0u);
+}
+
+TEST(Network, BroadcastRejectsWrongActiveMaskSize) {
+  const Graph g = gen::ring(4);
+  Network net(g);
+  std::vector<Message> msgs(4, make_msg(1, 4));
+  std::vector<bool> short_mask(3, true);
+  EXPECT_THROW(net.exchange_broadcast(msgs, &short_mask),
+               std::invalid_argument);
+  std::vector<bool> long_mask(6, true);
+  EXPECT_THROW(net.exchange_broadcast(msgs, &long_mask),
+               std::invalid_argument);
+  EXPECT_EQ(net.metrics().rounds, 0u);
+}
+
+TEST(Network, BroadcastEmptyGraphIsANoOpRound) {
+  const Graph g;  // n == 0
+  Network net(g);
+  auto in = net.exchange_broadcast({});
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(net.metrics().rounds, 1u);
+  EXPECT_EQ(net.metrics().messages, 0u);
+}
+
+TEST(Network, SetEngineReportsThreads) {
+  const Graph g = gen::ring(4);
+  Network net(g);
+  EXPECT_EQ(net.engine(), Network::Engine::kSerial);
+  EXPECT_EQ(net.threads(), 1u);
+  net.set_engine(Network::Engine::kParallel, 3);
+  EXPECT_EQ(net.engine(), Network::Engine::kParallel);
+  EXPECT_EQ(net.threads(), 3u);
+  net.set_engine(Network::Engine::kParallel, 1);  // serial code path
+  EXPECT_EQ(net.threads(), 1u);
+  net.set_engine(Network::Engine::kSerial);
+  EXPECT_EQ(net.engine(), Network::Engine::kSerial);
+  EXPECT_EQ(net.threads(), 1u);
+}
+
+TEST(Network, WallTimeAccumulates) {
+  const Graph g = gen::clique(16);
+  Network net(g);
+  std::vector<Message> msgs(16, make_msg(3, 12));
+  net.exchange_broadcast(msgs);
+  EXPECT_GT(net.metrics().wall_ns, 0u);
+}
+
 TEST(Network, AdvanceRoundsAccountsSilentRounds) {
   const Graph g = gen::path(2);
   Network net(g);

@@ -1,0 +1,287 @@
+// Cross-engine equivalence suite: the parallel round engine must be
+// bit-for-bit equivalent to the serial one. For every registered colorer on
+// a seeded mix of graphs, and for thread counts {1, 2, 4, 7}, the colors,
+// the model-exact RunMetrics fields, and the full trace transcript
+// (digest + per-round fields + marks) must equal the serial run's. This is
+// what lets EXPERIMENTS.md keep making *exact* round/bit claims while the
+// simulator runs on however many cores the host has.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ldc/arb/beg_arbdefective.hpp"
+#include "ldc/baselines/kw_reduction.hpp"
+#include "ldc/baselines/luby.hpp"
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/linial/defective_linial.hpp"
+#include "ldc/linial/linial.hpp"
+#include "ldc/oldc/single_defect.hpp"
+#include "ldc/runtime/network.hpp"
+#include "ldc/support/prf.hpp"
+
+namespace ldc {
+namespace {
+
+struct EngineRun {
+  Coloring phi;
+  RunMetrics metrics;
+  std::uint64_t trace_digest = 0;
+  std::vector<Trace::Round> rounds;
+};
+
+/// A registered colorer: runs an algorithm on `net` and returns the colors.
+using Colorer = std::function<Coloring(Network&)>;
+
+struct NamedColorer {
+  std::string name;
+  Colorer run;
+};
+
+struct NamedGraph {
+  std::string name;
+  Graph g;
+};
+
+EngineRun run_with_threads(const Graph& g, std::size_t threads,
+                           const Colorer& algo) {
+  Network net(g);
+  if (threads > 0) net.set_engine(Network::Engine::kParallel, threads);
+  Trace trace;
+  net.attach_trace(&trace);
+  EngineRun out;
+  out.phi = algo(net);
+  out.metrics = net.metrics();
+  out.trace_digest = trace.digest();
+  out.rounds = trace.rounds();
+  return out;
+}
+
+void expect_equivalent(const EngineRun& serial, const EngineRun& parallel,
+                       const std::string& label) {
+  EXPECT_EQ(serial.phi, parallel.phi) << label << ": colors differ";
+  EXPECT_TRUE(serial.metrics.same_communication(parallel.metrics))
+      << label << ": metrics differ: serial {" << serial.metrics
+      << "} parallel {" << parallel.metrics << "}";
+  EXPECT_EQ(serial.trace_digest, parallel.trace_digest)
+      << label << ": trace digests differ";
+  ASSERT_EQ(serial.rounds.size(), parallel.rounds.size())
+      << label << ": transcript length differs";
+  for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
+    const auto& a = serial.rounds[i];
+    const auto& b = parallel.rounds[i];
+    EXPECT_EQ(a.messages, b.messages) << label << " round " << i;
+    EXPECT_EQ(a.bits, b.bits) << label << " round " << i;
+    EXPECT_EQ(a.max_message_bits, b.max_message_bits)
+        << label << " round " << i;
+    EXPECT_EQ(a.mark, b.mark) << label << " round " << i;
+  }
+}
+
+std::vector<NamedGraph> graph_mix() {
+  std::vector<NamedGraph> graphs;
+  {
+    Graph g = gen::gnp(60, 0.2, 11);
+    gen::scramble_ids(g, 1 << 20, 3);
+    graphs.push_back({"gnp60", std::move(g)});
+  }
+  {
+    Graph g = gen::random_regular(72, 8, 7);
+    gen::scramble_ids(g, 1 << 16, 5);
+    graphs.push_back({"reg72", std::move(g)});
+  }
+  graphs.push_back({"ring49", gen::ring(49)});
+  {
+    Graph g = gen::random_tree(64, 13);
+    gen::scramble_ids(g, 1 << 18, 9);
+    graphs.push_back({"tree64", std::move(g)});
+  }
+  graphs.push_back({"clique12", gen::clique(12)});
+  return graphs;
+}
+
+// Every registered colorer, deterministic given (graph, fixed seeds).
+// Each owns whatever auxiliary state (orientations, instances) it needs;
+// state derived from the network run itself is computed inside `run`.
+std::vector<NamedColorer> colorer_mix(const Graph& g) {
+  std::vector<NamedColorer> cs;
+  cs.push_back({"linial", [](Network& net) {
+                  return linial::color(net).phi;
+                }});
+  cs.push_back({"defective-linial-d2", [](Network& net) {
+                  return linial::defective_color(net, 2).phi;
+                }});
+  cs.push_back({"luby", [&g](Network& net) {
+                  const LdcInstance inst = delta_plus_one_instance(g);
+                  baselines::LubyOptions opt;
+                  opt.seed = 42;
+                  return baselines::luby_list_coloring(net, inst, opt).phi;
+                }});
+  cs.push_back({"linial+kw", [](Network& net) {
+                  return baselines::linial_then_kw(net).phi;
+                }});
+  cs.push_back({"oldc-single-defect", [&g](Network& net) {
+                  // Oriented instance with healthy list/defect margins so
+                  // the run exercises types, P1, and all P0 classes.
+                  const Orientation orient = Orientation::by_decreasing_id(g);
+                  const std::uint64_t space = 512;
+                  const Prf prf(99);
+                  oldc::SingleDefectInput in;
+                  std::vector<std::vector<Color>> lists(g.n());
+                  for (NodeId v = 0; v < g.n(); ++v) {
+                    auto picks = sample_distinct(
+                        prf, static_cast<std::uint64_t>(v) << 40, space, 48);
+                    lists[v].assign(picks.begin(), picks.end());
+                  }
+                  const auto lin = linial::color(net);
+                  in.graph = &net.graph();
+                  in.orientation = &orient;
+                  in.color_space = space;
+                  in.lists = std::move(lists);
+                  in.defects.assign(g.n(), 2);
+                  in.initial = &lin.phi;
+                  in.m = lin.palette;
+                  in.params.kprime = 12;
+                  in.params.tau_cap = 6;
+                  return oldc::solve_single_defect(net, in).phi;
+                }});
+  cs.push_back({"beg-arbdefective", [&g](Network& net) {
+                  arb::ArbdefectiveOptions opt;
+                  opt.defect = 2;
+                  opt.colors = g.max_degree() / 3 + 1;  // q(d+1) > Delta
+                  return arb::arbdefective_color(net, opt).phi;
+                }});
+  return cs;
+}
+
+TEST(ParallelEquivalence, EveryColorerEveryGraphEveryThreadCount) {
+  for (const auto& ng : graph_mix()) {
+    for (const auto& colorer : colorer_mix(ng.g)) {
+      const EngineRun serial = run_with_threads(ng.g, 0, colorer.run);
+      for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+        const EngineRun parallel =
+            run_with_threads(ng.g, threads, colorer.run);
+        expect_equivalent(serial, parallel,
+                          colorer.name + " on " + ng.name + " @" +
+                              std::to_string(threads) + "t");
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalence, ExplicitExchangeMatchesAcrossEngines) {
+  // Raw exchange() (not broadcast): multiple messages per sender with
+  // distinct payloads, so inbox merge order is fully observable.
+  const Graph g = gen::gnp(40, 0.3, 21);
+  auto run = [&](std::size_t threads) {
+    Network net(g);
+    if (threads > 0) net.set_engine(Network::Engine::kParallel, threads);
+    std::vector<Network::Outbox> out(g.n());
+    for (NodeId u = 0; u < g.n(); ++u) {
+      for (NodeId v : g.neighbors(u)) {
+        BitWriter w;
+        w.write(static_cast<std::uint64_t>(u) * 1000 + v, 22);
+        out[u].emplace_back(v, Message::from(w));
+      }
+    }
+    const auto in = net.exchange(out);
+    // Flatten the inboxes into a comparable transcript.
+    std::vector<std::uint64_t> flat;
+    for (const auto& inbox : in) {
+      for (const auto& [sender, msg] : inbox) {
+        auto r = msg.reader();
+        flat.push_back((static_cast<std::uint64_t>(sender) << 32) |
+                       r.read(22));
+      }
+    }
+    return std::make_pair(flat, net.metrics());
+  };
+  const auto [flat0, m0] = run(0);
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    const auto [flat, m] = run(threads);
+    EXPECT_EQ(flat0, flat) << threads << " threads";
+    EXPECT_TRUE(m0.same_communication(m)) << threads << " threads";
+  }
+}
+
+TEST(ParallelEquivalence, CongestAccountingMatchesAcrossEngines) {
+  // Non-strict CONGEST budget: violation counts must merge exactly.
+  const Graph g = gen::random_regular(50, 6, 17);
+  auto run = [&](std::size_t threads) {
+    Network net(g, /*budget_bits=*/10);
+    if (threads > 0) net.set_engine(Network::Engine::kParallel, threads);
+    std::vector<Message> msgs(g.n());
+    for (NodeId v = 0; v < g.n(); ++v) {
+      BitWriter w;
+      w.write(v, v % 2 == 0 ? 8 : 16);  // odd nodes violate the budget
+      msgs[v] = Message::from(w);
+    }
+    net.exchange_broadcast(msgs);
+    return net.metrics();
+  };
+  const RunMetrics m0 = run(0);
+  EXPECT_GT(m0.congest_violations, 0u);
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    EXPECT_TRUE(m0.same_communication(run(threads)))
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelEquivalence, StrictViolationThrowsOnBothEngines) {
+  const Graph g = gen::path(4);
+  for (std::size_t threads : {0u, 2u, 7u}) {
+    Network net(g, /*budget_bits=*/4, /*strict=*/true);
+    if (threads > 0) net.set_engine(Network::Engine::kParallel, threads);
+    BitWriter w;
+    w.write(0, 9);
+    EXPECT_THROW(net.exchange_broadcast(std::vector<Message>(4, Message::from(w))),
+                 CongestViolation)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelEquivalence, NonNeighborThrowsOnBothEngines) {
+  const Graph g = gen::path(8);
+  for (std::size_t threads : {0u, 2u, 7u}) {
+    Network net(g);
+    if (threads > 0) net.set_engine(Network::Engine::kParallel, threads);
+    std::vector<Network::Outbox> out(8);
+    BitWriter w;
+    w.write(1, 1);
+    out[0].emplace_back(5, Message::from(w));  // 0 and 5 not adjacent
+    EXPECT_THROW(net.exchange(out), std::invalid_argument)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelEquivalence, WallClockIsRecordedButNotInDigest) {
+  const Graph g = gen::ring(32);
+  Network net(g);
+  net.set_engine(Network::Engine::kParallel, 3);
+  Trace trace;
+  net.attach_trace(&trace);
+  linial::color(net);
+  EXPECT_GT(net.metrics().wall_ns, 0u);
+  std::uint64_t total = 0;
+  for (const auto& r : trace.rounds()) total += r.wall_ns;
+  EXPECT_EQ(total, net.metrics().wall_ns);
+}
+
+TEST(ParallelEquivalence, RunNodeProgramsComputesEveryNodeOnce) {
+  const Graph g = gen::ring(101);
+  for (std::size_t threads : {0u, 1u, 2u, 4u, 7u}) {
+    Network net(g);
+    if (threads > 0) net.set_engine(Network::Engine::kParallel, threads);
+    std::vector<std::uint32_t> hits(g.n(), 0);
+    net.run_node_programs([&](NodeId v) { ++hits[v]; });
+    for (NodeId v = 0; v < g.n(); ++v) {
+      ASSERT_EQ(hits[v], 1u) << "node " << v << " @" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldc

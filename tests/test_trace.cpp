@@ -115,6 +115,47 @@ TEST(Trace, SolverPhaseMarksAppear) {
   EXPECT_LT(first_linial, first_t13);
 }
 
+TEST(Trace, AdvanceRoundsRecordsSilentRounds) {
+  // Invariant: an attached trace's transcript length always equals
+  // metrics().rounds — silent (payload-free) rounds appear as empty
+  // records under the current mark, so trace-derived round counts can
+  // never drift from the metrics.
+  const Graph g = gen::ring(4);
+  Network net(g);
+  Trace t;
+  net.attach_trace(&t);
+  net.exchange_broadcast(std::vector<Message>(4, make_msg(1, 8)));
+  t.mark("silent-phase");
+  net.advance_rounds(3);
+  net.exchange_broadcast(std::vector<Message>(4, make_msg(1, 8)));
+  EXPECT_EQ(net.metrics().rounds, 5u);
+  ASSERT_EQ(t.rounds().size(), 5u);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(t.rounds()[i].messages, 0u);
+    EXPECT_EQ(t.rounds()[i].bits, 0u);
+    EXPECT_EQ(t.rounds()[i].mark, "silent-phase");
+  }
+  EXPECT_EQ(t.rounds()[4].messages, 8u);
+}
+
+TEST(Trace, SilentRoundsChangeTheDigest) {
+  // Two executions that differ only in silent structural rounds must not
+  // collide: transcripts certify full executions, including round counts.
+  Trace a, b;
+  a.record_round(2, 16, 8);
+  b.record_round(2, 16, 8);
+  b.record_silent(2);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Trace, WallTimeExcludedFromDigest) {
+  Trace a, b;
+  a.record_round(2, 16, 8, /*wall_ns=*/123);
+  b.record_round(2, 16, 8, /*wall_ns=*/456789);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.rounds()[0].wall_ns, 123u);
+}
+
 TEST(Trace, EmptyTraceDigestStable) {
   Trace a, b;
   EXPECT_EQ(a.digest(), b.digest());
