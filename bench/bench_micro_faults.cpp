@@ -1,0 +1,107 @@
+// M6 — recovery cost under deterministic fault injection (google-benchmark).
+//
+// Runs the resilient Linial and d1lc drivers over a sweep of fault rates
+// (0% .. 20% per-message drop+corrupt, plus node sleeps at half that rate)
+// and reports, via benchmark counters, the recovery cost the repair phase
+// pays to restore a valid coloring: extra rounds, recolored nodes, and the
+// violation count the faulty run left behind. Wall time is secondary here —
+// the counters are the experiment (EXPERIMENTS.md M6): recovery cost should
+// grow smoothly with the fault rate and stay zero at rate 0.
+//
+// All randomness (graph, instance, fault schedule) is PRF-seeded, so every
+// iteration of a benchmark repeats the identical faulty execution.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/resilient/drivers.hpp"
+
+namespace {
+
+using namespace ldc;
+
+// rate_pct is the drop and corrupt percentage; sleeps run at half of it.
+FaultPlan plan_for(std::int64_t rate_pct) {
+  FaultPlan p;
+  p.seed = 0xfa6e + static_cast<std::uint64_t>(rate_pct);
+  p.drop_rate = static_cast<double>(rate_pct) / 100.0;
+  p.corrupt_rate = static_cast<double>(rate_pct) / 100.0;
+  p.sleep_rate = static_cast<double>(rate_pct) / 200.0;
+  return p;
+}
+
+void report(benchmark::State& state, const repair::ResilientResult& res) {
+  state.counters["valid"] = res.valid ? 1 : 0;
+  state.counters["colorer_failed"] = res.colorer_failed ? 1 : 0;
+  state.counters["colorer_rounds"] = res.colorer_rounds;
+  state.counters["initial_violations"] =
+      static_cast<double>(res.initial_violations);
+  state.counters["recovery_rounds"] = res.recovery_rounds;
+  state.counters["moved_nodes"] = res.moved_nodes;
+  state.counters["dropped"] = static_cast<double>(res.metrics.messages_dropped);
+  state.counters["corrupted"] =
+      static_cast<double>(res.metrics.messages_corrupted);
+}
+
+void BM_ResilientLinial(benchmark::State& state) {
+  Graph g = gen::gnp(256, 0.05, 29);
+  gen::scramble_ids(g, 1 << 20, 7);
+  const repair::ResilientOptions opt = [&] {
+    repair::ResilientOptions o;
+    o.plan = plan_for(state.range(0));
+    return o;
+  }();
+  repair::ResilientResult last;
+  for (auto _ : state) {
+    Network net(g);
+    auto res = resilient::resilient_linial(net, opt);
+    last = std::move(res.run);
+    benchmark::DoNotOptimize(last.phi.data());
+  }
+  report(state, last);
+}
+BENCHMARK(BM_ResilientLinial)->Arg(0)->Arg(2)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_ResilientDefectiveLinial(benchmark::State& state) {
+  Graph g = gen::random_regular(256, 8, 31);
+  gen::scramble_ids(g, 1 << 20, 11);
+  const repair::ResilientOptions opt = [&] {
+    repair::ResilientOptions o;
+    o.plan = plan_for(state.range(0));
+    return o;
+  }();
+  repair::ResilientResult last;
+  for (auto _ : state) {
+    Network net(g);
+    auto res = resilient::resilient_defective_linial(net, 2, opt);
+    last = std::move(res.run);
+    benchmark::DoNotOptimize(last.phi.data());
+  }
+  report(state, last);
+}
+BENCHMARK(BM_ResilientDefectiveLinial)->Arg(0)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_ResilientD1lc(benchmark::State& state) {
+  Graph g = gen::gnp(128, 0.08, 37);
+  gen::scramble_ids(g, 1 << 20, 13);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  const repair::ResilientOptions opt = [&] {
+    repair::ResilientOptions o;
+    o.plan = plan_for(state.range(0));
+    return o;
+  }();
+  repair::ResilientResult last;
+  for (auto _ : state) {
+    Network net(g);
+    last = resilient::resilient_d1lc(net, inst, opt);
+    benchmark::DoNotOptimize(last.phi.data());
+  }
+  report(state, last);
+}
+BENCHMARK(BM_ResilientD1lc)->Arg(0)->Arg(5)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

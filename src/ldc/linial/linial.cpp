@@ -39,7 +39,12 @@ std::uint64_t reduce_once(Network& net, Coloring& phi, std::uint64_t palette,
         continue;
       }
       auto r = m.reader();
-      conflict_colors.push_back(r.read_bounded(palette - 1));
+      const std::uint64_t c = r.read_bounded(palette - 1);
+      // A fixed-width decode can yield values >= palette only when the
+      // payload was corrupted in transit (fault injection); such claims
+      // name no real color, so they cannot constrain the choice — ignore
+      // them rather than index the family out of range.
+      if (c < palette) conflict_colors.push_back(c);
     }
     // Pick the evaluation point with the fewest agreements; the family
     // parameters guarantee the minimum is <= defect when the input coloring

@@ -60,11 +60,17 @@ Result repair(Network& net, const LdcInstance& inst, Coloring phi,
 
     auto violated = [&](NodeId v) {
       if (phi[v] == kUncolored) return true;
+      // A color outside the node's own list (a corrupted or foreign color)
+      // is unconditionally invalid — treat it like an uncolored node
+      // instead of looking up a defect budget it does not have.
+      const auto& list = inst.lists[v];
+      const std::size_t idx = list.find(phi[v]);
+      if (idx == list.size()) return true;
       std::uint32_t cnt = 0;
       for (const auto& [u, c] : nb_colors[v]) {
         if (counts_conflict(v, u) && conflicting(phi[v], c, opt.g)) ++cnt;
       }
-      return cnt > inst.lists[v].defect_of(phi[v]);
+      return cnt > list.defects[idx];
     };
 
     std::vector<bool> is_violated(g.n());

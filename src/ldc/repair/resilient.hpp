@@ -1,0 +1,64 @@
+// Resilient execution harness: run a colorer under fault injection, then
+// self-stabilize.
+//
+// The harness attaches a FaultPlan to the network, runs an arbitrary colorer
+// (which may crash-stop nodes, lose messages, or decode corrupted payloads —
+// decoder exceptions are caught and treated as a failed run), validates the
+// outcome with validate_ldc, and if the coloring is invalid hands it to
+// repair::repair. The result reports the recovery cost: extra rounds spent
+// repairing and the number of nodes that had to change color. This is the
+// experimental backend for the fault-tolerance story (E11 / bench
+// micro:faults): defect repair is self-stabilizing, so any transiently
+// faulty run converges to a valid list defective coloring once the faults
+// stop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ldc/coloring/instance.hpp"
+#include "ldc/repair/repair.hpp"
+#include "ldc/runtime/fault.hpp"
+#include "ldc/runtime/network.hpp"
+
+namespace ldc::repair {
+
+struct ResilientOptions {
+  /// Faults injected while the colorer runs. An all-zero plan runs faultless.
+  FaultPlan plan;
+  /// Passed through to repair::repair (seed, conflict width g, round cap).
+  Options repair;
+  /// Keep the plan attached during the repair phase too. Defaults to false:
+  /// the standard experiment is "transient faults, then the network heals
+  /// and the coloring self-stabilizes". With true, repair itself runs under
+  /// fire and convergence is only guaranteed for sub-critical fault rates.
+  bool faults_during_repair = false;
+};
+
+struct ResilientResult {
+  Coloring phi;                      ///< final coloring (post-repair)
+  bool valid = false;                ///< validate_ldc passed at the end
+  bool colorer_failed = false;       ///< colorer threw; repaired from scratch
+  std::uint32_t colorer_rounds = 0;  ///< rounds the colorer consumed
+  std::uint32_t recovery_rounds = 0; ///< extra rounds repair needed
+  std::uint32_t moved_nodes = 0;     ///< nodes recolored during recovery
+  /// validate_ldc violation count of the colorer's raw output (0 if it was
+  /// already valid; n if the colorer failed outright).
+  std::size_t initial_violations = 0;
+  RunMetrics metrics;                ///< network metrics snapshot at the end
+};
+
+/// The colorer under test. Runs on the (fault-injected) network and returns
+/// its coloring; entries may be kUncolored. Exceptions escaping the colorer
+/// (e.g. BitReader overruns from corrupted payloads) are caught by
+/// run_resilient and treated as a fully uncolored result.
+using Colorer = std::function<Coloring(Network&, const LdcInstance&)>;
+
+/// Runs `colorer` on `net` under `opt.plan`, then repairs the result into a
+/// valid list defective coloring of `inst`. Detaches the fault plan before
+/// returning; any plan previously attached to `net` is replaced.
+ResilientResult run_resilient(Network& net, const LdcInstance& inst,
+                              const Colorer& colorer,
+                              const ResilientOptions& opt = {});
+
+}  // namespace ldc::repair

@@ -1,0 +1,60 @@
+// Fault-tolerant driver wiring: concrete colorers hooked into the
+// repair::run_resilient harness.
+//
+// Each wrapper runs a library colorer under a FaultPlan and self-stabilizes
+// the result with repair::repair. For Linial and defective Linial the
+// validation instance (full palette lists over the deterministic fixpoint
+// palette) is synthesized here — the palette trajectory of Linial's
+// reduction depends only on the graph's degree bound, never on message
+// contents, so it is computable without touching the network even when the
+// actual run is being corrupted.
+//
+// This library sits above ldc_d1lc and ldc_linial; the generic harness
+// lives lower, in ldc_repair (see repair/resilient.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "ldc/coloring/instance.hpp"
+#include "ldc/d1lc/congest_colorer.hpp"
+#include "ldc/linial/linial.hpp"
+#include "ldc/repair/resilient.hpp"
+
+namespace ldc::resilient {
+
+/// The palette Linial's fixpoint iteration reaches from `initial` colors on
+/// a graph whose conflict sets have size at most `bound` (capped at
+/// `max_rounds` reduction steps, matching linial::color_from).
+std::uint64_t linial_fixpoint_palette(std::uint64_t initial,
+                                      std::uint64_t bound,
+                                      std::uint32_t max_rounds = 64);
+
+/// Instance with every list equal to [0, palette) and all defects `d` —
+/// what a (defective) Linial output promises to satisfy.
+LdcInstance full_palette_instance(const Graph& g, std::uint64_t palette,
+                                  std::uint32_t d);
+
+/// A resilient run together with the instance it was validated against
+/// (synthesized for the Linial wrappers; callers re-validate at will).
+struct DriverResult {
+  repair::ResilientResult run;
+  LdcInstance inst;
+};
+
+/// Linial's proper coloring under faults, repaired to a valid coloring with
+/// the fault-free fixpoint palette.
+DriverResult resilient_linial(Network& net,
+                              const repair::ResilientOptions& opt = {});
+
+/// d-defective Linial under faults, repaired against the full-palette
+/// instance with all defect budgets d.
+DriverResult resilient_defective_linial(
+    Network& net, std::uint32_t d, const repair::ResilientOptions& opt = {});
+
+/// The Theorem 1.4 (degree+1)-list coloring pipeline under faults, repaired
+/// against the caller's instance.
+repair::ResilientResult resilient_d1lc(Network& net, const LdcInstance& inst,
+                                       const repair::ResilientOptions& opt = {},
+                                       const d1lc::PipelineOptions& popt = {});
+
+}  // namespace ldc::resilient

@@ -26,6 +26,13 @@ class Message {
   std::size_t bit_count() const { return bits_; }
   bool empty() const { return bits_ == 0; }
 
+  /// Flips payload bit `pos` (pos < bit_count()). Fault-injection support:
+  /// the runtime's corruption faults alter payloads in place while keeping
+  /// the exact bit length (so CONGEST accounting is unaffected).
+  void flip_bit(std::size_t pos) {
+    words_[pos / 64] ^= std::uint64_t{1} << (pos % 64);
+  }
+
  private:
   std::vector<std::uint64_t> words_;
   std::size_t bits_ = 0;

@@ -11,6 +11,10 @@ void RunMetrics::merge(const RunMetrics& other) {
   total_bits += other.total_bits;
   max_message_bits = std::max(max_message_bits, other.max_message_bits);
   congest_violations += other.congest_violations;
+  messages_dropped += other.messages_dropped;
+  messages_corrupted += other.messages_corrupted;
+  node_crashes += other.node_crashes;
+  node_sleeps += other.node_sleeps;
   wall_ns += other.wall_ns;
 }
 
@@ -18,15 +22,25 @@ bool RunMetrics::same_communication(const RunMetrics& other) const {
   return rounds == other.rounds && messages == other.messages &&
          total_bits == other.total_bits &&
          max_message_bits == other.max_message_bits &&
-         congest_violations == other.congest_violations;
+         congest_violations == other.congest_violations &&
+         messages_dropped == other.messages_dropped &&
+         messages_corrupted == other.messages_corrupted &&
+         node_crashes == other.node_crashes &&
+         node_sleeps == other.node_sleeps;
 }
 
 std::ostream& operator<<(std::ostream& os, const RunMetrics& m) {
-  return os << "rounds=" << m.rounds << " messages=" << m.messages
-            << " total_bits=" << m.total_bits
-            << " max_message_bits=" << m.max_message_bits
-            << " congest_violations=" << m.congest_violations
-            << " wall_ms=" << (static_cast<double>(m.wall_ns) / 1e6);
+  os << "rounds=" << m.rounds << " messages=" << m.messages
+     << " total_bits=" << m.total_bits
+     << " max_message_bits=" << m.max_message_bits
+     << " congest_violations=" << m.congest_violations;
+  if (m.messages_dropped != 0 || m.messages_corrupted != 0 ||
+      m.node_crashes != 0 || m.node_sleeps != 0) {
+    os << " dropped=" << m.messages_dropped
+       << " corrupted=" << m.messages_corrupted
+       << " crashes=" << m.node_crashes << " sleeps=" << m.node_sleeps;
+  }
+  return os << " wall_ms=" << (static_cast<double>(m.wall_ns) / 1e6);
 }
 
 }  // namespace ldc

@@ -22,6 +22,14 @@ struct RunMetrics {
   std::uint64_t total_bits = 0;       ///< sum of message sizes
   std::size_t max_message_bits = 0;   ///< largest single message
   std::uint64_t congest_violations = 0;  ///< messages over the bit budget
+  // Fault-injection events (zero unless a FaultPlan is attached). These are
+  // model-exact: the attached plan fully determines them, so they take part
+  // in cross-engine equivalence like every other communication field.
+  std::uint64_t messages_dropped = 0;    ///< sent but lost (drop faults or
+                                         ///< down receivers)
+  std::uint64_t messages_corrupted = 0;  ///< delivered with flipped bits
+  std::uint64_t node_crashes = 0;        ///< crash events (permanent)
+  std::uint64_t node_sleeps = 0;         ///< node-rounds slept (transient)
   std::uint64_t wall_ns = 0;  ///< host time simulating (observational)
 
   /// Accumulates a sub-run (e.g. a subroutine's own Network).

@@ -14,6 +14,21 @@ std::uint64_t now_ns() {
           .count());
 }
 
+/// Enforces the "destinations unique per round" contract for one sender.
+/// Checked before any of the sender's messages are validated or delivered,
+/// in both engines, so the error order is engine-independent.
+void check_unique_destinations(const Network::Outbox& outbox,
+                               std::vector<NodeId>& scratch) {
+  if (outbox.size() < 2) return;
+  scratch.clear();
+  for (const auto& [dest, msg] : outbox) scratch.push_back(dest);
+  std::sort(scratch.begin(), scratch.end());
+  if (std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end()) {
+    throw std::invalid_argument(
+        "Network::exchange: duplicate destination in a sender's outbox");
+  }
+}
+
 }  // namespace
 
 void Network::set_engine(Engine engine, std::size_t threads) {
@@ -56,18 +71,61 @@ void Network::check_budget(const Message& m) const {
   }
 }
 
-std::vector<Network::Inbox> Network::exchange_serial(
-    const std::vector<Outbox>& outboxes, std::size_t& round_max_bits) {
+void Network::prepare_round_faults(std::uint64_t round, RoundFaults& rf) {
   const auto n = graph_->n();
+  if (crashed_.size() != n) {
+    crashed_.assign(n, 0);
+    crashed_total_ = 0;
+  }
+  down_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (crashed_[v] == 0 && crashed_total_ < faults_->max_crashes &&
+        faults_->crashes_node(round, v)) {
+      crashed_[v] = 1;
+      ++crashed_total_;
+      ++rf.crashes;
+    }
+    bool down = crashed_[v] != 0;
+    if (!down && faults_->sleeps_node(round, v)) {
+      down = true;
+      ++rf.sleeps;
+    }
+    down_[v] = down ? 1 : 0;
+  }
+  metrics_.node_crashes += rf.crashes;
+  metrics_.node_sleeps += rf.sleeps;
+}
+
+std::vector<Network::Inbox> Network::exchange_serial(
+    const std::vector<Outbox>& outboxes, std::uint64_t round, RoundFaults& rf,
+    std::size_t& round_max_bits) {
+  const auto n = graph_->n();
+  const bool faulty = faults_ != nullptr && faults_->any();
   std::vector<Inbox> inboxes(n);
+  std::vector<NodeId> scratch;
   for (NodeId u = 0; u < n; ++u) {
+    check_unique_destinations(outboxes[u], scratch);
+    const bool sender_down = faulty && down_[u] != 0;
     for (const auto& [dest, msg] : outboxes[u]) {
       if (!graph_->has_edge(u, dest)) {
         throw std::invalid_argument(
             "Network::exchange: message to non-neighbor");
       }
+      if (sender_down) continue;  // suppressed: never transmitted
       account(msg);
       round_max_bits = std::max(round_max_bits, msg.bit_count());
+      if (faulty &&
+          (down_[dest] != 0 || faults_->drops_message(round, u, dest))) {
+        ++rf.dropped;
+        continue;
+      }
+      if (faulty && faults_->corrupts_message(round, u, dest)) {
+        Message c = msg;
+        faults_->corrupt_payload(round, u, dest, c);
+        ++rf.corrupted;
+        inboxes[dest].emplace_back(u, std::move(c));
+        continue;
+      }
       inboxes[dest].emplace_back(u, msg);
     }
   }
@@ -79,31 +137,49 @@ std::vector<Network::Inbox> Network::exchange_serial(
 }
 
 std::vector<Network::Inbox> Network::exchange_parallel(
-    const std::vector<Outbox>& outboxes, std::size_t& round_max_bits) {
+    const std::vector<Outbox>& outboxes, std::uint64_t round, RoundFaults& rf,
+    std::size_t& round_max_bits) {
   const auto n = graph_->n();
+  const bool faulty = faults_ != nullptr && faults_->any();
   // Per-shard staging: metrics and per-destination message counts. Shards
   // are contiguous ascending sender ranges, so concatenating them in shard
-  // order reproduces the serial sender order exactly.
+  // order reproduces the serial sender order exactly. Fault decisions are
+  // pure in (seed, round, edge), so the counting pass and the write pass
+  // resolve them identically without sharing state.
   struct Shard {
     RunMetrics metrics;
     std::size_t round_max_bits = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t corrupted = 0;
     std::vector<std::uint32_t> counts;  ///< then: write cursors per dest
   };
   const std::size_t lanes = std::min<std::size_t>(pool_->size(), n);
   std::vector<Shard> shards(lanes);
 
+  // Drop decision shared by the counting and write passes (down receiver
+  // first so the plan's drop stream is only consulted for live edges,
+  // exactly as in the serial engine).
+  auto lost = [&](NodeId u, NodeId dest) {
+    return down_[dest] != 0 || faults_->drops_message(round, u, dest);
+  };
+
   // Pass 1 (by sender): validate, account into the shard, count per dest.
   // Exception order matches serial: parallel_for rethrows the lowest chunk
-  // = lowest sender, and account() text is position-independent.
+  // = lowest sender, per-sender checks run in serial order within a chunk,
+  // and the exception texts are position-independent.
   pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t t) {
     Shard& sh = shards[t];
     sh.counts.assign(n, 0);
+    std::vector<NodeId> scratch;
     for (std::size_t u = b; u < e; ++u) {
+      check_unique_destinations(outboxes[u], scratch);
+      const bool sender_down = faulty && down_[u] != 0;
       for (const auto& [dest, msg] : outboxes[u]) {
         if (!graph_->has_edge(static_cast<NodeId>(u), dest)) {
           throw std::invalid_argument(
               "Network::exchange: message to non-neighbor");
         }
+        if (sender_down) continue;
         ++sh.metrics.messages;
         sh.metrics.total_bits += msg.bit_count();
         sh.metrics.max_message_bits =
@@ -113,6 +189,14 @@ std::vector<Network::Inbox> Network::exchange_parallel(
           check_budget(msg);
         }
         sh.round_max_bits = std::max(sh.round_max_bits, msg.bit_count());
+        if (faulty && lost(static_cast<NodeId>(u), dest)) {
+          ++sh.dropped;
+          continue;
+        }
+        if (faulty &&
+            faults_->corrupts_message(round, static_cast<NodeId>(u), dest)) {
+          ++sh.corrupted;
+        }
         ++sh.counts[dest];
       }
     }
@@ -135,11 +219,20 @@ std::vector<Network::Inbox> Network::exchange_parallel(
 
   // Pass 3 (by sender, same sharding): write messages at the shard's
   // cursor — disjoint slots, and slot order equals serial insert order.
+  // Re-resolves the (pure) fault decisions of pass 1.
   pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t t) {
     Shard& sh = shards[t];
     for (std::size_t u = b; u < e; ++u) {
+      if (faulty && down_[u] != 0) continue;
       for (const auto& [dest, msg] : outboxes[u]) {
-        inboxes[dest][sh.counts[dest]++] = {static_cast<NodeId>(u), msg};
+        if (faulty && lost(static_cast<NodeId>(u), dest)) continue;
+        auto& slot = inboxes[dest][sh.counts[dest]++];
+        slot = {static_cast<NodeId>(u), msg};
+        if (faulty &&
+            faults_->corrupts_message(round, static_cast<NodeId>(u), dest)) {
+          faults_->corrupt_payload(round, static_cast<NodeId>(u), dest,
+                                   slot.second);
+        }
       }
     }
   });
@@ -163,6 +256,8 @@ std::vector<Network::Inbox> Network::exchange_parallel(
         std::max(metrics_.max_message_bits, sh.metrics.max_message_bits);
     metrics_.congest_violations += sh.metrics.congest_violations;
     round_max_bits = std::max(round_max_bits, sh.round_max_bits);
+    rf.dropped += sh.dropped;
+    rf.corrupted += sh.corrupted;
   }
   return inboxes;
 }
@@ -173,22 +268,29 @@ std::vector<Network::Inbox> Network::exchange(
   if (outboxes.size() != n) {
     throw std::invalid_argument("Network::exchange: outbox count != n");
   }
+  // The round index keying the fault schedule: silent rounds shift it, so a
+  // plan addresses "the k-th round of the run", not "the k-th exchange".
+  const std::uint64_t round = metrics_.rounds;
   ++metrics_.rounds;
+  RoundFaults rf;
+  if (faults_ != nullptr && faults_->any()) prepare_round_faults(round, rf);
   const std::uint64_t msgs_before = metrics_.messages;
   const std::uint64_t bits_before = metrics_.total_bits;
   std::size_t round_max_bits = 0;
   const std::uint64_t t0 = now_ns();
   std::vector<Inbox> inboxes =
       (pool_ != nullptr && pool_->size() > 1)
-          ? exchange_parallel(outboxes, round_max_bits)
-          : exchange_serial(outboxes, round_max_bits);
+          ? exchange_parallel(outboxes, round, rf, round_max_bits)
+          : exchange_serial(outboxes, round, rf, round_max_bits);
+  metrics_.messages_dropped += rf.dropped;
+  metrics_.messages_corrupted += rf.corrupted;
   const std::uint64_t wall_ns = (now_ns() - t0) + pending_compute_ns_;
   pending_compute_ns_ = 0;
   metrics_.wall_ns += wall_ns;
   if (trace_ != nullptr) {
     trace_->record_round(metrics_.messages - msgs_before,
                          metrics_.total_bits - bits_before, round_max_bits,
-                         wall_ns);
+                         wall_ns, rf);
   }
   return inboxes;
 }

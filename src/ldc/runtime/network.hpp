@@ -32,9 +32,19 @@
 // time, which is recorded (metrics().wall_ns, Trace::Round::wall_ns) but
 // excluded from digests and equivalence.
 //
+// Fault injection: an attached FaultPlan (attach_faults, mirroring
+// attach_trace) makes rounds adversarial — seeded message drops and
+// bit-flip corruption per edge, and crash/sleep schedules per node. Every
+// fault decision is a pure function of (plan seed, round, edge/node), so
+// faulty runs keep the full cross-engine equivalence guarantee; fault
+// events are counted in RunMetrics and recorded per round in the attached
+// Trace. See fault.hpp for the model and accounting rules.
+//
 // Error fidelity: both engines throw the same exception for the first
-// offending message in sender order (non-neighbor delivery, strict CONGEST
-// violation); metric values after a throw are unspecified under kParallel.
+// offending sender in node order — duplicate destinations are rejected
+// before any of that sender's messages are validated, then non-neighbor
+// delivery and strict CONGEST violations surface in message order; metric
+// values after a throw are unspecified under kParallel.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +55,7 @@
 #include <vector>
 
 #include "ldc/graph/graph.hpp"
+#include "ldc/runtime/fault.hpp"
 #include "ldc/runtime/message.hpp"
 #include "ldc/runtime/metrics.hpp"
 #include "ldc/runtime/thread_pool.hpp"
@@ -87,7 +98,13 @@ class Network {
 
   /// One synchronous round: delivers outboxes[u] (messages from u) and
   /// returns per-node inboxes, sorted by sender. Destinations must be
-  /// neighbors of the sender and unique per round.
+  /// neighbors of the sender and unique per round; both engines enforce
+  /// both preconditions with std::invalid_argument (duplicate destinations
+  /// are checked per sender before that sender's messages are validated or
+  /// delivered, so serial and parallel runs surface the same error).
+  /// Uniqueness also makes the per-inbox sort order total — at most one
+  /// message per sender per inbox — so inbox order cannot depend on the
+  /// stdlib's (non-stable) sort.
   std::vector<Inbox> exchange(const std::vector<Outbox>& outboxes);
 
   /// Convenience: every node with active[v] (or all nodes if active is
@@ -110,16 +127,46 @@ class Network {
   /// phase passes without payload; kept so round counts match the paper's
   /// accounting even when a phase sends nothing). An attached Trace records
   /// k empty rounds so transcript length always equals metrics().rounds.
+  /// Compute time accumulated by run_node_programs() since the last round
+  /// is flushed into wall_ns here (attributed to the first silent round),
+  /// so trailing compute phases are never silently dropped.
   void advance_rounds(std::uint64_t k) {
+    if (k == 0) return;
     metrics_.rounds += k;
-    if (trace_ != nullptr) trace_->record_silent(k);
+    const std::uint64_t wall = pending_compute_ns_;
+    pending_compute_ns_ = 0;
+    metrics_.wall_ns += wall;
+    if (trace_ != nullptr) trace_->record_silent(k, wall);
+  }
+
+  /// Moves compute time still pending from run_node_programs() into
+  /// metrics().wall_ns without accounting a round, attributing it to the
+  /// last recorded trace round (if any). Call at the end of a run whose
+  /// final phase computes without a subsequent exchange, so total wall time
+  /// is conserved.
+  void flush_compute_time() {
+    if (pending_compute_ns_ == 0) return;
+    metrics_.wall_ns += pending_compute_ns_;
+    if (trace_ != nullptr) trace_->add_wall_ns(pending_compute_ns_);
+    pending_compute_ns_ = 0;
   }
 
   /// Folds a sub-run's metrics into this network's (used when an algorithm
   /// phase executes on induced subgraphs whose traffic belongs to this
   /// network; the caller pre-aggregates parallel branches, with rounds =
-  /// max across branches).
-  void absorb(const RunMetrics& m) { metrics_.merge(m); }
+  /// max across branches). An attached Trace records the sub-run's rounds
+  /// so transcript length keeps matching metrics().rounds: pass the
+  /// sub-run's trace to carry its per-round rows, or nullptr to record the
+  /// aggregate (one row with the sub-run's traffic, then silent rounds).
+  void absorb(const RunMetrics& m, const Trace* sub = nullptr) {
+    metrics_.merge(m);
+    if (trace_ == nullptr) return;
+    if (sub != nullptr) {
+      trace_->append(*sub);
+    } else {
+      trace_->record_absorbed(m);
+    }
+  }
 
   const RunMetrics& metrics() const { return metrics_; }
 
@@ -138,6 +185,24 @@ class Network {
     if (trace_ != nullptr) trace_->mark(label);
   }
 
+  /// Attaches a fault plan (not owned); every subsequent exchange() applies
+  /// its drop/corrupt/crash/sleep schedule, keyed by the round index.
+  /// Attaching (or detaching with nullptr) resets accumulated crash state,
+  /// so a recovery phase can run fault-free after an adversarial one.
+  void attach_faults(const FaultPlan* plan) {
+    faults_ = plan;
+    crashed_.assign(graph_->n(), 0);
+    crashed_total_ = 0;
+  }
+
+  /// The attached fault plan (nullptr if none).
+  const FaultPlan* faults() const { return faults_; }
+
+  /// True if node v has crashed under the attached plan so far.
+  bool crashed(NodeId v) const {
+    return v < crashed_.size() && crashed_[v] != 0;
+  }
+
  private:
   const Graph* graph_;
   std::size_t budget_bits_;
@@ -148,15 +213,26 @@ class Network {
   std::unique_ptr<ThreadPool> pool_;
   std::uint64_t pending_compute_ns_ = 0;  ///< run_node_programs time since
                                           ///< the last recorded round
+  const FaultPlan* faults_ = nullptr;
+  std::vector<char> crashed_;  ///< permanent crash-stop state per node
+  std::vector<char> down_;     ///< crashed or asleep in the current round
+  std::uint32_t crashed_total_ = 0;
 
   void account(const Message& m);
   /// Validates m against the CONGEST budget without touching metrics;
   /// throws under strict mode (the parallel engine accounts per shard).
   void check_budget(const Message& m) const;
 
+  /// Evaluates the plan's node schedules for `round` (single-threaded, so
+  /// crash-cap resolution is engine-independent): updates crashed_/down_,
+  /// counts crash/sleep events into metrics_ and `rf`.
+  void prepare_round_faults(std::uint64_t round, RoundFaults& rf);
+
   std::vector<Inbox> exchange_serial(const std::vector<Outbox>& outboxes,
+                                     std::uint64_t round, RoundFaults& rf,
                                      std::size_t& round_max_bits);
   std::vector<Inbox> exchange_parallel(const std::vector<Outbox>& outboxes,
+                                       std::uint64_t round, RoundFaults& rf,
                                        std::size_t& round_max_bits);
 };
 

@@ -1,15 +1,25 @@
 #include "ldc/runtime/thread_pool.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
 namespace ldc {
 
 std::size_t ThreadPool::default_thread_count() {
+  // A pool lane is an OS thread: a value beyond this is a misconfiguration
+  // (e.g. LDC_THREADS accidentally set to a node count), not a request.
+  constexpr long kMaxThreads = 4096;
   if (const char* env = std::getenv("LDC_THREADS")) {
     char* end = nullptr;
+    errno = 0;
     const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) {
+    // Reject garbage, trailing junk, empty strings, 0, negatives, and
+    // out-of-range values (strtol saturates with ERANGE on overflow) by
+    // falling back to hardware concurrency instead of misconfiguring the
+    // pool.
+    if (errno == 0 && end != env && *end == '\0' && v >= 1 &&
+        v <= kMaxThreads) {
       return static_cast<std::size_t>(v);
     }
   }

@@ -16,6 +16,19 @@
 
 namespace ldc {
 
+/// Per-round fault events (all zero for fault-free rounds). Produced by the
+/// Network's fault-injection layer; model-exact and digested like traffic.
+struct RoundFaults {
+  std::uint64_t dropped = 0;    ///< messages sent but lost this round
+  std::uint64_t corrupted = 0;  ///< messages delivered with flipped bits
+  std::uint64_t crashes = 0;    ///< nodes that crashed at this round
+  std::uint64_t sleeps = 0;     ///< nodes asleep for this round
+
+  bool any() const {
+    return dropped != 0 || corrupted != 0 || crashes != 0 || sleeps != 0;
+  }
+};
+
 class Trace {
  public:
   struct Round {
@@ -25,6 +38,7 @@ class Trace {
     std::size_t max_message_bits = 0;
     std::uint64_t wall_ns = 0;     ///< host time simulating the round
                                    ///< (observational; not in digest())
+    RoundFaults faults;            ///< fault events injected this round
     std::string mark;              ///< phase label active at this round
   };
 
@@ -34,12 +48,28 @@ class Trace {
 
   /// Records one round's aggregate (called by Network when attached).
   void record_round(std::uint64_t messages, std::uint64_t bits,
-                    std::size_t max_message_bits, std::uint64_t wall_ns = 0);
+                    std::size_t max_message_bits, std::uint64_t wall_ns = 0,
+                    const RoundFaults& faults = {});
 
   /// Records `k` silent rounds (no traffic) under the current mark — the
   /// Network::advance_rounds() counterpart, keeping the transcript length
-  /// equal to the metrics' round count.
-  void record_silent(std::uint64_t k);
+  /// equal to the metrics' round count. `wall_ns` (compute time flushed by
+  /// the silent phase) is attributed to the first of the k rounds.
+  void record_silent(std::uint64_t k, std::uint64_t wall_ns = 0);
+
+  /// Records an absorbed sub-run (Network::absorb() counterpart) as one
+  /// round carrying the sub-run's aggregate traffic followed by
+  /// m.rounds - 1 silent rounds, so transcript length keeps matching
+  /// metrics().rounds and traffic sums stay conserved.
+  void record_absorbed(const RunMetrics& m);
+
+  /// Appends another trace's rounds (re-indexed, keeping their marks) —
+  /// used to carry an absorbed sub-run's per-round rows.
+  void append(const Trace& sub);
+
+  /// Adds observational wall time to the most recent round, if any (the
+  /// Network::flush_compute_time() counterpart).
+  void add_wall_ns(std::uint64_t wall_ns);
 
   const std::vector<Round>& rounds() const { return rounds_; }
 

@@ -1,5 +1,7 @@
 #include "ldc/support/bitio.hpp"
 
+#include <stdexcept>
+
 #include "ldc/support/math.hpp"
 
 namespace ldc {
@@ -32,7 +34,13 @@ void BitWriter::write_varint(std::uint64_t value) {
 
 std::uint64_t BitReader::read(int bits) {
   assert(bits >= 0 && bits <= 64);
-  assert(pos_ + static_cast<std::size_t>(bits) <= bit_count_);
+  if (pos_ + static_cast<std::size_t>(bits) > bit_count_) {
+    // Overrun is a hard error in every build: decoders hitting it on a
+    // corrupted payload (fault injection flips bits, which can derail
+    // variable-length decodes) must get a catchable exception, not an
+    // out-of-bounds read.
+    throw std::out_of_range("BitReader: read past end of payload");
+  }
   if (bits == 0) return 0;
   const std::size_t word = pos_ / 64;
   const int offset = static_cast<int>(pos_ % 64);

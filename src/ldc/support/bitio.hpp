@@ -45,7 +45,9 @@ class BitReader {
   BitReader(const std::vector<std::uint64_t>* words, std::size_t bit_count)
       : words_(words), bit_count_(bit_count) {}
 
-  /// Reads `bits` bits; asserts on overrun.
+  /// Reads `bits` bits; throws std::out_of_range on overrun (corrupted
+  /// payloads can derail variable-length decodes, so the error must be
+  /// catchable in every build).
   std::uint64_t read(int bits);
 
   /// Inverse of BitWriter::write_bounded.

@@ -35,6 +35,43 @@ TEST(Network, RejectsNonNeighborDelivery) {
   EXPECT_THROW(net.exchange(out), std::invalid_argument);
 }
 
+TEST(Network, RejectsDuplicateDestinations) {
+  // Contract: each sender may send at most one message per neighbor per
+  // round. Duplicates used to be delivered (with stdlib-sort-dependent
+  // inbox order); now they are rejected up front on both engines.
+  const Graph g = gen::path(3);
+  for (bool parallel : {false, true}) {
+    Network net(g);
+    if (parallel) net.set_engine(Network::Engine::kParallel, 4);
+    std::vector<Network::Outbox> out(3);
+    out[1].emplace_back(0, make_msg(1, 4));
+    out[1].emplace_back(0, make_msg(2, 4));
+    EXPECT_THROW(net.exchange(out), std::invalid_argument);
+  }
+}
+
+TEST(Network, DuplicateCheckPrecedesPerMessageValidation) {
+  // Error fidelity: the duplicate check runs before the sender's messages
+  // are validated, so a sender with both faults reports the duplicate
+  // (identically on both engines, regardless of message order).
+  const Graph g = gen::path(3);
+  for (bool parallel : {false, true}) {
+    Network net(g);
+    if (parallel) net.set_engine(Network::Engine::kParallel, 4);
+    std::vector<Network::Outbox> out(3);
+    out[0].emplace_back(2, make_msg(1, 4));  // non-neighbor
+    out[0].emplace_back(1, make_msg(1, 4));
+    out[0].emplace_back(1, make_msg(2, 4));  // duplicate
+    try {
+      net.exchange(out);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("duplicate destination"),
+                std::string::npos);
+    }
+  }
+}
+
 TEST(Network, CountsRoundsAndBits) {
   const Graph g = gen::ring(4);
   Network net(g);
@@ -155,6 +192,36 @@ TEST(Network, AdvanceRoundsAccountsSilentRounds) {
   EXPECT_EQ(net.metrics().rounds, 3u);
 }
 
+TEST(Network, AdvanceRoundsFlushesPendingComputeTime) {
+  // run_node_programs() defers its wall time to the next recorded round;
+  // a run ending in compute + advance_rounds() (no exchange) used to drop
+  // that time on the floor.
+  const Graph g = gen::clique(32);
+  Network net(g);
+  net.run_node_programs([&](NodeId v) {
+    volatile std::uint64_t x = 0;
+    for (std::uint64_t i = 0; i < 1000; ++i) x = x + i * v;
+  });
+  EXPECT_EQ(net.metrics().wall_ns, 0u);  // still pending
+  net.advance_rounds(1);
+  EXPECT_GT(net.metrics().wall_ns, 0u);
+}
+
+TEST(Network, FlushComputeTimeConservesWallTimeWithoutARound) {
+  const Graph g = gen::clique(32);
+  Network net(g);
+  net.run_node_programs([&](NodeId v) {
+    volatile std::uint64_t x = 0;
+    for (std::uint64_t i = 0; i < 1000; ++i) x = x + i * v;
+  });
+  net.flush_compute_time();
+  EXPECT_GT(net.metrics().wall_ns, 0u);
+  EXPECT_EQ(net.metrics().rounds, 0u);
+  const std::uint64_t after_flush = net.metrics().wall_ns;
+  net.flush_compute_time();  // idempotent: nothing left to flush
+  EXPECT_EQ(net.metrics().wall_ns, after_flush);
+}
+
 TEST(Network, EmptyMessagesCountAsMessages) {
   const Graph g = gen::path(2);
   Network net(g);
@@ -173,6 +240,26 @@ TEST(RunMetrics, Merge) {
   EXPECT_EQ(a.total_bits, 35u);
   EXPECT_EQ(a.max_message_bits, 20u);
   EXPECT_EQ(a.congest_violations, 2u);
+}
+
+TEST(RunMetrics, MergeAndEquivalenceCoverFaultCounters) {
+  RunMetrics a, b;
+  a.messages_dropped = 3;
+  a.node_crashes = 1;
+  b.messages_dropped = 2;
+  b.messages_corrupted = 7;
+  b.node_sleeps = 4;
+  a.merge(b);
+  EXPECT_EQ(a.messages_dropped, 5u);
+  EXPECT_EQ(a.messages_corrupted, 7u);
+  EXPECT_EQ(a.node_crashes, 1u);
+  EXPECT_EQ(a.node_sleeps, 4u);
+  // Fault counters are model-exact: they take part in cross-engine
+  // equivalence.
+  RunMetrics c = a;
+  EXPECT_TRUE(a.same_communication(c));
+  c.messages_dropped += 1;
+  EXPECT_FALSE(a.same_communication(c));
 }
 
 }  // namespace

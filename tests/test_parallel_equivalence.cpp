@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "ldc/arb/beg_arbdefective.hpp"
@@ -20,6 +22,7 @@
 #include "ldc/linial/defective_linial.hpp"
 #include "ldc/linial/linial.hpp"
 #include "ldc/oldc/single_defect.hpp"
+#include "ldc/resilient/drivers.hpp"
 #include "ldc/runtime/network.hpp"
 #include "ldc/support/prf.hpp"
 
@@ -78,6 +81,13 @@ void expect_equivalent(const EngineRun& serial, const EngineRun& parallel,
     EXPECT_EQ(a.max_message_bits, b.max_message_bits)
         << label << " round " << i;
     EXPECT_EQ(a.mark, b.mark) << label << " round " << i;
+    EXPECT_EQ(a.faults.dropped, b.faults.dropped)
+        << label << " round " << i;
+    EXPECT_EQ(a.faults.corrupted, b.faults.corrupted)
+        << label << " round " << i;
+    EXPECT_EQ(a.faults.crashes, b.faults.crashes)
+        << label << " round " << i;
+    EXPECT_EQ(a.faults.sleeps, b.faults.sleeps) << label << " round " << i;
   }
 }
 
@@ -168,6 +178,182 @@ TEST(ParallelEquivalence, EveryColorerEveryGraphEveryThreadCount) {
                           colorer.name + " on " + ng.name + " @" +
                               std::to_string(threads) + "t");
       }
+    }
+  }
+}
+
+// Named fault plans for the sweep; rates are deliberately aggressive so
+// every fault process actually fires on the small test graphs.
+std::vector<std::pair<std::string, FaultPlan>> fault_plan_mix() {
+  std::vector<std::pair<std::string, FaultPlan>> plans;
+  {
+    FaultPlan p;
+    p.seed = 0xfa01;
+    p.drop_rate = 0.15;
+    plans.push_back({"drop15", p});
+  }
+  {
+    FaultPlan p;
+    p.seed = 0xfa02;
+    p.corrupt_rate = 0.20;
+    plans.push_back({"corrupt20", p});
+  }
+  {
+    FaultPlan p;
+    p.seed = 0xfa03;
+    p.crash_rate = 0.03;
+    p.sleep_rate = 0.10;
+    p.max_crashes = 5;
+    plans.push_back({"crash-sleep", p});
+  }
+  {
+    FaultPlan p;
+    p.seed = 0xfa04;
+    p.drop_rate = 0.05;
+    p.corrupt_rate = 0.05;
+    p.crash_rate = 0.01;
+    p.sleep_rate = 0.05;
+    p.max_crashes = 4;
+    plans.push_back({"mixed", p});
+  }
+  return plans;
+}
+
+struct FaultyRun {
+  std::vector<std::uint64_t> inbox_flat;  ///< (receiver, sender, payload)
+  RunMetrics metrics;
+  std::uint64_t trace_digest = 0;
+  std::vector<Trace::Round> rounds;
+};
+
+// Raw multi-round exchange under a fault plan, flattening every delivered
+// payload so drop/corrupt/crash/sleep effects are byte-observable.
+FaultyRun run_faulty_exchange(const Graph& g, std::size_t threads,
+                              const FaultPlan& plan) {
+  Network net(g);
+  if (threads > 0) net.set_engine(Network::Engine::kParallel, threads);
+  Trace trace;
+  net.attach_trace(&trace);
+  net.attach_faults(&plan);
+  FaultyRun out;
+  for (std::uint64_t r = 0; r < 6; ++r) {
+    std::vector<Network::Outbox> outboxes(g.n());
+    for (NodeId u = 0; u < g.n(); ++u) {
+      for (NodeId v : g.neighbors(u)) {
+        BitWriter w;
+        w.write(hash_combine(r, (static_cast<std::uint64_t>(u) << 20) | v),
+                40);
+        outboxes[u].emplace_back(v, Message::from(w));
+      }
+    }
+    const auto in = net.exchange(outboxes);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      for (const auto& [sender, msg] : in[v]) {
+        auto rd = msg.reader();
+        out.inbox_flat.push_back(hash_combine(
+            (static_cast<std::uint64_t>(v) << 32) | sender, rd.read(40)));
+      }
+    }
+  }
+  out.metrics = net.metrics();
+  out.trace_digest = trace.digest();
+  out.rounds = trace.rounds();
+  return out;
+}
+
+TEST(ParallelEquivalence, FaultPlansMatchAcrossEngines) {
+  for (const auto& ng : graph_mix()) {
+    for (const auto& [plan_name, plan] : fault_plan_mix()) {
+      const FaultyRun serial = run_faulty_exchange(ng.g, 0, plan);
+      // The sweep must exercise real faults, not vacuous plans.
+      EXPECT_GT(serial.metrics.messages_dropped +
+                    serial.metrics.messages_corrupted +
+                    serial.metrics.node_crashes + serial.metrics.node_sleeps,
+                0u)
+          << plan_name << " on " << ng.name;
+      for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+        const FaultyRun parallel = run_faulty_exchange(ng.g, threads, plan);
+        const std::string label =
+            plan_name + " on " + ng.name + " @" + std::to_string(threads) +
+            "t";
+        EXPECT_EQ(serial.inbox_flat, parallel.inbox_flat)
+            << label << ": delivered payloads differ";
+        EXPECT_TRUE(serial.metrics.same_communication(parallel.metrics))
+            << label << ": metrics differ: serial {" << serial.metrics
+            << "} parallel {" << parallel.metrics << "}";
+        EXPECT_EQ(serial.trace_digest, parallel.trace_digest)
+            << label << ": trace digests differ";
+        ASSERT_EQ(serial.rounds.size(), parallel.rounds.size()) << label;
+        for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
+          EXPECT_EQ(serial.rounds[i].faults.dropped,
+                    parallel.rounds[i].faults.dropped)
+              << label << " round " << i;
+          EXPECT_EQ(serial.rounds[i].faults.corrupted,
+                    parallel.rounds[i].faults.corrupted)
+              << label << " round " << i;
+          EXPECT_EQ(serial.rounds[i].faults.crashes,
+                    parallel.rounds[i].faults.crashes)
+              << label << " round " << i;
+          EXPECT_EQ(serial.rounds[i].faults.sleeps,
+                    parallel.rounds[i].faults.sleeps)
+              << label << " round " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalence, ResilientRecoveryMatchesAcrossEngines) {
+  // End-to-end: colorer under faults + validation + repair must stay
+  // engine-independent, including the recovery cost report.
+  Graph g = gen::gnp(48, 0.15, 33);
+  gen::scramble_ids(g, 1 << 18, 3);
+  repair::ResilientOptions opt;
+  opt.plan.seed = 0xabcd;
+  opt.plan.drop_rate = 0.10;
+  opt.plan.corrupt_rate = 0.10;
+  opt.plan.sleep_rate = 0.05;
+  auto run = [&](std::size_t threads) {
+    Network net(g);
+    if (threads > 0) net.set_engine(Network::Engine::kParallel, threads);
+    Trace trace;
+    net.attach_trace(&trace);
+    const auto res = resilient::resilient_linial(net, opt);
+    return std::make_tuple(res.run.phi, res.run.valid,
+                           res.run.recovery_rounds, res.run.moved_nodes,
+                           res.run.metrics, trace.digest());
+  };
+  const auto serial = run(0);
+  EXPECT_TRUE(std::get<1>(serial));
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(std::get<0>(serial), std::get<0>(parallel)) << threads;
+    EXPECT_EQ(std::get<1>(serial), std::get<1>(parallel)) << threads;
+    EXPECT_EQ(std::get<2>(serial), std::get<2>(parallel)) << threads;
+    EXPECT_EQ(std::get<3>(serial), std::get<3>(parallel)) << threads;
+    EXPECT_TRUE(std::get<4>(serial).same_communication(std::get<4>(parallel)))
+        << threads;
+    EXPECT_EQ(std::get<5>(serial), std::get<5>(parallel)) << threads;
+  }
+}
+
+TEST(ParallelEquivalence, DuplicateDestinationThrowsOnBothEngines) {
+  const Graph g = gen::ring(8);
+  for (std::size_t threads : {0u, 2u, 7u}) {
+    Network net(g);
+    if (threads > 0) net.set_engine(Network::Engine::kParallel, threads);
+    std::vector<Network::Outbox> out(8);
+    BitWriter w;
+    w.write(1, 1);
+    out[3].emplace_back(4, Message::from(w));
+    out[3].emplace_back(4, Message::from(w));  // duplicate destination
+    try {
+      net.exchange(out);
+      FAIL() << threads << " threads: expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("duplicate destination"),
+                std::string::npos)
+          << threads << " threads";
     }
   }
 }

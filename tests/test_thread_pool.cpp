@@ -161,6 +161,32 @@ TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
   EXPECT_GE(ThreadPool::default_thread_count(), 1u);
 }
 
+TEST(ThreadPool, DefaultThreadCountRejectsMalformedEnv) {
+  // Every malformed value must resolve to the hardware-concurrency default,
+  // never to a garbage pool size (strtol's partial parses, negatives,
+  // overflow saturation, and absurdly large counts included).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t fallback = hw == 0 ? 1 : hw;
+  const char* bad[] = {
+      "",      " ",          "-1",  "-0",         "3threads",
+      "0x10",  "2.5",        "+ 4", "99999999999999999999",  // > LONG_MAX
+      "-9223372036854775808000",                             // < LONG_MIN
+      "1e3",   "eight",      "4 ",
+      "5000",                                  // beyond the 4096 sanity cap
+  };
+  for (const char* v : bad) {
+    ASSERT_EQ(setenv("LDC_THREADS", v, 1), 0);
+    EXPECT_EQ(ThreadPool::default_thread_count(), fallback)
+        << "LDC_THREADS=\"" << v << "\"";
+  }
+  // Boundary values that are valid must still be honored.
+  ASSERT_EQ(setenv("LDC_THREADS", "1", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 1u);
+  ASSERT_EQ(setenv("LDC_THREADS", "4096", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 4096u);
+  ASSERT_EQ(unsetenv("LDC_THREADS"), 0);
+}
+
 TEST(ThreadPool, ZeroResolvesToDefault) {
   ASSERT_EQ(setenv("LDC_THREADS", "3", 1), 0);
   ThreadPool pool(0);

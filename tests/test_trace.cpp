@@ -138,6 +138,105 @@ TEST(Trace, AdvanceRoundsRecordsSilentRounds) {
   EXPECT_EQ(t.rounds()[4].messages, 8u);
 }
 
+TEST(Trace, AbsorbRecordsAggregateAndSilentRounds) {
+  // Network::absorb() used to bump metrics().rounds without telling the
+  // trace, breaking the transcript-length invariant. The default path now
+  // records one aggregate row plus silent rounds, conserving both the
+  // round count and the traffic sums.
+  const Graph g = gen::ring(4);
+  Network net(g);
+  Trace t;
+  net.attach_trace(&t);
+  net.exchange_broadcast(std::vector<Message>(4, make_msg(1, 8)));
+  RunMetrics sub;
+  sub.rounds = 3;
+  sub.messages = 10;
+  sub.total_bits = 120;
+  sub.max_message_bits = 16;
+  net.absorb(sub);
+  EXPECT_EQ(net.metrics().rounds, 4u);
+  ASSERT_EQ(t.rounds().size(), 4u);
+  std::uint64_t msgs = 0, bits = 0;
+  for (const auto& r : t.rounds()) {
+    msgs += r.messages;
+    bits += r.bits;
+  }
+  EXPECT_EQ(msgs, net.metrics().messages);
+  EXPECT_EQ(bits, net.metrics().total_bits);
+  EXPECT_EQ(t.rounds()[1].messages, 10u);  // aggregate row first
+  EXPECT_EQ(t.rounds()[2].messages, 0u);   // then silent rounds
+  EXPECT_EQ(t.rounds()[3].messages, 0u);
+}
+
+TEST(Trace, AbsorbWithSubTraceCarriesPerRoundRows) {
+  const Graph g = gen::ring(4);
+  Network net(g);
+  Trace t;
+  net.attach_trace(&t);
+  Trace sub_trace;
+  sub_trace.mark("sub-phase");
+  sub_trace.record_round(4, 32, 8);
+  sub_trace.record_round(2, 8, 4);
+  RunMetrics sub;
+  sub.rounds = 2;
+  sub.messages = 6;
+  sub.total_bits = 40;
+  sub.max_message_bits = 8;
+  net.absorb(sub, &sub_trace);
+  EXPECT_EQ(net.metrics().rounds, 2u);
+  ASSERT_EQ(t.rounds().size(), 2u);
+  EXPECT_EQ(t.rounds()[0].messages, 4u);
+  EXPECT_EQ(t.rounds()[1].messages, 2u);
+  EXPECT_EQ(t.rounds()[0].mark, "sub-phase");
+  EXPECT_EQ(t.rounds()[1].index, 1u);  // re-indexed into this transcript
+}
+
+TEST(Trace, AbsorbOfZeroRoundSubRunRecordsNothing) {
+  const Graph g = gen::ring(4);
+  Network net(g);
+  Trace t;
+  net.attach_trace(&t);
+  RunMetrics sub;  // rounds == 0 (e.g. an empty parallel branch)
+  net.absorb(sub);
+  EXPECT_EQ(net.metrics().rounds, 0u);
+  EXPECT_TRUE(t.rounds().empty());
+}
+
+TEST(Trace, PipelineTranscriptLengthMatchesMetricsRounds) {
+  // End-to-end regression: the d1lc pipeline absorbs sub-runs (per-class
+  // OLDC solves, color space reduction) and advances structural rounds; the
+  // transcript must account for every one of metrics().rounds.
+  Graph g = gen::gnp(48, 0.15, 4);
+  gen::scramble_ids(g, 1 << 20, 5);
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Network net(g);
+  Trace t;
+  net.attach_trace(&t);
+  d1lc::color(net, inst);
+  EXPECT_EQ(t.rounds().size(), net.metrics().rounds);
+  std::uint64_t msgs = 0, bits = 0;
+  for (const auto& r : t.rounds()) {
+    msgs += r.messages;
+    bits += r.bits;
+  }
+  EXPECT_EQ(msgs, net.metrics().messages);
+  EXPECT_EQ(bits, net.metrics().total_bits);
+}
+
+TEST(Trace, FaultFieldsAreDigestedOnlyWhenPresent) {
+  // Fault-free transcripts keep the legacy digest fold (faults contribute
+  // nothing), while any nonzero fault counter must change the digest.
+  Trace a, b, c;
+  a.record_round(2, 16, 8);
+  RoundFaults none;
+  b.record_round(2, 16, 8, 0, none);
+  RoundFaults dropped;
+  dropped.dropped = 1;
+  c.record_round(2, 16, 8, 0, dropped);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
 TEST(Trace, SilentRoundsChangeTheDigest) {
   // Two executions that differ only in silent structural rounds must not
   // collide: transcripts certify full executions, including round counts.
