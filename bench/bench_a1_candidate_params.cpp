@@ -7,47 +7,53 @@
 // defaults sit where relaxations vanish on weight-condition instances.
 #include "common.hpp"
 
-#include "ldc/oldc/two_phase.hpp"
+namespace {
+using namespace ldc;
 
-int main() {
-  using namespace ldc;
+void run(harness::ExperimentContext& ctx) {
   const std::uint32_t beta = 16;
   const Graph g = bench::regular_graph(96, beta, 33);
   const Orientation orient = Orientation::by_decreasing_id(g);
-  RandomLdcParams ip;
-  ip.color_space = 16ULL * beta * beta;
-  ip.one_plus_nu = 2.0;
-  ip.kappa = 40.0;
-  ip.max_defect = beta / 4;
-  ip.seed = 34;
-  const LdcInstance inst = random_weighted_oriented_instance(g, orient, ip);
+  const LdcInstance inst = bench::weighted_oriented_instance(
+      g, orient, 16ULL * beta * beta, 40.0, beta / 4, 34);
 
-  Table t("A1: two-phase solver vs candidate parameters (beta = 16, "
-          "weight-condition instance)",
-          {"k'", "tau cap", "tau used", "rounds", "p1_relaxed", "repaired",
-           "repair rounds", "valid"});
-  for (std::uint32_t kprime : {4u, 8u, 16u, 32u}) {
-    for (std::uint32_t tau_cap : {2u, 4u, 8u, 16u}) {
+  auto& t = ctx.table(
+      "A1: two-phase solver vs candidate parameters (beta = 16, "
+      "weight-condition instance)",
+      {"k'", "tau cap", "tau used", "rounds", "p1_relaxed", "repaired",
+       "repair rounds", "valid"});
+  for (std::uint32_t kprime : ctx.pick<std::vector<std::uint32_t>>(
+           {4, 8, 16, 32}, {8, 16})) {
+    for (std::uint32_t tau_cap : ctx.pick<std::vector<std::uint32_t>>(
+             {2, 4, 8, 16}, {4, 8})) {
       Network net(g);
-      const auto lin = linial::color(net);
-      oldc::TwoPhaseInput in;
-      in.inst = &inst;
-      in.orientation = &orient;
-      in.initial = &lin.phi;
-      in.m = lin.palette;
-      in.params.kprime = kprime;
-      in.params.tau_cap = tau_cap;
-      const auto res = oldc::solve_two_phase(net, in);
-      const auto check = validate_oldc(inst, orient, res.phi);
+      ctx.prepare(net);
+      mt::CandidateParams params;
+      params.kprime = kprime;
+      params.tau_cap = tau_cap;
+      const auto run = bench::two_phase_after_linial(net, inst, orient,
+                                                     params);
+      ctx.record("two-phase/kprime=" + std::to_string(kprime) +
+                     "/tau_cap=" + std::to_string(tau_cap),
+                 net);
+      const auto check = validate_oldc(inst, orient, run.res.phi);
       t.add_row({std::uint64_t{kprime}, std::uint64_t{tau_cap},
-                 std::uint64_t{res.stats.tau},
-                 std::uint64_t{res.stats.rounds},
-                 std::uint64_t{res.stats.p1_relaxed},
-                 std::string(res.stats.repaired ? "yes" : "no"),
-                 std::uint64_t{res.stats.repair_rounds},
+                 std::uint64_t{run.res.stats.tau},
+                 std::uint64_t{run.res.stats.rounds},
+                 std::uint64_t{run.res.stats.p1_relaxed},
+                 std::string(run.res.stats.repaired ? "yes" : "no"),
+                 std::uint64_t{run.res.stats.repair_rounds},
                  bench::verdict(check)});
     }
   }
-  t.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "a1_candidate_params",
+    .claim = "Ablation (DESIGN §4): larger k'/tau caps trade internal cost "
+             "for fewer P1 relaxations and repairs",
+    .axes = {"k'", "tau cap"},
+    .run = run,
+}};
+
+}  // namespace

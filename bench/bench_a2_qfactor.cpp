@@ -8,22 +8,30 @@
 
 #include "ldc/arb/list_arbdefective.hpp"
 
-int main() {
-  using namespace ldc;
-  const Graph g = bench::regular_graph(160, 24, 44);
+namespace {
+using namespace ldc;
+
+void run(harness::ExperimentContext& ctx) {
+  const std::uint32_t delta = ctx.smoke() ? 12 : 24;
+  const Graph g =
+      bench::regular_graph(ctx.smoke() ? 96 : 160, delta, 44);
   const LdcInstance inst = delta_plus_one_instance(g);
-  Table t("A2: Theorem 1.3 rounds vs q_factor ((Delta+1) instance, "
-          "Delta = 24)",
-          {"q_factor", "rounds", "class iters", "arbdef rounds",
-           "oldc rounds", "repair rounds", "tail rounds", "valid"});
-  for (double qf : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+  auto& t = ctx.table(
+      "A2: Theorem 1.3 rounds vs q_factor ((Delta+1) instance, Delta = " +
+          std::to_string(delta) + ")",
+      {"q_factor", "rounds", "class iters", "arbdef rounds", "oldc rounds",
+       "repair rounds", "tail rounds", "valid"});
+  for (double qf : ctx.pick<std::vector<double>>({0.5, 1.0, 2.0, 4.0, 8.0},
+                                                 {1.0, 2.0})) {
     Network net(g);
+    ctx.prepare(net);
     const auto lin = linial::color(net);
     mt::CandidateParams params;
     arb::Theorem13Options opt;
     opt.q_factor = qf;
     const auto res = arb::solve_list_arbdefective(
         net, inst, lin.phi, lin.palette, arb::two_phase_solver(params), opt);
+    ctx.record("thm13/q_factor=" + std::to_string(qf), net);
     t.add_row({qf, std::uint64_t{res.stats.rounds + lin.rounds},
                std::uint64_t{res.stats.class_iterations},
                std::uint64_t{res.stats.arbdef_rounds},
@@ -32,6 +40,14 @@ int main() {
                std::uint64_t{res.stats.tail_rounds},
                std::string(res.valid ? "ok" : "VIOLATION")});
   }
-  t.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "a2_qfactor",
+    .claim = "Ablation (Thm 1.3): the class-count factor q has a flat "
+             "optimum around the default q_factor = 2",
+    .axes = {"q_factor"},
+    .run = run,
+}};
+
+}  // namespace

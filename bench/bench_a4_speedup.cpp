@@ -8,40 +8,27 @@
 // per-level list sizes the base solver faced.
 #include "common.hpp"
 
-#include "ldc/oldc/multi_defect.hpp"
 #include "ldc/reduction/color_space.hpp"
 #include "ldc/reduction/speedup.hpp"
 
-int main() {
-  using namespace ldc;
-  const std::uint32_t beta = 16;
-  const Graph g = bench::regular_graph(96, beta, 66);
-  const Orientation orient = Orientation::by_decreasing_id(g);
-  RandomLdcParams ip;
-  ip.color_space = 1 << 14;
-  ip.one_plus_nu = 2.0;
-  ip.kappa = 50.0;
-  ip.max_defect = 5;
-  ip.seed = 67;
-  const LdcInstance inst = random_weighted_oriented_instance(g, orient, ip);
+namespace {
+using namespace ldc;
 
-  mt::CandidateParams params;
-  const reduction::OldcSolver base =
-      [&params](Network& net, const LdcInstance& i, const Orientation& o,
-                const Coloring& init, std::uint64_t m) {
-        oldc::MultiDefectInput in;
-        in.inst = &i;
-        in.orientation = &o;
-        in.initial = &init;
-        in.m = m;
-        in.params = params;
-        return oldc::solve_multi_defect(net, in);
-      };
+void run(harness::ExperimentContext& ctx) {
+  const std::uint32_t beta = ctx.smoke() ? 8 : 16;
+  const std::uint64_t space = ctx.smoke() ? (1 << 10) : (1 << 14);
+  const Graph g = bench::regular_graph(ctx.smoke() ? 64 : 96, beta, 66);
+  const Orientation orient = Orientation::by_decreasing_id(g);
+  const LdcInstance inst =
+      bench::weighted_oriented_instance(g, orient, space, 50.0, 5, 67);
+  const reduction::OldcSolver base = bench::multi_defect_solver();
 
   const std::uint64_t balanced =
-      reduction::speedup_subspace_count(beta, 8.0, ip.color_space);
-  Table t("A4: Corollary 4.1 parameter balance (|C| = 16384, beta = 16)",
-          {"p", "how chosen", "levels", "rounds", "max msg bits", "valid"});
+      reduction::speedup_subspace_count(beta, 8.0, space);
+  auto& t = ctx.table(
+      "A4: Corollary 4.1 parameter balance (|C| = " + std::to_string(space) +
+          ", beta = " + std::to_string(beta) + ")",
+      {"p", "how chosen", "levels", "rounds", "max msg bits", "valid"});
   struct Choice {
     std::uint64_t p;
     std::string label;
@@ -50,21 +37,31 @@ int main() {
       {0, "direct (no reduction)"},
       {2, "p too small"},
       {balanced, "Cor 4.1 balanced"},
-      {4096, "p too large"},
+      {space / 4, "p too large"},
   };
   for (const auto& [p, label] : choices) {
     Network net(g);
+    ctx.prepare(net);
     const auto lin = linial::color(net);
     reduction::Options opt;
     opt.p = p;
     const auto res = reduction::reduce_and_solve(net, inst, orient, lin.phi,
                                                  lin.palette, opt, base);
+    ctx.record("reduce/p=" + std::to_string(p), net);
     const auto check = validate_oldc(inst, orient, res.phi);
     t.add_row({p, label, std::uint64_t{res.levels},
                std::uint64_t{res.stats.rounds},
                std::uint64_t{net.metrics().max_message_bits},
                bench::verdict(check)});
   }
-  t.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "a4_speedup",
+    .claim = "Ablation (Cor 4.1): balanced subspace count p beats both "
+             "too-small and too-large choices",
+    .axes = {"subspace count p"},
+    .run = run,
+}};
+
+}  // namespace

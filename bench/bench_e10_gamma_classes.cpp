@@ -13,26 +13,24 @@
 #include <map>
 
 #include "ldc/oldc/gamma.hpp"
-#include "ldc/oldc/two_phase.hpp"
 #include "ldc/support/math.hpp"
 
-int main() {
-  using namespace ldc;
-  Table t1("E10a: Lemma 3.6 bucket pigeonhole (worst bucket-mass ratio "
-           "h * W(best bucket) / W(total); must be >= 1)",
-           {"beta", "max_defect", "h", "worst ratio", "median classes/node"});
-  for (std::uint32_t beta : {8u, 16u, 32u}) {
-    for (std::uint32_t maxd : {1u, 3u, 7u}) {
+namespace {
+using namespace ldc;
+
+void run(harness::ExperimentContext& ctx) {
+  auto& t1 = ctx.table(
+      "E10a: Lemma 3.6 bucket pigeonhole (worst bucket-mass ratio "
+      "h * W(best bucket) / W(total); must be >= 1)",
+      {"beta", "max_defect", "h", "worst ratio", "median classes/node"});
+  for (std::uint32_t beta :
+       ctx.pick<std::vector<std::uint32_t>>({8, 16, 32}, {8, 16})) {
+    for (std::uint32_t maxd :
+         ctx.pick<std::vector<std::uint32_t>>({1, 3, 7}, {1, 3})) {
       const Graph g = bench::regular_graph(96, beta, beta * 10 + maxd);
       const Orientation orient = Orientation::by_decreasing_id(g);
-      RandomLdcParams p;
-      p.color_space = 16ULL * beta * beta;
-      p.one_plus_nu = 2.0;
-      p.kappa = 30.0;
-      p.max_defect = maxd;
-      p.seed = beta + maxd;
-      const LdcInstance inst =
-          random_weighted_oriented_instance(g, orient, p);
+      const LdcInstance inst = bench::weighted_oriented_instance(
+          g, orient, 16ULL * beta * beta, 30.0, maxd, beta + maxd);
       double worst = 1e300;
       std::vector<std::uint64_t> class_counts;
       std::uint32_t h = 1;
@@ -58,42 +56,42 @@ int main() {
       }
       std::sort(class_counts.begin(), class_counts.end());
       t1.add_row({std::uint64_t{beta}, std::uint64_t{maxd}, std::uint64_t{h},
-                  worst,
-                  class_counts[class_counts.size() / 2]});
+                  worst, class_counts[class_counts.size() / 2]});
     }
   }
-  t1.print(std::cout);
 
-  Table t2("E10b: two-phase class assignment stats",
-           {"beta", "h", "classes used", "clamped", "pruned colors",
-            "p1_relaxed", "valid"});
-  for (std::uint32_t beta : {8u, 16u, 32u, 64u}) {
+  auto& t2 = ctx.table(
+      "E10b: two-phase class assignment stats",
+      {"beta", "h", "classes used", "clamped", "pruned colors", "p1_relaxed",
+       "valid"});
+  for (std::uint32_t beta :
+       ctx.pick<std::vector<std::uint32_t>>({8, 16, 32, 64}, {8, 16})) {
     const Graph g = bench::regular_graph(std::max(64u, 3 * beta), beta,
                                          500 + beta);
     const Orientation orient = Orientation::by_decreasing_id(g);
-    RandomLdcParams p;
-    p.color_space = 32ULL * beta * beta;
-    p.one_plus_nu = 2.0;
-    p.kappa = 40.0;
-    p.max_defect = std::max(1u, beta / 4);
-    p.seed = beta * 3;
-    const LdcInstance inst = random_weighted_oriented_instance(g, orient, p);
+    const LdcInstance inst = bench::weighted_oriented_instance(
+        g, orient, 32ULL * beta * beta, 40.0, std::max(1u, beta / 4),
+        beta * 3);
     Network net(g);
-    const auto lin = linial::color(net);
-    oldc::TwoPhaseInput in;
-    in.inst = &inst;
-    in.orientation = &orient;
-    in.initial = &lin.phi;
-    in.m = lin.palette;
-    const auto res = oldc::solve_two_phase(net, in);
-    const auto check = validate_oldc(inst, orient, res.phi);
-    t2.add_row({std::uint64_t{beta}, std::uint64_t{res.stats.h},
-                std::uint64_t{res.stats.h},  // classes available
-                std::uint64_t{res.stats.clamped_classes},
-                std::uint64_t{res.stats.pruned_colors},
-                std::uint64_t{res.stats.p1_relaxed},
+    ctx.prepare(net);
+    const auto run = bench::two_phase_after_linial(net, inst, orient);
+    ctx.record("two-phase/beta=" + std::to_string(beta), net);
+    const auto check = validate_oldc(inst, orient, run.res.phi);
+    t2.add_row({std::uint64_t{beta}, std::uint64_t{run.res.stats.h},
+                std::uint64_t{run.res.stats.h},  // classes available
+                std::uint64_t{run.res.stats.clamped_classes},
+                std::uint64_t{run.res.stats.pruned_colors},
+                std::uint64_t{run.res.stats.p1_relaxed},
                 bench::verdict(check)});
   }
-  t2.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "e10_gamma_classes",
+    .claim = "Lemmas 3.6/3.8: gamma-class bucket pigeonhole holds and the "
+             "two-phase class assignment stays within delta budgets",
+    .axes = {"beta", "max_defect"},
+    .run = run,
+}};
+
+}  // namespace

@@ -6,6 +6,9 @@
 // that backs the library's headline invariant.
 #include "common.hpp"
 
+#include <functional>
+#include <tuple>
+
 #include "ldc/baselines/color_reduction.hpp"
 #include "ldc/baselines/greedy.hpp"
 #include "ldc/baselines/kw_reduction.hpp"
@@ -13,56 +16,55 @@
 #include "ldc/d1lc/congest_colorer.hpp"
 #include "ldc/repair/repair.hpp"
 
-int main() {
-  using namespace ldc;
-  Table t("E11: validity & quality matrix ((Delta+1) instances, 3 seeds "
-          "each)",
-          {"graph", "Delta", "algorithm", "valid/3", "avg rounds",
-           "avg colors", "repair rounds (in-solve)"});
+namespace {
+using namespace ldc;
+
+void run(harness::ExperimentContext& ctx) {
+  const std::uint64_t seeds = ctx.smoke() ? 2 : 3;
+  auto& t = ctx.table(
+      "E11: validity & quality matrix ((Delta+1) instances, " +
+          std::to_string(seeds) + " seeds each)",
+      {"graph", "Delta", "algorithm", "valid/" + std::to_string(seeds),
+       "avg rounds", "avg colors", "repair rounds (in-solve)"});
 
   struct Family {
     std::string name;
     std::function<Graph(std::uint64_t)> make;
   };
-  const std::vector<Family> families = {
-      {"regular d=12", [](std::uint64_t s) {
-         return bench::regular_graph(120, 12, s);
+  std::vector<Family> families = {
+      {"regular d=12",
+       [](std::uint64_t s) { return bench::regular_graph(120, 12, s); }},
+      {"gnp p=0.1",
+       [](std::uint64_t s) {
+         return bench::scrambled(gen::gnp(120, 0.1, s), s + 7);
        }},
-      {"gnp p=0.1", [](std::uint64_t s) {
-         Graph g = gen::gnp(120, 0.1, s);
-         gen::scramble_ids(g, 1ULL << 24, s + 7);
-         return g;
+      {"power-law",
+       [](std::uint64_t s) {
+         return bench::scrambled(gen::power_law(150, 2.5, 6.0, s), s + 7);
        }},
-      {"power-law", [](std::uint64_t s) {
-         Graph g = gen::power_law(150, 2.5, 6.0, s);
-         gen::scramble_ids(g, 1ULL << 24, s + 7);
-         return g;
+      {"torus 12x10",
+       [](std::uint64_t s) {
+         return bench::scrambled(gen::torus(12, 10), s + 7);
        }},
-      {"torus 12x10", [](std::uint64_t s) {
-         Graph g = gen::torus(12, 10);
-         gen::scramble_ids(g, 1ULL << 24, s + 7);
-         return g;
-       }},
-      {"tree", [](std::uint64_t s) {
-         Graph g = gen::random_tree(150, s);
-         gen::scramble_ids(g, 1ULL << 24, s + 7);
-         return g;
+      {"tree",
+       [](std::uint64_t s) {
+         return bench::scrambled(gen::random_tree(150, s), s + 7);
        }},
   };
+  if (ctx.smoke()) families.resize(2);
 
   for (const auto& fam : families) {
     struct Algo {
       std::string name;
       // returns (valid, rounds, colors, repair_tail)
       std::function<std::tuple<bool, std::uint64_t, std::uint64_t,
-                               std::uint64_t>(const Graph&,
+                               std::uint64_t>(Network&, const Graph&,
                                               const LdcInstance&)>
           run;
     };
     const std::vector<Algo> algos = {
         {"pipeline(Thm1.4)",
-         [](const Graph& g, const LdcInstance& inst) {
-           Network net(g);
+         [](Network& net, const Graph& g, const LdcInstance& inst) {
            const auto r = d1lc::color(net, inst);
            return std::make_tuple(r.valid && validate_proper(g, r.phi).ok,
                                   std::uint64_t{r.rounds},
@@ -70,8 +72,7 @@ int main() {
                                   std::uint64_t{r.t13.repair_rounds});
          }},
         {"one-class",
-         [](const Graph& g, const LdcInstance& inst) {
-           Network net(g);
+         [](Network& net, const Graph&, const LdcInstance& inst) {
            const auto r = baselines::linial_then_reduce(net, inst);
            return std::make_tuple(validate_ldc(inst, r.phi).ok,
                                   std::uint64_t{r.rounds},
@@ -79,9 +80,7 @@ int main() {
                                   std::uint64_t{0});
          }},
         {"KW-batched",
-         [](const Graph& g, const LdcInstance& inst) {
-           (void)inst;
-           Network net(g);
+         [](Network& net, const Graph& g, const LdcInstance&) {
            const auto r = baselines::linial_then_kw(net);
            return std::make_tuple(validate_proper(g, r.phi).ok,
                                   std::uint64_t{r.rounds},
@@ -89,8 +88,7 @@ int main() {
                                   std::uint64_t{0});
          }},
         {"Luby",
-         [](const Graph& g, const LdcInstance& inst) {
-           Network net(g);
+         [](Network& net, const Graph&, const LdcInstance& inst) {
            const auto r = baselines::luby_list_coloring(net, inst);
            return std::make_tuple(r.success && validate_ldc(inst, r.phi).ok,
                                   std::uint64_t{r.rounds},
@@ -98,8 +96,7 @@ int main() {
                                   std::uint64_t{0});
          }},
         {"repair-from-scratch",
-         [](const Graph& g, const LdcInstance& inst) {
-           Network net(g);
+         [](Network& net, const Graph& g, const LdcInstance& inst) {
            const auto r =
                repair::repair(net, inst, Coloring(g.n(), kUncolored));
            return std::make_tuple(r.success && validate_ldc(inst, r.phi).ok,
@@ -111,21 +108,35 @@ int main() {
     for (const auto& algo : algos) {
       int valid = 0;
       std::uint64_t rounds = 0, colors = 0, repair_tail = 0, delta = 0;
-      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
         const Graph g = fam.make(seed);
         delta = std::max<std::uint64_t>(delta, g.max_degree());
         const LdcInstance inst = delta_plus_one_instance(g);
-        const auto [ok, r, c, rep] = algo.run(g, inst);
+        Network net(g);
+        ctx.prepare(net);
+        const auto [ok, r, c, rep] = algo.run(net, g, inst);
+        ctx.record(fam.name + "/" + algo.name +
+                       "/seed=" + std::to_string(seed),
+                   net);
         valid += ok;
         rounds += r;
         colors += c;
         repair_tail += rep;
       }
       t.add_row({fam.name, delta, algo.name,
-                 std::to_string(valid) + "/3", std::uint64_t{rounds / 3},
-                 std::uint64_t{colors / 3}, repair_tail});
+                 std::to_string(valid) + "/" + std::to_string(seeds),
+                 std::uint64_t{rounds / seeds}, std::uint64_t{colors / seeds},
+                 repair_tail});
     }
   }
-  t.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "e11_validity_quality",
+    .claim = "Headline invariant: every algorithm x graph family x seed "
+             "yields a valid coloring with the repair net idle",
+    .axes = {"graph family", "algorithm", "seed"},
+    .run = run,
+}};
+
+}  // namespace

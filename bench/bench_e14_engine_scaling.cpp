@@ -1,0 +1,103 @@
+// E14 (harness) — serial vs parallel engine: identical model, faster clock.
+//
+// The parallel round engine must be observationally equivalent to the
+// serial one: every model-exact quantity (rounds, messages, bits, trace
+// digest) and the computed coloring itself are byte-identical across
+// engines and thread counts. Only host wall-clock may differ. This
+// experiment runs the full (Delta+1) pipeline under each engine config
+// and reports the equivalence verdict as a deterministic column and the
+// wall time as an observational one — so the baseline checker pins the
+// equivalence forever while staying immune to machine speed.
+#include "common.hpp"
+
+#include <chrono>
+
+#include "ldc/arb/list_arbdefective.hpp"
+
+namespace {
+using namespace ldc;
+
+struct PipelineOut {
+  RunMetrics metrics;
+  std::uint64_t digest = 0;
+  std::uint64_t rounds = 0;
+  Coloring phi;
+  bool valid = false;
+  double wall_ms = 0.0;
+};
+
+PipelineOut run_pipeline(harness::ExperimentContext& ctx, const Graph& g,
+                         const LdcInstance& inst, Network::Engine engine,
+                         std::size_t threads, const std::string& label) {
+  Network net(g);
+  ctx.prepare(net);
+  net.set_engine(engine, threads);
+  const auto start = std::chrono::steady_clock::now();
+  const auto lin = linial::color(net);
+  const auto res = arb::solve_list_arbdefective(
+      net, inst, lin.phi, lin.palette,
+      arb::two_phase_solver(mt::CandidateParams{}), {});
+  const auto stop = std::chrono::steady_clock::now();
+  ctx.record(label, net);
+  PipelineOut out;
+  out.metrics = net.metrics();
+  out.digest = net.trace() ? net.trace()->digest() : 0;
+  out.rounds = res.stats.rounds + lin.rounds;
+  out.phi = res.out.colors;
+  out.valid = res.valid;
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  return out;
+}
+
+void run(harness::ExperimentContext& ctx) {
+  const std::uint32_t delta = ctx.smoke() ? 12 : 24;
+  const Graph g =
+      bench::regular_graph(ctx.smoke() ? 128 : 512, delta, 77);
+  const LdcInstance inst = delta_plus_one_instance(g);
+
+  auto& t = ctx.table(
+      "E14: engine equivalence and scaling ((Delta+1) pipeline, Delta = " +
+          std::to_string(delta) + ", n = " + std::to_string(g.n()) + ")",
+      {"engine", "threads", "rounds", "total bits", "trace digest",
+       "matches serial", "valid", "wall ms (obs)"});
+
+  struct Config {
+    Network::Engine engine;
+    std::size_t threads;
+    std::string name;
+  };
+  std::vector<Config> configs = {{Network::Engine::kSerial, 1, "serial"}};
+  for (std::size_t threads :
+       ctx.pick<std::vector<std::size_t>>({2, 4}, {2})) {
+    configs.push_back({Network::Engine::kParallel, threads,
+                       "parallel/" + std::to_string(threads)});
+  }
+
+  PipelineOut serial;
+  for (const auto& cfg : configs) {
+    const auto out = run_pipeline(ctx, g, inst, cfg.engine, cfg.threads,
+                                  "pipeline/" + cfg.name);
+    const bool first = cfg.engine == Network::Engine::kSerial;
+    if (first) serial = out;
+    const bool same = out.metrics.same_communication(serial.metrics) &&
+                      out.digest == serial.digest &&
+                      out.rounds == serial.rounds && out.phi == serial.phi;
+    t.add_row({cfg.name, std::uint64_t{cfg.threads},
+               std::uint64_t{out.rounds}, std::uint64_t{out.metrics.total_bits},
+               std::uint64_t{out.digest},
+               std::string(first ? "reference" : (same ? "ok" : "DIVERGED")),
+               std::string(out.valid ? "ok" : "VIOLATION"), out.wall_ms});
+  }
+}
+
+const harness::Registrar reg{{
+    .name = "e14_engine_scaling",
+    .claim = "Harness: the parallel round engine reproduces the serial "
+             "engine's communication, digest, and coloring exactly; only "
+             "wall-clock differs",
+    .axes = {"engine", "threads"},
+    .run = run,
+}};
+
+}  // namespace

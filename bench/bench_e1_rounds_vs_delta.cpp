@@ -15,28 +15,41 @@
 #include "ldc/baselines/luby.hpp"
 #include "ldc/d1lc/congest_colorer.hpp"
 
-int main() {
-  using namespace ldc;
-  Table t("E1: (Delta+1)-coloring rounds vs Delta  "
-          "(random regular, scrambled 24-bit ids)",
-          {"Delta", "n", "pipeline(Thm1.4)", "one-class", "KW-batched",
-           "Luby(rand)", "sqrtD", "D^2", "valid"});
-  for (std::uint32_t delta : {4u, 8u, 12u, 16u, 24u, 32u, 48u}) {
+namespace {
+using namespace ldc;
+
+void run(harness::ExperimentContext& ctx) {
+  auto& t = ctx.table(
+      "E1: (Delta+1)-coloring rounds vs Delta  "
+      "(random regular, scrambled 24-bit ids)",
+      {"Delta", "n", "pipeline(Thm1.4)", "one-class", "KW-batched",
+       "Luby(rand)", "sqrtD", "D^2", "valid"});
+  for (std::uint32_t delta : ctx.pick<std::vector<std::uint32_t>>(
+           {4, 8, 12, 16, 24, 32, 48}, {4, 8, 12})) {
     const std::uint32_t n = std::max(128u, 6 * delta);
     const Graph g = bench::regular_graph(n, delta, delta);
     const LdcInstance inst = delta_plus_one_instance(g);
+    const std::string tag = "Delta=" + std::to_string(delta);
 
     Network pipe_net(g);
+    ctx.prepare(pipe_net);
     const auto pipe = d1lc::color(pipe_net, inst);
+    ctx.record("pipeline/" + tag, pipe_net);
 
     Network cls_net(g);
+    ctx.prepare(cls_net);
     const auto cls = baselines::linial_then_reduce(cls_net, inst);
+    ctx.record("one-class/" + tag, cls_net);
 
     Network kw_net(g);
+    ctx.prepare(kw_net);
     const auto kw = baselines::linial_then_kw(kw_net);
+    ctx.record("kw/" + tag, kw_net);
 
     Network luby_net(g);
+    ctx.prepare(luby_net);
     const auto luby = baselines::luby_list_coloring(luby_net, inst);
+    ctx.record("luby/" + tag, luby_net);
 
     const bool valid = validate_proper(g, pipe.phi).ok &&
                        validate_ldc(inst, cls.phi).ok &&
@@ -48,6 +61,14 @@ int main() {
                std::uint64_t{delta} * delta,
                std::string(valid ? "ok" : "VIOLATION")});
   }
-  t.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "e01_rounds_vs_delta",
+    .claim = "Thm 1.4: (Delta+1)-coloring in ~sqrt(Delta) polylog rounds "
+             "crosses below the Delta^2 / Delta-log-Delta baselines",
+    .axes = {"Delta"},
+    .run = run,
+}};
+
+}  // namespace

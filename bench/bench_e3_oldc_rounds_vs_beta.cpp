@@ -6,48 +6,50 @@
 // should track log2(beta), and the output must validate at every size.
 #include "common.hpp"
 
-#include "ldc/oldc/two_phase.hpp"
 #include "ldc/support/math.hpp"
 
-int main() {
-  using namespace ldc;
-  Table t("E3: two-phase OLDC rounds vs beta  (instances with "
-          "sum (d+1)^2 >= ~40 beta^2, defects ~ beta/4)",
-          {"beta", "n", "rounds", "aux_rounds", "h", "log2(beta)",
-           "p1_relaxed", "repaired", "valid"});
-  for (std::uint32_t beta : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+namespace {
+using namespace ldc;
+
+void run(harness::ExperimentContext& ctx) {
+  auto& t = ctx.table(
+      "E3: two-phase OLDC rounds vs beta  (instances with "
+      "sum (d+1)^2 >= ~40 beta^2, defects ~ beta/4)",
+      {"beta", "n", "rounds", "aux_rounds", "h", "log2(beta)", "p1_relaxed",
+       "repaired", "valid"});
+  for (std::uint32_t beta : ctx.pick<std::vector<std::uint32_t>>(
+           {2, 4, 8, 16, 32, 64, 128}, {2, 4, 8})) {
     const std::uint32_t n = std::max(48u, 3 * beta);
     const Graph g = bench::regular_graph(n, beta, beta + 3);
     const Orientation orient = Orientation::by_decreasing_id(g);
-
-    RandomLdcParams p;
-    p.color_space = 64ULL * beta * beta + 256;
-    p.one_plus_nu = 2.0;
-    p.kappa = 40.0;
-    p.max_defect = std::max(1u, beta / 4);
-    p.seed = beta;
-    const LdcInstance inst = random_weighted_oriented_instance(g, orient, p);
+    const LdcInstance inst = bench::weighted_oriented_instance(
+        g, orient, 64ULL * beta * beta + 256, 40.0,
+        std::max(1u, beta / 4), beta);
 
     Network net(g);
-    const auto lin = linial::color(net);
-    oldc::TwoPhaseInput in;
-    in.inst = &inst;
-    in.orientation = &orient;
-    in.initial = &lin.phi;
-    in.m = lin.palette;
-    const auto res = oldc::solve_two_phase(net, in);
-    const auto check = validate_oldc(inst, orient, res.phi);
+    ctx.prepare(net);
+    const auto run = bench::two_phase_after_linial(net, inst, orient);
+    ctx.record("two-phase/beta=" + std::to_string(beta), net);
+    const auto check = validate_oldc(inst, orient, run.res.phi);
 
     t.add_row({std::uint64_t{beta}, std::uint64_t{g.n()},
-               std::uint64_t{res.stats.rounds},
-               std::uint64_t{res.stats.aux_rounds},
-               std::uint64_t{res.stats.h},
+               std::uint64_t{run.res.stats.rounds},
+               std::uint64_t{run.res.stats.aux_rounds},
+               std::uint64_t{run.res.stats.h},
                std::uint64_t{static_cast<std::uint64_t>(
                    ceil_log2(std::max(2u, beta)))},
-               std::uint64_t{res.stats.p1_relaxed},
-               std::string(res.stats.repaired ? "yes" : "no"),
+               std::uint64_t{run.res.stats.p1_relaxed},
+               std::string(run.res.stats.repaired ? "yes" : "no"),
                bench::verdict(check)});
   }
-  t.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "e03_oldc_rounds_vs_beta",
+    .claim = "Thm 1.1: two-phase OLDC solves weight-condition instances in "
+             "O(log beta) rounds",
+    .axes = {"beta"},
+    .run = run,
+}};
+
+}  // namespace

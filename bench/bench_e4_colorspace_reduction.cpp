@@ -7,54 +7,51 @@
 // linearly in the number of levels.
 #include "common.hpp"
 
-#include "ldc/oldc/multi_defect.hpp"
 #include "ldc/reduction/color_space.hpp"
 
-int main() {
-  using namespace ldc;
-  const std::uint32_t beta = 12;
-  const Graph g = bench::regular_graph(96, beta, 9);
+namespace {
+using namespace ldc;
+
+void run(harness::ExperimentContext& ctx) {
+  const std::uint32_t beta = ctx.smoke() ? 8 : 12;
+  const std::uint64_t space = ctx.smoke() ? (1 << 10) : (1 << 12);
+  const Graph g = bench::regular_graph(ctx.smoke() ? 64 : 96, beta, 9);
   const Orientation orient = Orientation::by_decreasing_id(g);
-  RandomLdcParams p;
-  p.color_space = 1 << 12;
-  p.one_plus_nu = 2.0;
-  p.kappa = 50.0;
-  p.max_defect = 5;
-  p.seed = 77;
-  const LdcInstance inst = random_weighted_oriented_instance(g, orient, p);
+  const LdcInstance inst =
+      bench::weighted_oriented_instance(g, orient, space, 50.0, 5, 77);
+  const reduction::OldcSolver base = bench::multi_defect_solver();
 
-  mt::CandidateParams params;
-  const reduction::OldcSolver base =
-      [&params](Network& net, const LdcInstance& i, const Orientation& o,
-                const Coloring& init, std::uint64_t m) {
-        oldc::MultiDefectInput in;
-        in.inst = &i;
-        in.orientation = &o;
-        in.initial = &init;
-        in.m = m;
-        in.params = params;
-        return oldc::solve_multi_defect(net, in);
-      };
-
-  Table t("E4: color space reduction trade-off  (|C| = 4096, beta = 12)",
-          {"depth r", "p per level", "levels", "rounds", "max msg bits",
-           "total bits", "|C|^(1/r)", "valid"});
-  for (std::uint32_t r : {0u, 2u, 3u, 4u, 6u}) {
+  auto& t = ctx.table(
+      "E4: color space reduction trade-off  (|C| = " +
+          std::to_string(space) + ", beta = " + std::to_string(beta) + ")",
+      {"depth r", "p per level", "levels", "rounds", "max msg bits",
+       "total bits", "|C|^(1/r)", "valid"});
+  for (std::uint32_t r : ctx.pick<std::vector<std::uint32_t>>(
+           {0, 2, 3, 4, 6}, {0, 2, 3})) {
     Network net(g);
+    ctx.prepare(net);
     const auto lin = linial::color(net);
     reduction::Options opt;
-    opt.p = (r == 0) ? 0 : reduction::subspace_count_for_depth(1 << 12, r);
+    opt.p = (r == 0) ? 0 : reduction::subspace_count_for_depth(space, r);
     const auto res = reduction::reduce_and_solve(net, inst, orient, lin.phi,
                                                  lin.palette, opt, base);
+    ctx.record("depth=" + std::to_string(r), net);
     const auto check = validate_oldc(inst, orient, res.phi);
     t.add_row({std::uint64_t{r}, opt.p, std::uint64_t{res.levels},
                std::uint64_t{res.stats.rounds},
                std::uint64_t{net.metrics().max_message_bits},
                net.metrics().total_bits,
-               (r == 0) ? std::uint64_t{1 << 12}
-                        : reduction::subspace_count_for_depth(1 << 12, r),
+               (r == 0) ? space : reduction::subspace_count_for_depth(space, r),
                bench::verdict(check)});
   }
-  t.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "e04_colorspace_reduction",
+    .claim = "Thm 1.2 / Cor 4.2: depth-r recursion multiplies rounds by ~r "
+             "and shrinks messages to ~|C|^(1/r)",
+    .axes = {"recursion depth r"},
+    .run = run,
+}};
+
+}  // namespace

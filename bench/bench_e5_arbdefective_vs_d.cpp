@@ -14,30 +14,41 @@
 #include "ldc/arb/beg_arbdefective.hpp"
 #include "ldc/arb/list_arbdefective.hpp"
 
-int main() {
-  using namespace ldc;
-  const std::uint32_t delta = 32;
-  const Graph g = bench::regular_graph(192, delta, 13);
-  Table t("E5: d-arbdefective q-coloring (q = Delta/(d+1)+1, Delta = 32)",
-          {"d", "q", "pipeline rounds", "greedy rounds",
-           "thy sqrt(D/(d+1))", "thy D/(d+1)", "valid"});
-  for (std::uint32_t d : {0u, 1u, 2u, 4u, 8u, 16u}) {
+namespace {
+using namespace ldc;
+
+void run(harness::ExperimentContext& ctx) {
+  const std::uint32_t delta = ctx.smoke() ? 16 : 32;
+  const Graph g =
+      bench::regular_graph(ctx.smoke() ? 96 : 192, delta, 13);
+  auto& t = ctx.table(
+      "E5: d-arbdefective q-coloring (q = Delta/(d+1)+1, Delta = " +
+          std::to_string(delta) + ")",
+      {"d", "q", "pipeline rounds", "greedy rounds", "thy sqrt(D/(d+1))",
+       "thy D/(d+1)", "valid"});
+  for (std::uint32_t d : ctx.pick<std::vector<std::uint32_t>>(
+           {0, 1, 2, 4, 8, 16}, {0, 1, 4})) {
     const std::uint32_t q = delta / (d + 1) + 1;
     const LdcInstance inst = uniform_defective_instance(g, q, d);
+    const std::string tag = "d=" + std::to_string(d);
 
     // Pipeline (Theorem 1.3 + Theorem 1.1).
     Network net(g);
+    ctx.prepare(net);
     const auto lin = linial::color(net);
     mt::CandidateParams params;
     const auto res = arb::solve_list_arbdefective(
         net, inst, lin.phi, lin.palette, arb::two_phase_solver(params));
+    ctx.record("pipeline/" + tag, net);
 
     // Committing-greedy baseline (BEG18 stand-in).
     Network bnet(g);
+    ctx.prepare(bnet);
     arb::ArbdefectiveOptions aopt;
     aopt.colors = q;
     aopt.defect = d;
     const auto base = arbdefective_color(bnet, aopt);
+    ctx.record("greedy/" + tag, bnet);
 
     const auto check = validate_arbdefective(inst, res.out);
     t.add_row({std::uint64_t{d}, std::uint64_t{q},
@@ -47,6 +58,14 @@ int main() {
                std::uint64_t{delta / (d + 1)},
                std::string((check.ok && base.success) ? "ok" : "VIOLATION")});
   }
-  t.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "e05_arbdefective_vs_d",
+    .claim = "Thm 1.3: d-arbdefective (Delta/(d+1)+1)-coloring in "
+             "~sqrt(Delta/(d+1)) polylog rounds vs the BEG18-style greedy",
+    .axes = {"defect d"},
+    .run = run,
+}};
+
+}  // namespace

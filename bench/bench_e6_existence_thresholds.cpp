@@ -10,14 +10,19 @@
 #include "ldc/sequential/list_arbdefective.hpp"
 #include "ldc/sequential/list_defective.hpp"
 
-int main() {
-  using namespace ldc;
-  Table t1("E6a: uniform d-defective c-coloring on K_{c(d+1)+delta}  "
-           "(threshold c(d+1) > Delta)",
-           {"c", "d", "clique size", "c(d+1)", "Delta", "condition",
-            "solver result"});
-  for (std::uint32_t c : {2u, 3u, 5u}) {
-    for (std::uint32_t d : {0u, 1u, 3u}) {
+namespace {
+using namespace ldc;
+
+void run(harness::ExperimentContext& ctx) {
+  auto& t1 = ctx.table(
+      "E6a: uniform d-defective c-coloring on K_{c(d+1)+delta}  "
+      "(threshold c(d+1) > Delta)",
+      {"c", "d", "clique size", "c(d+1)", "Delta", "condition",
+       "solver result"});
+  for (std::uint32_t c :
+       ctx.pick<std::vector<std::uint32_t>>({2, 3, 5}, {2, 3})) {
+    for (std::uint32_t d :
+         ctx.pick<std::vector<std::uint32_t>>({0, 1, 3}, {0, 1})) {
       for (int offset : {0, 1}) {
         // clique of size c(d+1)+offset: Delta = c(d+1)+offset-1.
         const std::uint32_t size = c * (d + 1) + offset;
@@ -26,8 +31,7 @@ int main() {
         const LdcInstance inst = uniform_defective_instance(g, c, d);
         const bool cond = sequential::satisfies_ldc_condition(inst);
         const auto phi = sequential::solve_list_defective(inst);
-        const bool solved =
-            phi.has_value() && validate_ldc(inst, *phi).ok;
+        const bool solved = phi.has_value() && validate_ldc(inst, *phi).ok;
         t1.add_row({std::uint64_t{c}, std::uint64_t{d}, std::uint64_t{size},
                     std::uint64_t{c * (d + 1)}, std::uint64_t{size - 1},
                     std::string(cond ? "holds" : "fails"),
@@ -35,14 +39,14 @@ int main() {
       }
     }
   }
-  t1.print(std::cout);
 
-  Table t2("E6b: uniform d-arbdefective c-coloring on cliques  "
-           "(threshold c(2d+1) > Delta)",
-           {"c", "d", "clique size", "c(2d+1)", "condition",
-            "solver result"});
+  auto& t2 = ctx.table(
+      "E6b: uniform d-arbdefective c-coloring on cliques  "
+      "(threshold c(2d+1) > Delta)",
+      {"c", "d", "clique size", "c(2d+1)", "condition", "solver result"});
   for (std::uint32_t c : {2u, 3u}) {
-    for (std::uint32_t d : {1u, 2u}) {
+    for (std::uint32_t d :
+         ctx.pick<std::vector<std::uint32_t>>({1, 2}, {1})) {
       for (int offset : {0, 1}) {
         const std::uint32_t size = c * (2 * d + 1) + offset;
         const Graph g = gen::clique(size);
@@ -58,14 +62,17 @@ int main() {
       }
     }
   }
-  t2.print(std::cout);
 
-  Table t3("E6c: random heterogeneous lists at the Lemma A.1 boundary  "
-           "(success rate over 20 seeds, G(48, 0.25))",
-           {"kappa (weight/deg)", "condition holds", "solved", "of", "steps<=3|E|+n"});
-  for (double kappa : {1.05, 1.5, 2.5}) {
+  const int trials = ctx.smoke() ? 6 : 20;
+  auto& t3 = ctx.table(
+      "E6c: random heterogeneous lists at the Lemma A.1 boundary  "
+      "(success rate over " + std::to_string(trials) +
+          " seeds, G(48, 0.25))",
+      {"kappa (weight/deg)", "condition holds", "solved", "of",
+       "steps<=3|E|+n"});
+  for (double kappa :
+       ctx.pick<std::vector<double>>({1.05, 1.5, 2.5}, {1.05, 2.5})) {
     int holds = 0, solved = 0, bounded = 0;
-    const int trials = 20;
     for (int s = 0; s < trials; ++s) {
       const Graph g = gen::gnp(48, 0.25, 1000 + s);
       RandomLdcParams p;
@@ -84,6 +91,14 @@ int main() {
     t3.add_row({kappa, std::int64_t{holds}, std::int64_t{solved},
                 std::int64_t{trials}, std::int64_t{bounded}});
   }
-  t3.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "e06_existence_thresholds",
+    .claim = "Lemmas A.1/A.2: existence thresholds sum(d+1) > deg and "
+             "sum(2d+1) > deg are tight on cliques",
+    .axes = {"colors c", "defect d", "kappa"},
+    .run = run,
+}};
+
+}  // namespace

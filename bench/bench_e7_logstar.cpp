@@ -7,11 +7,15 @@
 
 #include "ldc/support/math.hpp"
 
-int main() {
-  using namespace ldc;
-  Table t("E7: Linial rounds vs n on rings (Delta = 2)",
-          {"n", "id space", "rounds", "palette", "log*(ids)", "valid"});
-  for (std::uint32_t logn : {8u, 10u, 12u, 14u, 16u}) {
+namespace {
+using namespace ldc;
+
+void run(harness::ExperimentContext& ctx) {
+  auto& t = ctx.table("E7: Linial rounds vs n on rings (Delta = 2)",
+                      {"n", "id space", "rounds", "palette", "log*(ids)",
+                       "valid"});
+  for (std::uint32_t logn : ctx.pick<std::vector<std::uint32_t>>(
+           {8, 10, 12, 14, 16}, {8, 10})) {
     const std::uint32_t n = 1u << logn;
     for (std::uint64_t id_bits :
          {static_cast<std::uint64_t>(logn), std::uint64_t{32},
@@ -21,28 +25,43 @@ int main() {
         gen::scramble_ids(g, 1ULL << id_bits, logn * 100 + id_bits);
       }
       Network net(g);
+      ctx.prepare(net);
       const auto res = linial::color(net);
+      ctx.record("ring/n=" + std::to_string(g.n()) +
+                     "/ids=" + std::to_string(id_bits),
+                 net);
       const auto check = validate_proper(g, res.phi);
-      t.add_row({std::uint64_t{n}, std::uint64_t{1} << id_bits,
+      t.add_row({std::uint64_t{g.n()}, std::uint64_t{1} << id_bits,
                  std::uint64_t{res.rounds}, res.palette,
                  std::int64_t{log_star(1ULL << id_bits)},
                  bench::verdict(check)});
     }
   }
-  t.print(std::cout);
 
-  Table t2("E7b: Linial palette vs Delta (rounds stay ~log*)",
-           {"Delta", "n", "rounds", "palette", "16*Delta^2", "valid"});
-  for (std::uint32_t delta : {4u, 8u, 16u, 32u}) {
+  auto& t2 = ctx.table("E7b: Linial palette vs Delta (rounds stay ~log*)",
+                       {"Delta", "n", "rounds", "palette", "16*Delta^2",
+                        "valid"});
+  for (std::uint32_t delta : ctx.pick<std::vector<std::uint32_t>>(
+           {4, 8, 16, 32}, {4, 8})) {
     const Graph g = bench::regular_graph(std::max(128u, 4 * delta), delta,
                                          delta + 41);
     Network net(g);
+    ctx.prepare(net);
     const auto res = linial::color(net);
+    ctx.record("regular/Delta=" + std::to_string(delta), net);
     const auto check = validate_proper(g, res.phi);
     t2.add_row({std::uint64_t{delta}, std::uint64_t{g.n()},
                 std::uint64_t{res.rounds}, res.palette,
                 std::uint64_t{16} * delta * delta, bench::verdict(check)});
   }
-  t2.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "e07_logstar",
+    .claim = "[Lin87]: O(Delta^2)-coloring in O(log* n) rounds — flat in n, "
+             "palette independent of n",
+    .axes = {"n", "id space bits", "Delta"},
+    .run = run,
+}};
+
+}  // namespace

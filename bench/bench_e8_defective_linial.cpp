@@ -8,16 +8,24 @@
 
 #include "ldc/linial/defective_linial.hpp"
 
-int main() {
-  using namespace ldc;
-  const std::uint32_t delta = 32;
-  const Graph g = bench::regular_graph(192, delta, 21);
-  Table t("E8: defective Linial palette vs defect (Delta = 32)",
-          {"d", "rounds", "palette", "(Delta/(d+1))^2", "max realized defect",
-           "valid"});
-  for (std::uint32_t d : {0u, 1u, 2u, 4u, 8u, 16u}) {
+namespace {
+using namespace ldc;
+
+void run(harness::ExperimentContext& ctx) {
+  const std::uint32_t delta = ctx.smoke() ? 16 : 32;
+  const Graph g =
+      bench::regular_graph(ctx.smoke() ? 96 : 192, delta, 21);
+  auto& t = ctx.table(
+      "E8: defective Linial palette vs defect (Delta = " +
+          std::to_string(delta) + ")",
+      {"d", "rounds", "palette", "(Delta/(d+1))^2", "max realized defect",
+       "valid"});
+  for (std::uint32_t d : ctx.pick<std::vector<std::uint32_t>>(
+           {0, 1, 2, 4, 8, 16}, {0, 1, 4})) {
     Network net(g);
+    ctx.prepare(net);
     const auto res = linial::defective_color(net, d);
+    ctx.record("defective-linial/d=" + std::to_string(d), net);
     const auto check = validate_defective(
         g, res.phi, static_cast<std::uint32_t>(res.palette), d);
     std::uint32_t realized = 0;
@@ -33,6 +41,14 @@ int main() {
     t.add_row({std::uint64_t{d}, std::uint64_t{res.rounds}, res.palette,
                ideal, std::uint64_t{realized}, bench::verdict(check)});
   }
-  t.print(std::cout);
-  return 0;
 }
+
+const harness::Registrar reg{{
+    .name = "e08_defective_linial",
+    .claim = "[Kuh09]: d-defective coloring with ~(Delta/(d+1))^2 colors in "
+             "one round after Linial",
+    .axes = {"defect d"},
+    .run = run,
+}};
+
+}  // namespace

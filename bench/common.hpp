@@ -1,25 +1,44 @@
-// Shared helpers for the experiment harnesses. Each bench binary prints
-// one or more ldc::Table objects whose rows EXPERIMENTS.md quotes.
+// Shared helpers for the experiment bodies registered with the harness
+// (src/ldc/harness). Each experiment emits ResultTables whose rows
+// EXPERIMENTS.md quotes and the structured sink serializes.
 #pragma once
 
 #include <cstdint>
 #include <iostream>
+#include <utility>
 
 #include "ldc/coloring/instance_gen.hpp"
 #include "ldc/coloring/validate.hpp"
 #include "ldc/graph/generators.hpp"
+#include "ldc/harness/experiment.hpp"
+#include "ldc/harness/registry.hpp"
 #include "ldc/linial/linial.hpp"
+#include "ldc/oldc/multi_defect.hpp"
+#include "ldc/oldc/two_phase.hpp"
+#include "ldc/reduction/color_space.hpp"
 #include "ldc/runtime/network.hpp"
 #include "ldc/support/tables.hpp"
 
 namespace ldc::bench {
 
-/// Random regular graph with scrambled CONGEST-style identifiers.
+/// Random d-regular graph with scrambled CONGEST-style identifiers. A
+/// d-regular graph exists only when n*d is even, so an odd request is
+/// rounded up to n+1 vertices — the returned graph is authoritative:
+/// callers must report g.n() in tables/JSONL, never the requested n.
 inline Graph regular_graph(std::uint32_t n, std::uint32_t d,
                            std::uint64_t seed) {
-  if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) ++n;
-  Graph g = gen::random_regular(n, d, seed);
+  const std::uint32_t actual =
+      ((static_cast<std::uint64_t>(n) * d) % 2 != 0) ? n + 1 : n;
+  Graph g = gen::random_regular(actual, d, seed);
   gen::scramble_ids(g, std::uint64_t{1} << 24, seed + 101);
+  return g;
+}
+
+/// Scrambles a generated graph's ids into a CONGEST-style `id_bits` space
+/// (the setup step every non-regular family repeated inline).
+inline Graph scrambled(Graph g, std::uint64_t seed,
+                       std::uint64_t id_bits = 24) {
+  gen::scramble_ids(g, std::uint64_t{1} << id_bits, seed);
   return g;
 }
 
@@ -27,6 +46,61 @@ inline Graph regular_graph(std::uint32_t n, std::uint32_t d,
 inline std::string verdict(const ValidationResult& r) {
   return r.ok ? "ok" : "VIOLATION(" + std::to_string(r.violations.size()) +
                            ")";
+}
+
+/// Random weighted oriented LDC instance — the common setup of every
+/// OLDC-flavoured experiment (E3/E4/E10/E13, A1/A4).
+inline LdcInstance weighted_oriented_instance(
+    const Graph& g, const Orientation& orient, std::uint64_t color_space,
+    double kappa, std::uint32_t max_defect, std::uint64_t seed,
+    double one_plus_nu = 2.0) {
+  RandomLdcParams p;
+  p.color_space = color_space;
+  p.one_plus_nu = one_plus_nu;
+  p.kappa = kappa;
+  p.max_defect = max_defect;
+  p.seed = seed;
+  return random_weighted_oriented_instance(g, orient, p);
+}
+
+/// Linial bootstrap followed by the two-phase OLDC solver on the same
+/// network — the shared body of E3, E10b, E13 and A1.
+struct TwoPhaseRun {
+  oldc::TwoPhaseResult res;
+  std::uint64_t linial_rounds = 0;
+};
+
+inline TwoPhaseRun two_phase_after_linial(
+    Network& net, const LdcInstance& inst, const Orientation& orient,
+    const mt::CandidateParams& params = {}) {
+  const auto lin = linial::color(net);
+  oldc::TwoPhaseInput in;
+  in.inst = &inst;
+  in.orientation = &orient;
+  in.initial = &lin.phi;
+  in.m = lin.palette;
+  in.params = params;
+  TwoPhaseRun run;
+  run.res = oldc::solve_two_phase(net, in);
+  run.linial_rounds = lin.rounds;
+  return run;
+}
+
+/// Multi-defect base solver for the color space reduction experiments
+/// (E4, A4). Captures the candidate parameters by value so the returned
+/// solver has no dangling references.
+inline reduction::OldcSolver multi_defect_solver(
+    mt::CandidateParams params = {}) {
+  return [params](Network& net, const LdcInstance& i, const Orientation& o,
+                  const Coloring& init, std::uint64_t m) {
+    oldc::MultiDefectInput in;
+    in.inst = &i;
+    in.orientation = &o;
+    in.initial = &init;
+    in.m = m;
+    in.params = params;
+    return oldc::solve_multi_defect(net, in);
+  };
 }
 
 }  // namespace ldc::bench

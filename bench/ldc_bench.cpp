@@ -1,0 +1,8 @@
+// ldc_bench — single CLI over every registered experiment.
+//
+// The experiment bodies live in the bench_*.cpp translation units compiled
+// into this binary; each registers itself via harness::Registrar at static
+// initialization. See `ldc_bench --help` for the flag set.
+#include "ldc/harness/runner.hpp"
+
+int main(int argc, char** argv) { return ldc::harness::bench_main(argc, argv); }

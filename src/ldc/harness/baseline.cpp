@@ -1,0 +1,288 @@
+#include "ldc/harness/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace ldc::harness {
+namespace {
+
+Json table_json(const ResultTable& t) {
+  Json o = Json::object();
+  o.add("title", t.title());
+  Json headers = Json::array();
+  for (const auto& h : t.headers()) headers.push_back(Json(h));
+  o.add("headers", std::move(headers));
+  Json rows = Json::array();
+  for (const auto& row : t.rows()) {
+    Json r = Json::array();
+    for (const auto& cell : row) r.push_back(to_json(cell));
+    rows.push_back(std::move(r));
+  }
+  o.add("rows", std::move(rows));
+  return o;
+}
+
+/// Model-exact metric fields (wall_ns handled separately).
+const char* const kExactMetricKeys[] = {
+    "rounds",          "messages",          "total_bits",
+    "max_message_bits", "congest_violations", "messages_dropped",
+    "messages_corrupted", "node_crashes",   "node_sleeps",
+};
+
+bool numbers_equal(const Json& a, const Json& b) {
+  const bool any_double =
+      a.kind() == Json::Kind::kDouble || b.kind() == Json::Kind::kDouble;
+  if (any_double) {
+    const double x = a.as_double();
+    const double y = b.as_double();
+    if (x == y) return true;
+    // Doubles in tables derive from deterministic integer quantities; a
+    // tiny relative epsilon only forgives printing/platform rounding.
+    const double scale = std::max(std::abs(x), std::abs(y));
+    return std::abs(x - y) <= 1e-9 * scale + 1e-12;
+  }
+  // Both integral (int/uint): compare in uint64 when both non-negative.
+  const bool a_neg = a.kind() == Json::Kind::kInt && a.as_int() < 0;
+  const bool b_neg = b.kind() == Json::Kind::kInt && b.as_int() < 0;
+  if (a_neg != b_neg) return false;
+  if (a_neg) return a.as_int() == b.as_int();
+  return a.as_uint() == b.as_uint();
+}
+
+bool values_equal(const Json& a, const Json& b) {
+  if (a.is_number() && b.is_number()) return numbers_equal(a, b);
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Json::Kind::kNull: return true;
+    case Json::Kind::kBool: return a.as_bool() == b.as_bool();
+    case Json::Kind::kString: return a.as_string() == b.as_string();
+    default: return a.dump() == b.dump();
+  }
+}
+
+std::string show(const Json& v) { return v.dump(); }
+
+class Checker {
+ public:
+  Checker(const BaselineOptions& options, BaselineDiff& diff)
+      : options_(options), diff_(&diff) {}
+
+  void mismatch(const std::string& where, const std::string& what) {
+    diff_->mismatches.push_back(where + ": " + what);
+  }
+
+  void wall_clock(const std::string& where, std::uint64_t base,
+                  std::uint64_t fresh) {
+    if (options_.wall_tolerance <= 0) return;
+    const std::uint64_t lo = std::min(base, fresh);
+    const std::uint64_t hi = std::max(base, fresh);
+    const double bound = options_.wall_tolerance *
+                         static_cast<double>(std::max(lo, options_.wall_floor_ns));
+    if (static_cast<double>(hi) > bound) {
+      mismatch(where, "wall_ns " + std::to_string(fresh) +
+                          " outside tolerance of baseline " +
+                          std::to_string(base) + " (factor " +
+                          std::to_string(options_.wall_tolerance) + ")");
+    } else if (hi > lo * 4 && hi > options_.wall_floor_ns) {
+      diff_->notes.push_back(where + ": wall_ns " + std::to_string(fresh) +
+                             " vs baseline " + std::to_string(base) +
+                             " (within tolerance)");
+    }
+  }
+
+  void table(const std::string& exp, const Json& base,
+             const ResultTable& fresh) {
+    const std::string where = exp + " / table '" + fresh.title() + "'";
+    if (base.at("title").as_string() != fresh.title()) {
+      mismatch(where, "title changed from '" + base.at("title").as_string() +
+                          "'");
+      return;
+    }
+    const auto& bheaders = base.at("headers").as_array();
+    if (bheaders.size() != fresh.headers().size()) {
+      mismatch(where, "header arity " + std::to_string(fresh.headers().size()) +
+                          " != baseline " + std::to_string(bheaders.size()));
+      return;
+    }
+    for (std::size_t c = 0; c < bheaders.size(); ++c) {
+      if (bheaders[c].as_string() != fresh.headers()[c]) {
+        mismatch(where, "header[" + std::to_string(c) + "] '" +
+                            fresh.headers()[c] + "' != baseline '" +
+                            bheaders[c].as_string() + "'");
+        return;
+      }
+    }
+    const auto& brows = base.at("rows").as_array();
+    if (brows.size() != fresh.rows().size()) {
+      mismatch(where, "row count " + std::to_string(fresh.rows().size()) +
+                          " != baseline " + std::to_string(brows.size()));
+      return;
+    }
+    for (std::size_t r = 0; r < brows.size(); ++r) {
+      const auto& brow = brows[r].as_array();
+      for (std::size_t c = 0; c < bheaders.size(); ++c) {
+        if (observational_column(fresh.headers()[c])) continue;
+        const Json fresh_cell = to_json(fresh.rows()[r][c]);
+        if (!values_equal(brow[c], fresh_cell)) {
+          mismatch(where + " row " + std::to_string(r) + " col '" +
+                       fresh.headers()[c] + "'",
+                   "run " + show(fresh_cell) + " != baseline " +
+                       show(brow[c]));
+        }
+      }
+    }
+  }
+
+  void metrics(const std::string& exp, const Json& base,
+               const MetricRecord& fresh) {
+    const std::string where = exp + " / metrics '" + fresh.label + "'";
+    const Json fresh_json = to_json(fresh.metrics);
+    for (const char* key : kExactMetricKeys) {
+      const Json* b = base.find(key);
+      if (b == nullptr) {
+        mismatch(where, std::string("baseline lacks field '") + key + "'");
+        continue;
+      }
+      if (!values_equal(*b, fresh_json.at(key))) {
+        mismatch(where + " field '" + key + "'",
+                 "run " + show(fresh_json.at(key)) + " != baseline " +
+                     show(*b));
+      }
+    }
+    const Json* bdigest = base.find("trace_digest");
+    if (bdigest != nullptr && fresh.trace_digest != 0 &&
+        bdigest->as_uint() != 0 &&
+        bdigest->as_uint() != fresh.trace_digest) {
+      mismatch(where, "trace_digest " + std::to_string(fresh.trace_digest) +
+                          " != baseline " + std::to_string(bdigest->as_uint()));
+    }
+    const Json* bwall = base.find("wall_ns");
+    if (bwall != nullptr) {
+      wall_clock(where, bwall->as_uint(), fresh.metrics.wall_ns);
+    }
+  }
+
+ private:
+  BaselineOptions options_;
+  BaselineDiff* diff_;
+};
+
+}  // namespace
+
+Json baseline_json(const std::vector<ExperimentResult>& results,
+                   const Provenance& provenance) {
+  Json doc = Json::object();
+  doc.add("schema", std::uint64_t{1});
+  doc.add("provenance", to_json(provenance));
+  Json config = Json::object();
+  config.add("smoke", provenance.smoke);
+  doc.add("config", std::move(config));
+  Json experiments = Json::object();
+  // Baselines are keyed by name; keep them sorted so regeneration diffs
+  // cleanly regardless of run order.
+  std::vector<const ExperimentResult*> sorted;
+  for (const auto& r : results) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ExperimentResult* a, const ExperimentResult* b) {
+              return a->name < b->name;
+            });
+  for (const ExperimentResult* r : sorted) {
+    Json e = Json::object();
+    Json tables = Json::array();
+    for (const auto& t : r->tables) tables.push_back(table_json(t));
+    e.add("tables", std::move(tables));
+    Json metrics = Json::object();
+    for (const auto& rec : r->runs) {
+      Json m = to_json(rec.metrics);
+      m.add("trace_digest", rec.trace_digest);
+      metrics.add(rec.label, std::move(m));
+    }
+    e.add("metrics", std::move(metrics));
+    experiments.add(r->name, std::move(e));
+  }
+  doc.add("experiments", std::move(experiments));
+  return doc;
+}
+
+BaselineDiff check_baseline(const Json& baseline,
+                            const std::vector<ExperimentResult>& results,
+                            const BaselineOptions& options, bool ran_all) {
+  BaselineDiff diff;
+  Checker check(options, diff);
+
+  // Mode compatibility (smoke vs full) is the runner's job: it knows the
+  // RunConfig and refuses to diff across modes before calling here.
+  const Json& experiments = baseline.at("experiments");
+  std::set<std::string> fresh_names;
+  for (const auto& r : results) {
+    fresh_names.insert(r.name);
+    const Json* base = experiments.find(r.name);
+    if (base == nullptr) {
+      check.mismatch(r.name, "not present in baseline (regenerate with "
+                             "--write-baseline)");
+      continue;
+    }
+    const auto& btables = base->at("tables").as_array();
+    if (btables.size() != r.tables.size()) {
+      check.mismatch(r.name,
+                     "table count " + std::to_string(r.tables.size()) +
+                         " != baseline " + std::to_string(btables.size()));
+    } else {
+      for (std::size_t i = 0; i < btables.size(); ++i) {
+        check.table(r.name, btables[i], r.tables[i]);
+      }
+    }
+    const Json& bmetrics = base->at("metrics");
+    for (const auto& rec : r.runs) {
+      const Json* bm = bmetrics.find(rec.label);
+      if (bm == nullptr) {
+        check.mismatch(r.name, "metrics label '" + rec.label +
+                                   "' not present in baseline");
+        continue;
+      }
+      check.metrics(r.name, *bm, rec);
+    }
+    // Labels recorded in the baseline but absent from the fresh run mean
+    // the experiment stopped tracking a sub-run — also drift.
+    for (const auto& [label, unused] : bmetrics.as_object()) {
+      (void)unused;
+      const bool present =
+          std::any_of(r.runs.begin(), r.runs.end(),
+                      [&](const MetricRecord& rec) { return rec.label == label; });
+      if (!present) {
+        check.mismatch(r.name, "baseline metrics label '" + label +
+                                   "' missing from run");
+      }
+    }
+  }
+  if (ran_all) {
+    for (const auto& [name, unused] : experiments.as_object()) {
+      (void)unused;
+      if (fresh_names.count(name) == 0) {
+        check.mismatch(name, "in baseline but did not run");
+      }
+    }
+  }
+  return diff;
+}
+
+void save_baseline(const std::string& path, const Json& baseline) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("baseline: cannot open " + path);
+  os << baseline.dump_pretty();
+  if (!os) throw std::runtime_error("baseline: write failed for " + path);
+}
+
+Json load_baseline(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("baseline: cannot read " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return Json::parse(buf.str());
+}
+
+}  // namespace ldc::harness

@@ -1,0 +1,59 @@
+// Baseline / regression layer: a committed JSON snapshot of every
+// experiment's deterministic output, diffed against a fresh run.
+//
+// Deterministic quantities — table cells, RunMetrics' model-exact fields
+// and trace digests — must match *exactly*: the simulator is seeded and
+// engine-independent, so any drift is a real behaviour change (round
+// counts, message bits, colors, validity verdicts). Wall-clock is the one
+// observational quantity: metrics wall_ns is compared within a generous
+// multiplicative tolerance (with an absolute floor so micro-runs cannot
+// flake), and table columns flagged observational (header contains "wall"
+// or "(obs)") are skipped entirely.
+//
+// `ldc_bench --smoke --write-baseline BENCH_seed.json` regenerates the
+// committed snapshot; `--baseline BENCH_seed.json --check` exits non-zero
+// on drift, which is the CI regression gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ldc/harness/experiment.hpp"
+#include "ldc/harness/json.hpp"
+#include "ldc/harness/sink.hpp"
+
+namespace ldc::harness {
+
+struct BaselineOptions {
+  /// Multiplicative wall-clock tolerance: wall_ns values a and b agree
+  /// when max(a,b) <= factor * max(min(a,b), wall_floor_ns). <= 0 disables
+  /// wall-clock checking entirely.
+  double wall_tolerance = 1000.0;
+  /// Differences where both sides are below this are always accepted
+  /// (sub-millisecond measurements are pure jitter).
+  std::uint64_t wall_floor_ns = 1'000'000;
+};
+
+struct BaselineDiff {
+  std::vector<std::string> mismatches;  ///< hard failures (drift)
+  std::vector<std::string> notes;      ///< informational (wall deviations)
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Serializes a full run into the committed baseline document.
+Json baseline_json(const std::vector<ExperimentResult>& results,
+                   const Provenance& provenance);
+
+/// Diffs a fresh run against a parsed baseline. `ran_all` distinguishes a
+/// filtered run (baseline experiments missing from `results` are ignored)
+/// from a full one (they are drift).
+BaselineDiff check_baseline(const Json& baseline,
+                            const std::vector<ExperimentResult>& results,
+                            const BaselineOptions& options, bool ran_all);
+
+/// File helpers; throw std::runtime_error / JsonError on IO or parse
+/// failure.
+void save_baseline(const std::string& path, const Json& baseline);
+Json load_baseline(const std::string& path);
+
+}  // namespace ldc::harness

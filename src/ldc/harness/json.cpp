@@ -1,0 +1,382 @@
+#include "ldc/harness/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace ldc::harness {
+namespace {
+
+const char* kind_name(Json::Kind k) {
+  switch (k) {
+    case Json::Kind::kNull: return "null";
+    case Json::Kind::kBool: return "bool";
+    case Json::Kind::kInt: return "int";
+    case Json::Kind::kUint: return "uint";
+    case Json::Kind::kDouble: return "double";
+    case Json::Kind::kString: return "string";
+    case Json::Kind::kArray: return "array";
+    case Json::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+void escape_into(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Shortest representation that parses back to the same double.
+void double_into(double v, std::string& out) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; store as null
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double back = 0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    char shorter[32];
+    for (int prec = 1; prec < 17; ++prec) {
+      std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &back);
+      if (back == v) {
+        std::memcpy(buf, shorter, sizeof buf);
+        break;
+      }
+    }
+  }
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json document() {
+    Json v = value();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("json parse error at byte " + std::to_string(pos_) +
+                    ": " + what);
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_word(const char* w) {
+    const std::size_t len = std::strlen(w);
+    if (text_.compare(pos_, len, w) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skip_space();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't':
+        if (consume_word("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_word("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_word("null")) return Json(nullptr);
+        fail("bad literal");
+      default: return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_space();
+    if (peek() == '}') { ++pos_; return obj; }
+    while (true) {
+      skip_space();
+      std::string key = string();
+      skip_space();
+      expect(':');
+      obj.add(std::move(key), value());
+      skip_space();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_space();
+    if (peek() == ']') { ++pos_; return arr; }
+    while (true) {
+      arr.push_back(value());
+      skip_space();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') { out.push_back(c); continue; }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The sink only escapes control characters, so decoding ASCII is
+          // enough; other code points are encoded as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    bool negative = false;
+    bool integral = true;
+    if (peek() == '-') { negative = true; ++pos_; }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) { ++pos_; continue; }
+      if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ == start + (negative ? 1u : 0u)) fail("bad number");
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      if (negative) {
+        const long long v = std::strtoll(tok.c_str(), nullptr, 10);
+        if (errno == 0) return Json(static_cast<std::int64_t>(v));
+      } else {
+        const unsigned long long v = std::strtoull(tok.c_str(), nullptr, 10);
+        if (errno == 0) return Json(static_cast<std::uint64_t>(v));
+      }
+    }
+    double d = 0;
+    if (std::sscanf(tok.c_str(), "%lf", &d) != 1) fail("bad number");
+    return Json(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void Json::expect(Kind k) const {
+  if (kind_ != k) {
+    throw JsonError(std::string("json: expected ") + kind_name(k) +
+                    ", have " + kind_name(kind_));
+  }
+}
+
+std::int64_t Json::as_int() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kUint) {
+    if (uint_ > static_cast<std::uint64_t>(
+                    std::numeric_limits<std::int64_t>::max())) {
+      throw JsonError("json: uint out of int64 range");
+    }
+    return static_cast<std::int64_t>(uint_);
+  }
+  throw JsonError(std::string("json: expected int, have ") +
+                  kind_name(kind_));
+}
+
+std::uint64_t Json::as_uint() const {
+  if (kind_ == Kind::kUint) return uint_;
+  if (kind_ == Kind::kInt) {
+    if (int_ < 0) throw JsonError("json: negative int as uint");
+    return static_cast<std::uint64_t>(int_);
+  }
+  throw JsonError(std::string("json: expected uint, have ") +
+                  kind_name(kind_));
+}
+
+double Json::as_double() const {
+  switch (kind_) {
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUint: return static_cast<double>(uint_);
+    case Kind::kDouble: return double_;
+    default:
+      throw JsonError(std::string("json: expected number, have ") +
+                      kind_name(kind_));
+  }
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  if (v == nullptr) throw JsonError("json: missing member '" + key + "'");
+  return *v;
+}
+
+void Json::add(std::string key, Json value) {
+  expect(Kind::kObject);
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  expect(Kind::kArray);
+  array_.push_back(std::move(value));
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kUint: out += std::to_string(uint_); break;
+    case Kind::kDouble: double_into(double_, out); break;
+    case Kind::kString: escape_into(string_, out); break;
+    case Kind::kArray: {
+      out.push_back('[');
+      // Arrays of scalars stay on one line even in pretty mode (baseline
+      // table rows read naturally that way).
+      bool nested = false;
+      for (const auto& v : array_) {
+        nested = nested || v.kind_ == Kind::kArray || v.kind_ == Kind::kObject;
+      }
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += nested ? "," : ", ";
+        if (nested) newline(depth + 1);
+        array_[i].write(out, indent, depth + 1);
+      }
+      if (nested && !array_.empty()) newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline(depth + 1);
+        escape_into(object_[i].first, out);
+        out += pretty ? ": " : ":";
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string Json::dump_pretty() const {
+  std::string out;
+  write(out, 2, 0);
+  out.push_back('\n');
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).document();
+}
+
+}  // namespace ldc::harness

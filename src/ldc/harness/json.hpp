@@ -1,0 +1,98 @@
+// Minimal JSON document model for the experiment harness: the metric sink
+// writes JSONL / baseline files with it, and the baseline checker parses
+// them back. Deliberately tiny — objects preserve insertion order (so
+// emitted files diff cleanly in git), integers round-trip exactly through
+// int64/uint64 (bit counters must not pass through a double), and parse
+// errors carry byte offsets. Not a general-purpose JSON library: no
+// \uXXXX escape synthesis beyond the BMP, no streaming.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ldc::harness {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+  using Array = std::vector<Json>;
+  /// Insertion-ordered; duplicate keys are not rejected, first one wins on
+  /// lookup.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  Json(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(unsigned v) : kind_(Kind::kUint), uint_(v) {}
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+  Json(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+
+  bool as_bool() const { expect(Kind::kBool); return bool_; }
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  /// Any numeric kind, widened to double.
+  double as_double() const;
+  const std::string& as_string() const {
+    expect(Kind::kString);
+    return string_;
+  }
+  const Array& as_array() const { expect(Kind::kArray); return array_; }
+  const Object& as_object() const { expect(Kind::kObject); return object_; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  /// Object member lookup; throws JsonError when absent.
+  const Json& at(const std::string& key) const;
+
+  /// Appends a member (object) / element (array).
+  void add(std::string key, Json value);
+  void push_back(Json value);
+
+  /// Compact single-line rendering (JSONL-safe: no raw newlines).
+  std::string dump() const;
+  /// Pretty rendering with two-space indent (for committed baselines).
+  std::string dump_pretty() const;
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  /// Parses one complete document; trailing non-space input is an error.
+  static Json parse(const std::string& text);
+
+ private:
+  void expect(Kind k) const;
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace ldc::harness

@@ -1,0 +1,68 @@
+#include "ldc/harness/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ldc::harness {
+
+Registry& Registry::instance() {
+  // Function-local static: safe against the static initialization order
+  // fiasco — Registrars in other translation units may run first.
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(Experiment e) {
+  if (e.name.empty()) {
+    throw std::invalid_argument("registry: experiment name must not be empty");
+  }
+  if (!e.run) {
+    throw std::invalid_argument("registry: experiment '" + e.name +
+                                "' has no run callback");
+  }
+  if (find(e.name) != nullptr) {
+    throw std::invalid_argument("registry: duplicate experiment '" + e.name +
+                                "'");
+  }
+  experiments_.push_back(std::move(e));
+}
+
+std::vector<const Experiment*> Registry::all() const {
+  std::vector<const Experiment*> out;
+  out.reserve(experiments_.size());
+  for (const auto& e : experiments_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const Experiment* a, const Experiment* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+const Experiment* Registry::find(std::string_view name) const {
+  for (const auto& e : experiments_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const Experiment*> Registry::match(
+    const std::vector<std::string>& filters) const {
+  if (filters.empty()) return all();
+  std::vector<const Experiment*> out;
+  for (const Experiment* e : all()) {
+    for (const auto& f : filters) {
+      if (e->name.find(f) != std::string::npos ||
+          e->claim.find(f) != std::string::npos) {
+        out.push_back(e);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Registrar::Registrar(Experiment e) {
+  Registry::instance().add(std::move(e));
+}
+
+}  // namespace ldc::harness
