@@ -124,6 +124,14 @@ class Checker {
     }
     for (std::size_t r = 0; r < brows.size(); ++r) {
       const auto& brow = brows[r].as_array();
+      // A hand-edited/truncated baseline row may disagree with its own
+      // header list; report it instead of indexing out of bounds.
+      if (brow.size() != bheaders.size()) {
+        mismatch(where + " row " + std::to_string(r),
+                 "baseline row arity " + std::to_string(brow.size()) +
+                     " != header arity " + std::to_string(bheaders.size()));
+        continue;
+      }
       for (std::size_t c = 0; c < bheaders.size(); ++c) {
         if (observational_column(fresh.headers()[c])) continue;
         const Json fresh_cell = to_json(fresh.rows()[r][c]);

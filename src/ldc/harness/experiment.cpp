@@ -1,5 +1,7 @@
 #include "ldc/harness/experiment.hpp"
 
+#include <algorithm>
+
 namespace ldc::harness {
 
 ResultTable::ResultTable(std::string title, std::vector<std::string> headers)
@@ -37,6 +39,13 @@ void ExperimentContext::prepare(Network& net) {
   net.set_engine(config_.engine, config_.threads);
   traces_.push_back(std::make_unique<Trace>());
   net.attach_trace(traces_.back().get());
+  // Loop-scoped Networks reuse the same stack address across iterations, so
+  // a fresh prepare() invalidates any earlier mapping for this pointer.
+  attached_.erase(std::remove_if(attached_.begin(), attached_.end(),
+                                 [&](const auto& entry) {
+                                   return entry.first == &net;
+                                 }),
+                  attached_.end());
   attached_.emplace_back(&net, traces_.back().get());
 }
 
@@ -46,10 +55,11 @@ void ExperimentContext::record(std::string label, const Network& net) {
   rec.metrics = net.metrics();
   rec.engine = net.engine();
   rec.threads = net.threads();
-  for (const auto& [n, t] : attached_) {
-    if (n == &net) {
-      rec.trace_digest = t->digest();
-      if (config_.capture_rounds) rec.rounds = t->rounds();
+  // Newest-first so the latest prepare() wins for a reused address.
+  for (auto it = attached_.rbegin(); it != attached_.rend(); ++it) {
+    if (it->first == &net) {
+      rec.trace_digest = it->second->digest();
+      if (config_.capture_rounds) rec.rounds = it->second->rounds();
       break;
     }
   }

@@ -229,18 +229,28 @@ class Parser {
     }
     if (pos_ == start + (negative ? 1u : 0u)) fail("bad number");
     const std::string tok = text_.substr(start, pos_ - start);
+    const char* const tok_end = tok.c_str() + tok.size();
+    char* end = nullptr;
     if (integral) {
       errno = 0;
       if (negative) {
-        const long long v = std::strtoll(tok.c_str(), nullptr, 10);
-        if (errno == 0) return Json(static_cast<std::int64_t>(v));
+        const long long v = std::strtoll(tok.c_str(), &end, 10);
+        if (errno == 0 && end == tok_end) {
+          return Json(static_cast<std::int64_t>(v));
+        }
       } else {
-        const unsigned long long v = std::strtoull(tok.c_str(), nullptr, 10);
-        if (errno == 0) return Json(static_cast<std::uint64_t>(v));
+        const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+        if (errno == 0 && end == tok_end) {
+          return Json(static_cast<std::uint64_t>(v));
+        }
       }
     }
-    double d = 0;
-    if (std::sscanf(tok.c_str(), "%lf", &d) != 1) fail("bad number");
+    // The scanner consumes any digit/.eE+- run, so a corrupted token like
+    // '1e5e5' or '1.2.3' reaches here; require strtod to consume it fully
+    // rather than silently parsing a valid prefix.
+    end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok_end) fail("bad number");
     return Json(d);
   }
 

@@ -178,6 +178,13 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
   }
 
   if (!options.write_baseline_path.empty()) {
+    if (failed) {
+      // A snapshot missing the failed experiments would silently shrink the
+      // regression gate; refuse rather than commit a truncated baseline.
+      err << "ldc_bench: refusing to write baseline: one or more experiments "
+             "failed (snapshot would omit them)\n";
+      return 1;
+    }
     try {
       save_baseline(options.write_baseline_path,
                     baseline_json(results, provenance));
@@ -196,20 +203,29 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
       err << "ldc_bench: " << e.what() << "\n";
       return 2;
     }
-    // Refuse cross-mode diffs: smoke and full sweeps have different rows.
-    const Json* cfg = baseline.find("config");
-    const bool baseline_smoke =
-        cfg != nullptr && cfg->find("smoke") != nullptr &&
-        cfg->at("smoke").as_bool();
-    if (baseline_smoke != options.smoke) {
-      err << "ldc_bench: baseline was recorded with smoke="
-          << (baseline_smoke ? "true" : "false") << " but this run has smoke="
-          << (options.smoke ? "true" : "false") << "; refusing to diff\n";
+    BaselineDiff diff;
+    try {
+      // Refuse cross-mode diffs: smoke and full sweeps have different rows.
+      const Json* cfg = baseline.find("config");
+      const bool baseline_smoke =
+          cfg != nullptr && cfg->find("smoke") != nullptr &&
+          cfg->at("smoke").as_bool();
+      if (baseline_smoke != options.smoke) {
+        err << "ldc_bench: baseline was recorded with smoke="
+            << (baseline_smoke ? "true" : "false")
+            << " but this run has smoke="
+            << (options.smoke ? "true" : "false") << "; refusing to diff\n";
+        return 2;
+      }
+      diff = check_baseline(baseline, results, options.baseline_options,
+                            options.filters.empty());
+    } catch (const std::exception& e) {
+      // Structural surprises (missing keys, wrong kinds) in a hand-edited
+      // or truncated baseline are a usage error, not a crash.
+      err << "ldc_bench: malformed baseline " << options.baseline_path << ": "
+          << e.what() << "\n";
       return 2;
     }
-    const BaselineDiff diff =
-        check_baseline(baseline, results, options.baseline_options,
-                       options.filters.empty());
     for (const auto& note : diff.notes) out << "note: " << note << "\n";
     if (!diff.ok()) {
       err << "ldc_bench: baseline drift (" << diff.mismatches.size()

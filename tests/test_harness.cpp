@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "ldc/harness/baseline.hpp"
@@ -56,6 +57,19 @@ TEST(HarnessJson, RejectsMalformedInput) {
   EXPECT_THROW(Json::parse("1 2"), JsonError);
   EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
   EXPECT_THROW(Json::parse("nul"), JsonError);
+}
+
+TEST(HarnessJson, RejectsMalformedNumberTokens) {
+  // The number scanner consumes any digit/.eE+- run; the parser must then
+  // reject tokens whose valid prefix hides trailing garbage instead of
+  // silently decoding a different value.
+  EXPECT_THROW(Json::parse("1e5e5"), JsonError);
+  EXPECT_THROW(Json::parse("1.2.3"), JsonError);
+  EXPECT_THROW(Json::parse("[5-2]"), JsonError);
+  EXPECT_THROW(Json::parse("1e"), JsonError);
+  EXPECT_THROW(Json::parse("-"), JsonError);
+  EXPECT_EQ(Json::parse("1e5").as_double(), 1e5);
+  EXPECT_EQ(Json::parse("-3").as_int(), -3);
 }
 
 TEST(HarnessJson, MissingKeyLookup) {
@@ -167,6 +181,28 @@ TEST(HarnessContext, PrepareRecordCapturesMetricsAndTrace) {
   EXPECT_GT(rec.metrics.messages, 0u);
   EXPECT_NE(rec.trace_digest, 0u);
   ASSERT_EQ(rec.rounds.size(), 1u);
+}
+
+TEST(HarnessContext, ReusedNetworkAddressBindsLatestTrace) {
+  RunConfig cfg;
+  ExperimentContext ctx("x", cfg);
+  const Graph g = gen::ring(6);
+  // Experiments construct Networks as loop-body locals, so every iteration
+  // reuses the same address; optional::emplace reproduces that exactly.
+  std::optional<Network> net;
+  for (int rounds = 1; rounds <= 2; ++rounds) {
+    net.emplace(g);
+    ctx.prepare(*net);
+    for (int r = 0; r < rounds; ++r) one_round(*net);
+    ctx.record("iter" + std::to_string(rounds), *net);
+  }
+  auto result = ctx.take_result();
+  ASSERT_EQ(result.runs.size(), 2u);
+  // record() must bind each run to the trace of the *latest* prepare for
+  // that address, not the first iteration's stale trace.
+  ASSERT_EQ(result.runs[0].rounds.size(), 1u);
+  ASSERT_EQ(result.runs[1].rounds.size(), 2u);
+  EXPECT_NE(result.runs[0].trace_digest, result.runs[1].trace_digest);
 }
 
 TEST(HarnessContext, TableReferencesStaySable) {
@@ -368,6 +404,21 @@ TEST(HarnessBaseline, MissingExperimentIsDriftOnlyWhenRanAll) {
   EXPECT_FALSE(check_baseline(baseline_json(results, test_provenance()), two,
                               {}, false)
                    .ok());
+}
+
+TEST(HarnessBaseline, TruncatedBaselineRowReportsArityMismatch) {
+  const auto results = one_result();
+  std::string text = baseline_json(results, test_provenance()).dump();
+  // Hand-truncate the table row ["a",3,1.25] to ["a",3]: the checker must
+  // report the arity disagreement, not read past the row's end.
+  const std::string full_row = ", 1.25]";
+  const auto at = text.find(full_row);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, full_row.size(), "]");
+  const auto diff = check_baseline(Json::parse(text), results, {}, true);
+  EXPECT_FALSE(diff.ok());
+  ASSERT_FALSE(diff.mismatches.empty());
+  EXPECT_NE(diff.mismatches.front().find("arity"), std::string::npos);
 }
 
 TEST(HarnessBaseline, SaveLoadRoundTrip) {
