@@ -2,6 +2,7 @@
 // reduction round, and one repair iteration (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "ldc/coloring/instance_gen.hpp"
 #include "ldc/graph/generators.hpp"
 #include "ldc/linial/linial.hpp"
@@ -16,9 +17,7 @@ void BM_ExchangeBroadcast(benchmark::State& state) {
   const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
   const Graph g = gen::random_regular(n, 8, 1);
   Network net(g);
-  BitWriter w;
-  w.write(0x1234, 16);
-  const std::vector<Message> msgs(g.n(), Message::from(w));
+  const std::vector<Message> msgs = bench::uniform_broadcast(g.n(), 0x1234, 16);
   for (auto _ : state) {
     benchmark::DoNotOptimize(net.exchange_broadcast(msgs));
   }

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common.hpp"
 #include "ldc/graph/generators.hpp"
 #include "ldc/linial/linial.hpp"
 #include "ldc/runtime/network.hpp"
@@ -68,9 +69,7 @@ void BM_ExchangeCompute(benchmark::State& state) {
   const Graph& g = cached_circulant(n, deg / 2);
   Network net(g);
   configure(net, state.range(2));
-  BitWriter w;
-  w.write(0xbeef, 16);
-  const std::vector<Message> msgs(g.n(), Message::from(w));
+  const std::vector<Message> msgs = bench::uniform_broadcast(g.n(), 0xbeef, 16);
   std::vector<std::uint64_t> acc(g.n());
   for (auto _ : state) {
     const auto inboxes = net.exchange_broadcast(msgs);

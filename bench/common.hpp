@@ -48,6 +48,19 @@ inline std::string verdict(const ValidationResult& r) {
                            ")";
 }
 
+/// One `bits`-bit payload replicated to every node, ready for
+/// Network::exchange_broadcast — the "copy one writer's message per
+/// neighbor" setup the micro-benches repeated inline. Under the zero-copy
+/// plane all n handles (and every delivered inbox slot) share the single
+/// payload block, so this allocates once regardless of n or fan-out.
+inline std::vector<Message> uniform_broadcast(std::size_t n,
+                                              std::uint64_t value,
+                                              int bits) {
+  BitWriter w;
+  w.write(value, bits);
+  return std::vector<Message>(n, Message::from(w));
+}
+
 /// Random weighted oriented LDC instance — the common setup of every
 /// OLDC-flavoured experiment (E3/E4/E10/E13, A1/A4).
 inline LdcInstance weighted_oriented_instance(

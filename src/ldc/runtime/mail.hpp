@@ -1,0 +1,207 @@
+// Round-arena mailboxes: the zero-copy delivery plane of the simulator.
+//
+// Every exchange() delivers into a Network-owned MailArena — a CSR-style
+// flat mailbox (per-destination slot offsets plus one flat array of
+// (sender, Message) slots) whose buffers are reused round after round, so
+// the steady state of a run performs no per-round heap allocation. The
+// caller receives a RoundMail: a lightweight, read-only view over the
+// arena. A RoundMail is invalidated by the next exchange() on the same
+// Network (the arena is rewritten in place); stale access throws
+// std::logic_error in every build type, so a call site that accidentally
+// holds an inbox across rounds fails loudly instead of reading the next
+// round's traffic. Callers that genuinely need delivered messages to
+// outlive the round call materialize(), which is cheap: Message handles
+// share refcounted payloads, so the copy is per-slot, not per-payload-word.
+//
+// Delivery order contract: within one inbox, slots are in strictly
+// ascending sender order (each sender may send at most one message per
+// destination per round). Both engines produce this order by construction —
+// the serial engine walks senders ascending, the parallel engine's shards
+// are contiguous ascending sender ranges written in shard order — which is
+// what lets the plane skip the per-inbox sort entirely (a debug-build
+// assertion in network.cpp keeps the invariant honest).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "ldc/graph/graph.hpp"
+#include "ldc/runtime/message.hpp"
+
+namespace ldc {
+
+class Network;
+class RoundMail;
+
+/// One delivered message with its sender.
+using MailSlot = std::pair<NodeId, Message>;
+
+/// Network-owned storage for one round's deliveries, reused across rounds.
+class MailArena {
+ public:
+  MailArena() = default;
+  MailArena(const MailArena&) = delete;
+  MailArena& operator=(const MailArena&) = delete;
+
+  /// Monotone round stamp; every exchange() bumps it, invalidating the
+  /// RoundMail views handed out for earlier rounds.
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  friend class Network;
+  friend class RoundMail;
+
+  /// Per-destination counting scratch, epoch-stamped: an entry whose stamp
+  /// is not the current epoch reads as zero, so sparse rounds never pay a
+  /// dense O(n) clear (the fix for the per-round `counts.assign(n, 0)` the
+  /// sharded engine used to do on every lane).
+  struct Lane {
+    std::vector<std::uint32_t> counts;
+    std::vector<std::uint64_t> stamp;
+
+    void ensure(std::size_t n) {
+      if (counts.size() < n) {
+        counts.resize(n, 0);
+        stamp.resize(n, 0);
+      }
+    }
+    std::uint32_t at(NodeId v, std::uint64_t e) const {
+      return stamp[v] == e ? counts[v] : 0;
+    }
+    void add_one(NodeId v, std::uint64_t e) {
+      if (stamp[v] != e) {
+        stamp[v] = e;
+        counts[v] = 0;
+      }
+      ++counts[v];
+    }
+    void set(NodeId v, std::uint64_t e, std::uint32_t value) {
+      stamp[v] = e;
+      counts[v] = value;
+    }
+  };
+
+  Lane& lane(std::size_t i, std::size_t n) {
+    if (lanes_.size() <= i) lanes_.resize(i + 1);
+    lanes_[i].ensure(n);
+    return lanes_[i];
+  }
+
+  std::vector<std::uint32_t> offsets_;  ///< n+1 per-destination slot offsets
+  std::vector<MailSlot> slots_;         ///< flat (sender, message) slots
+  std::uint64_t epoch_ = 0;
+  std::vector<Lane> lanes_;             ///< lane 0: serial; else per shard
+  std::vector<char> transmits_;         ///< broadcast: sender is live
+  std::vector<std::size_t> sender_bits_;    ///< broadcast: payload size
+  std::vector<NodeId> scratch_;             ///< duplicate-destination check
+  std::vector<std::uint32_t> chunk_total_;  ///< parallel prefix partials
+};
+
+/// Read-only view of one round's inboxes (see the file comment for the
+/// lifetime and ordering contract).
+class RoundMail {
+ public:
+  /// A contiguous span of one destination's delivered messages.
+  class InboxSpan {
+   public:
+    using value_type = MailSlot;
+
+    InboxSpan() = default;
+
+    const MailSlot* begin() const { return begin_; }
+    const MailSlot* end() const { return end_; }
+    std::size_t size() const {
+      return static_cast<std::size_t>(end_ - begin_);
+    }
+    bool empty() const { return begin_ == end_; }
+    const MailSlot& operator[](std::size_t i) const { return begin_[i]; }
+    const MailSlot& front() const { return *begin_; }
+    const MailSlot& back() const { return *(end_ - 1); }
+
+   private:
+    friend class RoundMail;
+    InboxSpan(const MailSlot* b, const MailSlot* e) : begin_(b), end_(e) {}
+
+    const MailSlot* begin_ = nullptr;
+    const MailSlot* end_ = nullptr;
+  };
+
+  /// Iterates the per-destination spans, so `for (const auto& inbox : mail)`
+  /// visits every node's inbox in node order.
+  class const_iterator {
+   public:
+    using value_type = InboxSpan;
+
+    InboxSpan operator*() const { return (*mail_)[v_]; }
+    const_iterator& operator++() {
+      ++v_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return v_ == o.v_; }
+    bool operator!=(const const_iterator& o) const { return v_ != o.v_; }
+
+   private:
+    friend class RoundMail;
+    const_iterator(const RoundMail* mail, NodeId v) : mail_(mail), v_(v) {}
+
+    const RoundMail* mail_;
+    NodeId v_;
+  };
+
+  RoundMail() = default;
+
+  /// Number of destinations (the graph's n).
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Inbox of destination v; throws std::logic_error if this view was
+  /// invalidated by a later exchange() on the owning Network.
+  InboxSpan operator[](NodeId v) const {
+    check_fresh();
+    if (v >= n_) {
+      throw std::out_of_range("RoundMail: destination out of range");
+    }
+    const MailSlot* base = arena_->slots_.data();
+    return InboxSpan(base + arena_->offsets_[v],
+                     base + arena_->offsets_[v + 1]);
+  }
+
+  const_iterator begin() const {
+    check_fresh();
+    return const_iterator(this, 0);
+  }
+  const_iterator end() const { return const_iterator(this, n_); }
+
+  /// Owning copy of every inbox for callers that must hold deliveries
+  /// across rounds. Cheap: Message copies share payloads.
+  std::vector<std::vector<MailSlot>> materialize() const {
+    check_fresh();
+    std::vector<std::vector<MailSlot>> out(n_);
+    for (NodeId v = 0; v < n_; ++v) {
+      const InboxSpan s = (*this)[v];
+      out[v].assign(s.begin(), s.end());
+    }
+    return out;
+  }
+
+ private:
+  friend class Network;
+  RoundMail(const MailArena* arena, std::uint32_t n)
+      : arena_(arena), n_(n), epoch_(arena->epoch_) {}
+
+  void check_fresh() const {
+    if (arena_ == nullptr || arena_->epoch_ != epoch_) {
+      throw std::logic_error(
+          "RoundMail: view outlived its round (a later exchange() rewrote "
+          "the arena; materialize() the inboxes to keep them)");
+    }
+  }
+
+  const MailArena* arena_ = nullptr;
+  std::uint32_t n_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace ldc

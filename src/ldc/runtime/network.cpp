@@ -1,6 +1,7 @@
 #include "ldc/runtime/network.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <string>
 
@@ -96,15 +97,22 @@ void Network::prepare_round_faults(std::uint64_t round, RoundFaults& rf) {
   metrics_.node_sleeps += rf.sleeps;
 }
 
-std::vector<Network::Inbox> Network::exchange_serial(
-    const std::vector<Outbox>& outboxes, std::uint64_t round, RoundFaults& rf,
-    std::size_t& round_max_bits) {
+void Network::exchange_serial(const std::vector<Outbox>& outboxes,
+                              std::uint64_t round, RoundFaults& rf,
+                              std::size_t& round_max_bits) {
   const auto n = graph_->n();
   const bool faulty = faults_ != nullptr && faults_->any();
-  std::vector<Inbox> inboxes(n);
-  std::vector<NodeId> scratch;
+  MailArena& a = arena_;
+  const std::uint64_t ep = a.epoch_;
+  auto& lane = a.lane(0, n);
+
+  // Pass 1 (by sender, ascending): validate, account, and count surviving
+  // messages per destination. Error and strict-CONGEST throw order is the
+  // serial sender/message order, exactly as when delivery was interleaved
+  // (on a throw the half-filled arena is never exposed: exchange() already
+  // bumped the epoch, so no live view reads it).
   for (NodeId u = 0; u < n; ++u) {
-    check_unique_destinations(outboxes[u], scratch);
+    check_unique_destinations(outboxes[u], a.scratch_);
     const bool sender_down = faulty && down_[u] != 0;
     for (const auto& [dest, msg] : outboxes[u]) {
       if (!graph_->has_edge(u, dest)) {
@@ -120,41 +128,70 @@ std::vector<Network::Inbox> Network::exchange_serial(
         continue;
       }
       if (faulty && faults_->corrupts_message(round, u, dest)) {
-        Message c = msg;
-        faults_->corrupt_payload(round, u, dest, c);
         ++rf.corrupted;
-        inboxes[dest].emplace_back(u, std::move(c));
-        continue;
       }
-      inboxes[dest].emplace_back(u, msg);
+      lane.add_one(dest, ep);
     }
   }
-  for (auto& inbox : inboxes) {
-    std::sort(inbox.begin(), inbox.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Offsets from counts; the lane entries become absolute write cursors.
+  if (a.offsets_.size() < n + 1) a.offsets_.resize(n + 1);
+  std::uint32_t total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    a.offsets_[v] = total;
+    const std::uint32_t c = lane.at(v, ep);
+    lane.set(v, ep, total);
+    total += c;
   }
-  return inboxes;
+  a.offsets_[n] = total;
+  if (a.slots_.size() != total) a.slots_.resize(total);
+
+  // Pass 2 (by sender, ascending): write each surviving message at its
+  // destination's cursor. Fault decisions are pure in (seed, round, edge),
+  // so re-resolving them here reproduces pass 1 exactly. Ascending senders
+  // into per-destination cursors yield ascending sender order per inbox.
+  for (NodeId u = 0; u < n; ++u) {
+    if (faulty && down_[u] != 0) continue;
+    for (const auto& [dest, msg] : outboxes[u]) {
+      if (faulty &&
+          (down_[dest] != 0 || faults_->drops_message(round, u, dest))) {
+        continue;
+      }
+      MailSlot& slot = a.slots_[lane.counts[dest]++];
+      slot.first = u;
+      slot.second = msg;  // shares the payload: no copy of the words
+      if (faulty && faults_->corrupts_message(round, u, dest)) {
+        // flip_bit clones the shared payload (CoW), so the corruption
+        // cannot alias the sender's handle or sibling deliveries.
+        faults_->corrupt_payload(round, u, dest, slot.second);
+      }
+    }
+  }
 }
 
-std::vector<Network::Inbox> Network::exchange_parallel(
-    const std::vector<Outbox>& outboxes, std::uint64_t round, RoundFaults& rf,
-    std::size_t& round_max_bits) {
+void Network::exchange_parallel(const std::vector<Outbox>& outboxes,
+                                std::uint64_t round, RoundFaults& rf,
+                                std::size_t& round_max_bits) {
   const auto n = graph_->n();
   const bool faulty = faults_ != nullptr && faults_->any();
-  // Per-shard staging: metrics and per-destination message counts. Shards
+  MailArena& a = arena_;
+  const std::uint64_t ep = a.epoch_;
+  // Per-shard staging: metrics plus a per-destination count lane. Shards
   // are contiguous ascending sender ranges, so concatenating them in shard
-  // order reproduces the serial sender order exactly. Fault decisions are
-  // pure in (seed, round, edge), so the counting pass and the write pass
+  // order reproduces the serial sender order exactly. Lanes persist in the
+  // arena and are epoch-stamped: entries from earlier rounds read as zero,
+  // so no O(n·lanes) clearing happens per round. Fault decisions are pure
+  // in (seed, round, edge), so the counting pass and the write pass
   // resolve them identically without sharing state.
   struct Shard {
     RunMetrics metrics;
     std::size_t round_max_bits = 0;
     std::uint64_t dropped = 0;
     std::uint64_t corrupted = 0;
-    std::vector<std::uint32_t> counts;  ///< then: write cursors per dest
   };
   const std::size_t lanes = std::min<std::size_t>(pool_->size(), n);
   std::vector<Shard> shards(lanes);
+  for (std::size_t t = 0; t < lanes; ++t) a.lane(t, n);
 
   // Drop decision shared by the counting and write passes (down receiver
   // first so the plan's drop stream is only consulted for live edges,
@@ -169,7 +206,7 @@ std::vector<Network::Inbox> Network::exchange_parallel(
   // and the exception texts are position-independent.
   pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t t) {
     Shard& sh = shards[t];
-    sh.counts.assign(n, 0);
+    MailArena::Lane& lane = a.lanes_[t];
     std::vector<NodeId> scratch;
     for (std::size_t u = b; u < e; ++u) {
       check_unique_destinations(outboxes[u], scratch);
@@ -197,23 +234,48 @@ std::vector<Network::Inbox> Network::exchange_parallel(
             faults_->corrupts_message(round, static_cast<NodeId>(u), dest)) {
           ++sh.corrupted;
         }
-        ++sh.counts[dest];
+        lane.add_one(dest, ep);
       }
     }
   });
 
-  // Pass 2 (by destination): turn counts into shard start cursors and size
-  // each inbox to its exact final length.
-  std::vector<Inbox> inboxes(n);
-  pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t) {
+  // Pass 2 (by destination): global CSR offsets from the per-lane counts.
+  // 2a computes per-chunk slot totals, a serial scan over the (few) chunks
+  // assigns chunk base offsets, then 2b lays out each destination's span
+  // and turns the lane entries into absolute write cursors, shard by shard
+  // — so shard order within an inbox equals ascending sender order.
+  if (a.chunk_total_.size() < lanes) a.chunk_total_.resize(lanes);
+  pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t t) {
+    std::uint32_t sum = 0;
     for (std::size_t dest = b; dest < e; ++dest) {
-      std::uint32_t total = 0;
-      for (auto& sh : shards) {
-        const std::uint32_t c = sh.counts[dest];
-        sh.counts[dest] = total;
-        total += c;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        sum += a.lanes_[l].at(static_cast<NodeId>(dest), ep);
       }
-      inboxes[dest].resize(total);
+    }
+    a.chunk_total_[t] = sum;
+  });
+  // parallel_for(n, ...) splits [0, n) the same way on every call with the
+  // same pool, so chunk t in 2b covers exactly the range summed in 2a.
+  const std::size_t chunks = std::min<std::size_t>(pool_->size(), n);
+  std::uint32_t total = 0;
+  for (std::size_t t = 0; t < chunks; ++t) {
+    const std::uint32_t c = a.chunk_total_[t];
+    a.chunk_total_[t] = total;
+    total += c;
+  }
+  if (a.offsets_.size() < n + 1) a.offsets_.resize(n + 1);
+  a.offsets_[n] = total;
+  if (a.slots_.size() != total) a.slots_.resize(total);
+  pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t t) {
+    std::uint32_t cur = a.chunk_total_[t];
+    for (std::size_t dest = b; dest < e; ++dest) {
+      a.offsets_[dest] = cur;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        MailArena::Lane& lane = a.lanes_[l];
+        const std::uint32_t c = lane.at(static_cast<NodeId>(dest), ep);
+        lane.set(static_cast<NodeId>(dest), ep, cur);
+        cur += c;
+      }
     }
   });
 
@@ -221,29 +283,20 @@ std::vector<Network::Inbox> Network::exchange_parallel(
   // cursor — disjoint slots, and slot order equals serial insert order.
   // Re-resolves the (pure) fault decisions of pass 1.
   pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t t) {
-    Shard& sh = shards[t];
+    MailArena::Lane& lane = a.lanes_[t];
     for (std::size_t u = b; u < e; ++u) {
       if (faulty && down_[u] != 0) continue;
       for (const auto& [dest, msg] : outboxes[u]) {
         if (faulty && lost(static_cast<NodeId>(u), dest)) continue;
-        auto& slot = inboxes[dest][sh.counts[dest]++];
-        slot = {static_cast<NodeId>(u), msg};
+        MailSlot& slot = a.slots_[lane.counts[dest]++];
+        slot.first = static_cast<NodeId>(u);
+        slot.second = msg;
         if (faulty &&
             faults_->corrupts_message(round, static_cast<NodeId>(u), dest)) {
           faults_->corrupt_payload(round, static_cast<NodeId>(u), dest,
                                    slot.second);
         }
       }
-    }
-  });
-
-  // Pass 4 (by destination): the same sort over the same input permutation
-  // as the serial engine.
-  pool_->parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t) {
-    for (std::size_t dest = b; dest < e; ++dest) {
-      std::sort(
-          inboxes[dest].begin(), inboxes[dest].end(),
-          [](const auto& a, const auto& b2) { return a.first < b2.first; });
     }
   });
 
@@ -259,29 +312,29 @@ std::vector<Network::Inbox> Network::exchange_parallel(
     rf.dropped += sh.dropped;
     rf.corrupted += sh.corrupted;
   }
-  return inboxes;
 }
 
-std::vector<Network::Inbox> Network::exchange(
-    const std::vector<Outbox>& outboxes) {
-  const auto n = graph_->n();
-  if (outboxes.size() != n) {
-    throw std::invalid_argument("Network::exchange: outbox count != n");
+void Network::debug_check_sorted() const {
+#ifndef NDEBUG
+  // The ascending-sender invariant that replaced the per-inbox sort: the
+  // serial engine walks senders in order, the parallel engine's shards are
+  // contiguous ascending ranges merged in shard order, and the broadcast
+  // fill follows the graph's sorted adjacency.
+  for (NodeId v = 0; v < graph_->n(); ++v) {
+    for (std::uint32_t i = arena_.offsets_[v] + 1; i < arena_.offsets_[v + 1];
+         ++i) {
+      assert(arena_.slots_[i - 1].first < arena_.slots_[i].first &&
+             "inbox not in ascending sender order");
+    }
   }
-  // The round index keying the fault schedule: silent rounds shift it, so a
-  // plan addresses "the k-th round of the run", not "the k-th exchange".
-  const std::uint64_t round = metrics_.rounds;
-  ++metrics_.rounds;
-  RoundFaults rf;
-  if (faults_ != nullptr && faults_->any()) prepare_round_faults(round, rf);
-  const std::uint64_t msgs_before = metrics_.messages;
-  const std::uint64_t bits_before = metrics_.total_bits;
-  std::size_t round_max_bits = 0;
-  const std::uint64_t t0 = now_ns();
-  std::vector<Inbox> inboxes =
-      (pool_ != nullptr && pool_->size() > 1)
-          ? exchange_parallel(outboxes, round, rf, round_max_bits)
-          : exchange_serial(outboxes, round, rf, round_max_bits);
+#endif
+}
+
+RoundMail Network::seal_round(std::uint64_t msgs_before,
+                              std::uint64_t bits_before,
+                              std::size_t round_max_bits, std::uint64_t t0,
+                              const RoundFaults& rf) {
+  debug_check_sorted();
   metrics_.messages_dropped += rf.dropped;
   metrics_.messages_corrupted += rf.corrupted;
   const std::uint64_t wall_ns = (now_ns() - t0) + pending_compute_ns_;
@@ -292,11 +345,150 @@ std::vector<Network::Inbox> Network::exchange(
                          metrics_.total_bits - bits_before, round_max_bits,
                          wall_ns, rf);
   }
-  return inboxes;
+  return RoundMail(&arena_, graph_->n());
 }
 
-std::vector<Network::Inbox> Network::exchange_broadcast(
-    const std::vector<Message>& msgs, const std::vector<bool>* active) {
+RoundMail Network::exchange(const std::vector<Outbox>& outboxes) {
+  const auto n = graph_->n();
+  if (outboxes.size() != n) {
+    throw std::invalid_argument("Network::exchange: outbox count != n");
+  }
+  // Invalidate prior views before touching the arena, so even a throwing
+  // round can never expose half-rewritten slots through a stale RoundMail.
+  ++arena_.epoch_;
+  // The round index keying the fault schedule: silent rounds shift it, so a
+  // plan addresses "the k-th round of the run", not "the k-th exchange".
+  const std::uint64_t round = metrics_.rounds;
+  ++metrics_.rounds;
+  RoundFaults rf;
+  if (faults_ != nullptr && faults_->any()) prepare_round_faults(round, rf);
+  const std::uint64_t msgs_before = metrics_.messages;
+  const std::uint64_t bits_before = metrics_.total_bits;
+  std::size_t round_max_bits = 0;
+  const std::uint64_t t0 = now_ns();
+  if (pool_ != nullptr && pool_->size() > 1) {
+    exchange_parallel(outboxes, round, rf, round_max_bits);
+  } else {
+    exchange_serial(outboxes, round, rf, round_max_bits);
+  }
+  return seal_round(msgs_before, bits_before, round_max_bits, t0, rf);
+}
+
+void Network::broadcast_fill(const std::vector<Message>& msgs,
+                             const std::vector<bool>* active,
+                             std::uint64_t round, RoundFaults& rf,
+                             std::size_t& round_max_bits) {
+  const auto n = graph_->n();
+  const bool faulty = faults_ != nullptr && faults_->any();
+  MailArena& a = arena_;
+  // The pure fast path — nobody masked, nobody down — needs no per-edge
+  // transmit test and no counting scan: every inbox is exactly the
+  // sender-sorted neighbor list, so the offsets are the graph's CSR.
+  const bool all_live = active == nullptr && !faulty;
+  if (!all_live) {
+    a.transmits_.assign(n, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      const bool sends = (active == nullptr || (*active)[u]) &&
+                         !(faulty && down_[u] != 0);
+      a.transmits_[u] = sends ? 1 : 0;
+    }
+  }
+
+  // Sender-side accounting, in ascending sender order — bulk per sender
+  // (degree many identical messages) instead of per message, with the
+  // strict-CONGEST throw surfacing at the same sender and with the same
+  // partial metric updates as the per-message account() loop it replaces.
+  for (NodeId u = 0; u < n; ++u) {
+    if (!all_live && a.transmits_[u] == 0) continue;
+    const std::size_t deg = graph_->degree(u);
+    if (deg == 0) continue;
+    const std::size_t bits = msgs[u].bit_count();
+    if (budget_bits_ != 0 && bits > budget_bits_) {
+      if (strict_) {
+        // account() for the sender's first message: counts it, then throws.
+        ++metrics_.messages;
+        metrics_.total_bits += bits;
+        metrics_.max_message_bits =
+            std::max(metrics_.max_message_bits, bits);
+        ++metrics_.congest_violations;
+        throw CongestViolation("message of " + std::to_string(bits) +
+                               " bits exceeds CONGEST budget of " +
+                               std::to_string(budget_bits_));
+      }
+      metrics_.congest_violations += deg;
+    }
+    metrics_.messages += deg;
+    metrics_.total_bits += static_cast<std::uint64_t>(deg) * bits;
+    metrics_.max_message_bits = std::max(metrics_.max_message_bits, bits);
+    round_max_bits = std::max(round_max_bits, bits);
+  }
+
+  // Receiver-side offsets. In the masked/faulty case this is also where
+  // the per-edge drop and corruption events are counted (each live edge is
+  // visited exactly once; the fill pass re-resolves the pure decisions).
+  if (a.offsets_.size() < n + 1) a.offsets_.resize(n + 1);
+  std::uint32_t total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    a.offsets_[v] = total;
+    if (all_live) {
+      total += static_cast<std::uint32_t>(graph_->degree(v));
+      continue;
+    }
+    const bool receiver_down = faulty && down_[v] != 0;
+    for (NodeId u : graph_->neighbors(v)) {
+      if (a.transmits_[u] == 0) continue;
+      if (faulty &&
+          (receiver_down || faults_->drops_message(round, u, v))) {
+        ++rf.dropped;
+        continue;
+      }
+      if (faulty && faults_->corrupts_message(round, u, v)) {
+        ++rf.corrupted;
+      }
+      ++total;
+    }
+  }
+  a.offsets_[n] = total;
+  if (a.slots_.size() != total) a.slots_.resize(total);
+
+  // Fill (by destination): v's inbox is one shared handle per live
+  // in-neighbor, in adjacency order — the graph stores sorted adjacency,
+  // so ascending sender order holds with no sort. Parallelizing by
+  // destination is race-free: spans are disjoint and all reads are const.
+  auto fill = [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t v = b; v < e; ++v) {
+      std::uint32_t cur = a.offsets_[v];
+      const bool receiver_down =
+          !all_live && faulty && down_[v] != 0;
+      for (NodeId u : graph_->neighbors(static_cast<NodeId>(v))) {
+        if (!all_live) {
+          if (a.transmits_[u] == 0) continue;
+          if (faulty && (receiver_down ||
+                         faults_->drops_message(round, u,
+                                                static_cast<NodeId>(v)))) {
+            continue;
+          }
+        }
+        MailSlot& slot = a.slots_[cur++];
+        slot.first = u;
+        slot.second = msgs[u];
+        if (!all_live && faulty &&
+            faults_->corrupts_message(round, u, static_cast<NodeId>(v))) {
+          faults_->corrupt_payload(round, u, static_cast<NodeId>(v),
+                                   slot.second);
+        }
+      }
+    }
+  };
+  if (pool_ != nullptr && pool_->size() > 1) {
+    pool_->parallel_for(n, fill);
+  } else {
+    fill(0, n, 0);
+  }
+}
+
+RoundMail Network::exchange_broadcast(const std::vector<Message>& msgs,
+                                      const std::vector<bool>* active) {
   const auto n = graph_->n();
   if (msgs.size() != n) {
     throw std::invalid_argument(
@@ -306,14 +498,17 @@ std::vector<Network::Inbox> Network::exchange_broadcast(
     throw std::invalid_argument(
         "Network::exchange_broadcast: active mask size != n");
   }
-  std::vector<Outbox> outboxes(n);
-  run_node_programs([&](NodeId u) {
-    if (active != nullptr && !(*active)[u]) return;
-    const auto nb = graph_->neighbors(u);
-    outboxes[u].reserve(nb.size());
-    for (NodeId v : nb) outboxes[u].emplace_back(v, msgs[u]);
-  });
-  return exchange(outboxes);
+  ++arena_.epoch_;
+  const std::uint64_t round = metrics_.rounds;
+  ++metrics_.rounds;
+  RoundFaults rf;
+  if (faults_ != nullptr && faults_->any()) prepare_round_faults(round, rf);
+  const std::uint64_t msgs_before = metrics_.messages;
+  const std::uint64_t bits_before = metrics_.total_bits;
+  std::size_t round_max_bits = 0;
+  const std::uint64_t t0 = now_ns();
+  broadcast_fill(msgs, active, round, rf, round_max_bits);
+  return seal_round(msgs_before, bits_before, round_max_bits, t0, rf);
 }
 
 void Network::run_node_programs(const std::function<void(NodeId)>& fn) {

@@ -56,6 +56,7 @@
 
 #include "ldc/graph/graph.hpp"
 #include "ldc/runtime/fault.hpp"
+#include "ldc/runtime/mail.hpp"
 #include "ldc/runtime/message.hpp"
 #include "ldc/runtime/metrics.hpp"
 #include "ldc/runtime/thread_pool.hpp"
@@ -71,9 +72,10 @@ class CongestViolation : public std::runtime_error {
 class Network {
  public:
   /// One outgoing message: destination must be a neighbor of the sender.
-  using Outbox = std::vector<std::pair<NodeId, Message>>;
-  /// One received message with its sender.
-  using Inbox = std::vector<std::pair<NodeId, Message>>;
+  using Outbox = std::vector<MailSlot>;
+  /// An owning inbox (what RoundMail::materialize() yields per node);
+  /// deliveries themselves are returned as arena-backed RoundMail views.
+  using Inbox = std::vector<MailSlot>;
 
   enum class Engine { kSerial, kParallel };
 
@@ -97,22 +99,31 @@ class Network {
   }
 
   /// One synchronous round: delivers outboxes[u] (messages from u) and
-  /// returns per-node inboxes, sorted by sender. Destinations must be
-  /// neighbors of the sender and unique per round; both engines enforce
-  /// both preconditions with std::invalid_argument (duplicate destinations
-  /// are checked per sender before that sender's messages are validated or
-  /// delivered, so serial and parallel runs surface the same error).
-  /// Uniqueness also makes the per-inbox sort order total — at most one
-  /// message per sender per inbox — so inbox order cannot depend on the
-  /// stdlib's (non-stable) sort.
-  std::vector<Inbox> exchange(const std::vector<Outbox>& outboxes);
+  /// returns a view of the per-node inboxes, in ascending sender order.
+  /// The view reads the Network-owned round arena and is invalidated by
+  /// the next exchange()/exchange_broadcast() on this Network (stale access
+  /// throws std::logic_error; call RoundMail::materialize() to keep
+  /// deliveries across rounds). Destinations must be neighbors of the
+  /// sender and unique per round; both engines enforce both preconditions
+  /// with std::invalid_argument (duplicate destinations are checked per
+  /// sender before that sender's messages are validated or delivered, so
+  /// serial and parallel runs surface the same error). Uniqueness makes
+  /// inbox order total — at most one message per sender per inbox — and
+  /// both engines deliver in ascending sender order by construction, so no
+  /// sort runs (a debug-build assertion guards the invariant).
+  RoundMail exchange(const std::vector<Outbox>& outboxes);
 
   /// Convenience: every node with active[v] (or all nodes if active is
   /// null) broadcasts msgs[v] to all its neighbors. Both vectors must have
-  /// one entry per node.
-  std::vector<Inbox> exchange_broadcast(const std::vector<Message>& msgs,
-                                        const std::vector<bool>* active =
-                                            nullptr);
+  /// one entry per node. This is a fast path, not a wrapper: no outboxes
+  /// are materialized — the arena is filled receiver-side straight from the
+  /// graph's CSR, and each delivered slot is one shared payload handle per
+  /// live in-neighbor. Observable behavior (metrics, trace, faults, inbox
+  /// contents/order, strict-CONGEST errors) is identical to building the
+  /// equivalent outboxes and calling exchange(). The returned view obeys
+  /// the same one-round lifetime as exchange().
+  RoundMail exchange_broadcast(const std::vector<Message>& msgs,
+                               const std::vector<bool>* active = nullptr);
 
   /// Evaluates fn(v) for every node, in parallel under kParallel. fn must
   /// only write state owned by node v (its own message slot, color, inbox
@@ -217,6 +228,7 @@ class Network {
   std::vector<char> crashed_;  ///< permanent crash-stop state per node
   std::vector<char> down_;     ///< crashed or asleep in the current round
   std::uint32_t crashed_total_ = 0;
+  MailArena arena_;  ///< round-reused delivery storage behind RoundMail
 
   void account(const Message& m);
   /// Validates m against the CONGEST budget without touching metrics;
@@ -228,12 +240,25 @@ class Network {
   /// counts crash/sleep events into metrics_ and `rf`.
   void prepare_round_faults(std::uint64_t round, RoundFaults& rf);
 
-  std::vector<Inbox> exchange_serial(const std::vector<Outbox>& outboxes,
-                                     std::uint64_t round, RoundFaults& rf,
-                                     std::size_t& round_max_bits);
-  std::vector<Inbox> exchange_parallel(const std::vector<Outbox>& outboxes,
-                                       std::uint64_t round, RoundFaults& rf,
-                                       std::size_t& round_max_bits);
+  /// Engine bodies: fill arena_ (offsets + slots) for this round.
+  void exchange_serial(const std::vector<Outbox>& outboxes,
+                       std::uint64_t round, RoundFaults& rf,
+                       std::size_t& round_max_bits);
+  void exchange_parallel(const std::vector<Outbox>& outboxes,
+                         std::uint64_t round, RoundFaults& rf,
+                         std::size_t& round_max_bits);
+  /// Broadcast fast path body (both engines): bulk sender-side accounting,
+  /// then receiver-driven arena fill over the graph CSR.
+  void broadcast_fill(const std::vector<Message>& msgs,
+                      const std::vector<bool>* active, std::uint64_t round,
+                      RoundFaults& rf, std::size_t& round_max_bits);
+  /// Shared round epilogue: fault counters, wall clock, trace row, view.
+  RoundMail seal_round(std::uint64_t msgs_before, std::uint64_t bits_before,
+                       std::size_t round_max_bits, std::uint64_t t0,
+                       const RoundFaults& rf);
+  /// Debug-build check of the ascending-sender invariant that replaced the
+  /// per-inbox sort.
+  void debug_check_sorted() const;
 };
 
 }  // namespace ldc

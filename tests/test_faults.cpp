@@ -106,6 +106,60 @@ TEST(FaultPlan, CorruptionOfEmptyMessageIsANoOp) {
   EXPECT_EQ(empty.bit_count(), 0u);
 }
 
+TEST(FaultPlan, CorruptPayloadClonesSharedPayloads) {
+  FaultPlan p;
+  p.seed = 5;
+  p.corrupt_rate = 1.0;
+  Message m = make_msg(0x0f0f, 16);
+  Message shared = m;
+  ASSERT_TRUE(shared.shares_payload(m));
+  p.corrupt_payload(1, 0, 1, shared);
+  // Copy-on-write: the corrupted handle detached; the original is intact.
+  EXPECT_FALSE(shared.shares_payload(m));
+  auto r = m.reader();
+  EXPECT_EQ(r.read(16), 0x0f0fu);
+}
+
+// The zero-copy plane delivers one shared payload handle per receiver; a
+// corruption fault must clone before flipping (CoW), so a corrupted
+// delivery can never mutate the sender's message or the clean copies that
+// sibling receivers got — under either engine.
+TEST(Network, CorruptionNeverMutatesSenderOrSiblingCopies) {
+  const Graph g = gen::clique(6);
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    Network net(g);
+    if (threads != 0) net.set_engine(Network::Engine::kParallel, threads);
+    FaultPlan p;
+    p.seed = 21;
+    p.corrupt_rate = 0.4;
+    net.attach_faults(&p);
+    std::vector<Message> msgs(6);
+    for (NodeId v = 0; v < 6; ++v) msgs[v] = make_msg(0x500u + v, 12);
+    auto in = net.exchange_broadcast(msgs);
+    // The schedule must mix corrupted and clean deliveries for the test to
+    // mean anything (deterministic in the plan seed).
+    ASSERT_GT(net.metrics().messages_corrupted, 0u);
+    ASSERT_LT(net.metrics().messages_corrupted, 30u);
+    for (NodeId v = 0; v < 6; ++v) {
+      for (const auto& [u, m] : in[v]) {
+        auto r = m.reader();
+        if (r.read(12) == 0x500u + u) {
+          // Clean delivery: still the sender's own payload block.
+          EXPECT_TRUE(m.shares_payload(msgs[u]));
+        } else {
+          // Corrupted delivery: cloned before the flip.
+          EXPECT_FALSE(m.shares_payload(msgs[u]));
+        }
+      }
+    }
+    // No corruption leaked into the senders' handles.
+    for (NodeId u = 0; u < 6; ++u) {
+      auto r = msgs[u].reader();
+      EXPECT_EQ(r.read(12), 0x500u + u);
+    }
+  }
+}
+
 TEST(Network, DropRateOneLosesEveryMessageButSenderPays) {
   const Graph g = gen::clique(6);
   Network net(g);

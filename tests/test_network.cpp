@@ -262,5 +262,83 @@ TEST(RunMetrics, MergeAndEquivalenceCoverFaultCounters) {
   EXPECT_FALSE(a.same_communication(c));
 }
 
+TEST(Message, FlipBitOutOfRangeThrows) {
+  Message m = make_msg(0b101, 3);
+  EXPECT_THROW(m.flip_bit(3), std::out_of_range);
+  EXPECT_THROW(m.flip_bit(1000), std::out_of_range);
+  Message empty;
+  EXPECT_THROW(empty.flip_bit(0), std::out_of_range);
+  // The failed flips left the payload untouched.
+  auto r = m.reader();
+  EXPECT_EQ(r.read(3), 0b101u);
+  m.flip_bit(2);
+  auto r2 = m.reader();
+  EXPECT_EQ(r2.read(3), 0b001u);
+}
+
+TEST(Message, CopiesSharePayloadUntilMutation) {
+  Message m = make_msg(0xbeef, 16);
+  Message copy = m;
+  EXPECT_TRUE(copy.shares_payload(m));
+  copy.flip_bit(0);  // copy-on-write detaches the mutated handle
+  EXPECT_FALSE(copy.shares_payload(m));
+  auto r = m.reader();
+  EXPECT_EQ(r.read(16), 0xbeefu);
+  auto rc = copy.reader();
+  EXPECT_EQ(rc.read(16), 0xbeeeu);
+  // Empty messages hold no payload block and thus never "share" one.
+  EXPECT_FALSE(Message().shares_payload(Message()));
+}
+
+TEST(Network, BroadcastDeliversSharedPayloadHandles) {
+  const Graph g = gen::clique(4);
+  Network net(g);
+  std::vector<Message> msgs(4);
+  for (NodeId v = 0; v < 4; ++v) msgs[v] = make_msg(v + 1, 8);
+  auto in = net.exchange_broadcast(msgs);
+  for (NodeId v = 0; v < 4; ++v) {
+    ASSERT_EQ(in[v].size(), 3u);
+    for (const auto& [u, m] : in[v]) {
+      // Zero-copy: every delivery is a handle onto the sender's payload.
+      EXPECT_TRUE(m.shares_payload(msgs[u]));
+    }
+  }
+}
+
+TEST(Network, RoundMailViewExpiresAtTheNextExchange) {
+  const Graph g = gen::path(3);
+  Network net(g);
+  const std::vector<Message> msgs(3, make_msg(7, 4));
+  auto in = net.exchange_broadcast(msgs);
+  ASSERT_EQ(in[1].size(), 2u);
+  auto kept = in.materialize();
+  net.exchange_broadcast(msgs);
+  // The old view is stale now — accessing it throws instead of silently
+  // reading the new round's traffic.
+  EXPECT_THROW(in[1], std::logic_error);
+  EXPECT_THROW(in.begin(), std::logic_error);
+  EXPECT_THROW(in.materialize(), std::logic_error);
+  // The materialized copy owns its slots and stays valid.
+  ASSERT_EQ(kept[1].size(), 2u);
+  EXPECT_EQ(kept[1][0].first, 0u);
+  EXPECT_EQ(kept[1][1].first, 2u);
+  auto r = kept[1][0].second.reader();
+  EXPECT_EQ(r.read(4), 7u);
+}
+
+TEST(Network, InboxesArriveInAscendingSenderOrder) {
+  const Graph g = gen::clique(5);
+  Network net(g);
+  std::vector<Message> msgs(5);
+  for (NodeId v = 0; v < 5; ++v) msgs[v] = make_msg(v, 8);
+  auto in = net.exchange_broadcast(msgs);
+  for (NodeId v = 0; v < 5; ++v) {
+    ASSERT_EQ(in[v].size(), 4u);
+    for (std::size_t i = 1; i < in[v].size(); ++i) {
+      EXPECT_LT(in[v][i - 1].first, in[v][i].first);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ldc

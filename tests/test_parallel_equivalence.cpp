@@ -393,6 +393,87 @@ TEST(ParallelEquivalence, ExplicitExchangeMatchesAcrossEngines) {
   }
 }
 
+// The broadcast fast path skips outbox materialization and fills the round
+// arena receiver-side; its observable behavior must stay identical to
+// building the equivalent outboxes and calling exchange() — with and
+// without an active mask, with and without faults, under both engines.
+TEST(ParallelEquivalence, BroadcastFastPathMatchesExplicitOutboxes) {
+  const Graph g = gen::gnp(48, 0.25, 33);
+  std::vector<Message> msgs(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    BitWriter w;
+    w.write(hash_combine(0xb0, v), 36);
+    msgs[v] = Message::from(w);
+  }
+  std::vector<bool> mask(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) mask[v] = v % 3 != 0;
+  FaultPlan plan;
+  plan.seed = 0xfa07;
+  plan.drop_rate = 0.08;
+  plan.corrupt_rate = 0.08;
+  plan.sleep_rate = 0.05;
+
+  struct Flat {
+    std::vector<std::uint64_t> slots;
+    RunMetrics metrics;
+    std::uint64_t trace_digest = 0;
+  };
+  auto run = [&](std::size_t threads, const std::vector<bool>* active,
+                 const FaultPlan* faults, bool via_outboxes) {
+    Network net(g);
+    if (threads > 0) net.set_engine(Network::Engine::kParallel, threads);
+    Trace trace;
+    net.attach_trace(&trace);
+    if (faults != nullptr) net.attach_faults(faults);
+    Flat out;
+    for (int round = 0; round < 3; ++round) {
+      RoundMail in;
+      if (via_outboxes) {
+        // The reference semantics: materialized per-neighbor outboxes.
+        std::vector<Network::Outbox> outboxes(g.n());
+        for (NodeId u = 0; u < g.n(); ++u) {
+          if (active != nullptr && !(*active)[u]) continue;
+          for (NodeId v : g.neighbors(u)) outboxes[u].emplace_back(v, msgs[u]);
+        }
+        in = net.exchange(outboxes);
+      } else {
+        in = net.exchange_broadcast(msgs, active);
+      }
+      for (NodeId v = 0; v < g.n(); ++v) {
+        for (const auto& [sender, msg] : in[v]) {
+          auto r = msg.reader();
+          out.slots.push_back(hash_combine(
+              (static_cast<std::uint64_t>(v) << 32) | sender, r.read(36)));
+        }
+      }
+    }
+    out.metrics = net.metrics();
+    out.trace_digest = trace.digest();
+    return out;
+  };
+
+  const std::vector<bool>* masks[] = {nullptr, &mask};
+  const FaultPlan* plans[] = {nullptr, &plan};
+  for (const std::vector<bool>* active : masks) {
+    for (const FaultPlan* faults : plans) {
+      const Flat ref = run(0, active, faults, /*via_outboxes=*/true);
+      for (std::size_t threads : {0u, 2u, 7u}) {
+        const Flat fast = run(threads, active, faults, /*via_outboxes=*/false);
+        const std::string label =
+            std::string(active != nullptr ? "masked" : "all") +
+            (faults != nullptr ? "+faults" : "") + " @" +
+            std::to_string(threads) + "t";
+        EXPECT_EQ(ref.slots, fast.slots) << label << ": deliveries differ";
+        EXPECT_TRUE(ref.metrics.same_communication(fast.metrics))
+            << label << ": metrics differ: ref {" << ref.metrics
+            << "} fast {" << fast.metrics << "}";
+        EXPECT_EQ(ref.trace_digest, fast.trace_digest)
+            << label << ": trace digests differ";
+      }
+    }
+  }
+}
+
 TEST(ParallelEquivalence, CongestAccountingMatchesAcrossEngines) {
   // Non-strict CONGEST budget: violation counts must merge exactly.
   const Graph g = gen::random_regular(50, 6, 17);
