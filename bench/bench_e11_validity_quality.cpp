@@ -111,13 +111,12 @@ void run(harness::ExperimentContext& ctx) {
       for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
         const Graph g = fam.make(seed);
         delta = std::max<std::uint64_t>(delta, g.max_degree());
-        const LdcInstance inst = delta_plus_one_instance(g);
-        Network net(g);
-        ctx.prepare(net);
-        const auto [ok, r, c, rep] = algo.run(net, g, inst);
-        ctx.record(fam.name + "/" + algo.name +
-                       "/seed=" + std::to_string(seed),
-                   net);
+        const auto [outcome, metrics] = bench::closed_loop(
+            ctx, g,
+            fam.name + "/" + algo.name + "/seed=" + std::to_string(seed),
+            algo.run);
+        (void)metrics;
+        const auto [ok, r, c, rep] = outcome;
         valid += ok;
         rounds += r;
         colors += c;

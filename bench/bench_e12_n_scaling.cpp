@@ -19,15 +19,15 @@ void run(harness::ExperimentContext& ctx) {
   for (std::uint32_t n : ctx.pick<std::vector<std::uint32_t>>(
            {64, 128, 256, 512, 1024}, {64, 128})) {
     const Graph g = bench::regular_graph(n, 12, n);
-    const LdcInstance inst = delta_plus_one_instance(g);
-    Network net(g);
-    ctx.prepare(net);
-    const auto res = d1lc::color(net, inst);
-    ctx.record("pipeline/n=" + std::to_string(g.n()), net);
+    const auto [res, metrics] = bench::closed_loop(
+        ctx, g, "pipeline/n=" + std::to_string(g.n()),
+        [](Network& net, const Graph&, const LdcInstance& inst) {
+          return d1lc::color(net, inst);
+        });
     t.add_row({std::uint64_t{g.n()}, std::uint64_t{res.rounds},
                std::uint64_t{res.linial_rounds},
-               std::uint64_t{res.t13.stages}, net.metrics().total_bits,
-               static_cast<double>(net.metrics().total_bits) / g.n(),
+               std::uint64_t{res.t13.stages}, metrics.total_bits,
+               static_cast<double>(metrics.total_bits) / g.n(),
                std::string(res.valid ? "ok" : "VIOLATION")});
   }
 }

@@ -61,6 +61,23 @@ inline std::vector<Message> uniform_broadcast(std::size_t n,
   return std::vector<Message>(n, Message::from(w));
 }
 
+/// One closed-loop run of the standard "(Delta+1) instance -> prepared
+/// network -> algorithm -> record" cycle that E11/E12 (and now E16)
+/// repeated inline. `body(net, g, inst)` runs the algorithm; the helper
+/// owns instance construction, ctx.prepare (trace/fault wiring) and
+/// ctx.record under `label`. Returns the body's result paired with a
+/// snapshot of the network's run metrics.
+template <typename Body>
+auto closed_loop(harness::ExperimentContext& ctx, const Graph& g,
+                 const std::string& label, Body&& body) {
+  const LdcInstance inst = delta_plus_one_instance(g);
+  Network net(g);
+  ctx.prepare(net);
+  auto result = std::forward<Body>(body)(net, g, inst);
+  ctx.record(label, net);
+  return std::make_pair(std::move(result), net.metrics());
+}
+
 /// Random weighted oriented LDC instance — the common setup of every
 /// OLDC-flavoured experiment (E3/E4/E10/E13, A1/A4).
 inline LdcInstance weighted_oriented_instance(

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ldc/graph/io_error.hpp"
+
 namespace ldc::io {
 
 void write_instance(std::ostream& os, const LdcInstance& inst) {
@@ -27,8 +29,8 @@ LdcInstance read_instance(std::istream& is, const Graph& g) {
   std::size_t lineno = 0;
   bool have_space = false;
   auto fail = [&lineno](const std::string& why) {
-    throw std::invalid_argument("instance line " + std::to_string(lineno) +
-                                ": " + why);
+    throw ParseError("instance line " + std::to_string(lineno) + ": " +
+                     why);
   };
   while (std::getline(is, line)) {
     ++lineno;
@@ -69,7 +71,17 @@ LdcInstance read_instance(std::istream& is, const Graph& g) {
       fail("unknown record '" + tag + "'");
     }
   }
-  if (!have_space) throw std::invalid_argument("instance: missing 'space'");
+  if (!have_space) throw ParseError("instance: missing 'space'");
+  // Files must cover every node: a missing 'l' record means the file was
+  // truncated (check() tolerates empty lists for programmatic instances,
+  // so the reader has to enforce coverage itself or truncation would load
+  // silently as an unsolvable instance).
+  for (NodeId v = 0; v < g.n(); ++v) {
+    if (inst.lists[v].colors.empty()) {
+      throw ParseError("instance: no list for node " + std::to_string(v) +
+                       " (truncated file?)");
+    }
+  }
   inst.check();
   return inst;
 }

@@ -3,8 +3,8 @@
 // Text format ('#' comments):
 //   space <|C|>
 //   l <node> <color>/<defect> [<color>/<defect> ...]
-// Nodes without an 'l' record get an empty list (rejected by check()), so
-// files are expected to cover every node. The graph travels separately
+// Nodes without an 'l' record get an empty list (rejected by the reader —
+// a truncated file must not load), so files must cover every node. The graph travels separately
 // (ldc/graph/io.hpp); loading binds the instance to the given graph.
 #pragma once
 
@@ -12,13 +12,16 @@
 #include <string>
 
 #include "ldc/coloring/instance.hpp"
+#include "ldc/graph/io_error.hpp"
 
 namespace ldc::io {
 
 void write_instance(std::ostream& os, const LdcInstance& inst);
 
-/// Parses an instance over `g`; throws std::invalid_argument with a line
-/// number on malformed input.
+/// Parses an instance over `g`; throws io::ParseError (a
+/// std::invalid_argument) with a line number on malformed input. A
+/// truncated file that leaves some node without an 'l' record fails the
+/// final LdcInstance::check() rather than loading silently.
 LdcInstance read_instance(std::istream& is, const Graph& g);
 
 void save_instance(const std::string& path, const LdcInstance& inst);

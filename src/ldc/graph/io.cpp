@@ -1,14 +1,25 @@
 #include "ldc/graph/io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 #include <vector>
 
 #include "ldc/graph/builder.hpp"
+#include "ldc/graph/io_error.hpp"
 
 namespace ldc::io {
+
+namespace {
+// Cap on the declared node count: the reader allocates O(n) state up front,
+// so an attacker-chosen header like "n 4000000000" must fail cleanly
+// instead of attempting a multi-gigabyte allocation. 2^26 nodes is far
+// beyond any graph the simulator can usefully hold.
+constexpr std::uint64_t kMaxNodes = std::uint64_t{1} << 26;
+}  // namespace
 
 void write_edge_list(std::ostream& os, const Graph& g) {
   os << "# ldc edge list\n";
@@ -37,10 +48,11 @@ Graph read_edge_list(std::istream& is) {
   std::size_t lineno = 0;
   std::optional<GraphBuilder> builder;
   std::vector<std::uint64_t> ids;
+  std::unordered_set<std::uint64_t> seen_edges;
   bool any_custom_id = false;
   auto fail = [&lineno](const std::string& why) {
-    throw std::invalid_argument("edge list line " + std::to_string(lineno) +
-                                ": " + why);
+    throw ParseError("edge list line " + std::to_string(lineno) + ": " +
+                     why);
   };
   while (std::getline(is, line)) {
     ++lineno;
@@ -48,10 +60,14 @@ Graph read_edge_list(std::istream& is) {
     std::string tag;
     if (!(ls >> tag) || tag[0] == '#') continue;
     if (tag == "n") {
-      std::uint32_t n = 0;
+      std::uint64_t n = 0;
       if (!(ls >> n)) fail("expected node count");
+      if (n > kMaxNodes) {
+        fail("node count " + std::to_string(n) + " exceeds limit " +
+             std::to_string(kMaxNodes));
+      }
       if (builder.has_value()) fail("duplicate 'n' record");
-      builder.emplace(n);
+      builder.emplace(static_cast<std::uint32_t>(n));
       ids.resize(n);
       for (NodeId v = 0; v < n; ++v) ids[v] = v;
     } else if (tag == "id") {
@@ -66,6 +82,16 @@ Graph read_edge_list(std::istream& is) {
       if (!builder.has_value()) fail("'e' before 'n'");
       NodeId u = 0, v = 0;
       if (!(ls >> u >> v)) fail("expected 'e <u> <v>'");
+      // GraphBuilder deduplicates at build() for generator convenience; in
+      // a file a repeated edge is a malformed document (often a sign of a
+      // truncated-and-concatenated upload), so reject it here.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(std::min(u, v)) << 32) |
+          std::max(u, v);
+      if (!seen_edges.insert(key).second) {
+        fail("duplicate edge {" + std::to_string(u) + ", " +
+             std::to_string(v) + "}");
+      }
       try {
         builder->add_edge(u, v);
       } catch (const std::exception& e) {
@@ -76,7 +102,7 @@ Graph read_edge_list(std::istream& is) {
     }
   }
   if (!builder.has_value()) {
-    throw std::invalid_argument("edge list: missing 'n' record");
+    throw ParseError("edge list: missing 'n' record");
   }
   Graph g = builder->build();
   if (any_custom_id) g.set_ids(std::move(ids));

@@ -15,14 +15,17 @@
 
 #include "ldc/coloring/instance.hpp"
 #include "ldc/graph/graph.hpp"
+#include "ldc/graph/io_error.hpp"
 
 namespace ldc::io {
 
 /// Writes the edge-list representation.
 void write_edge_list(std::ostream& os, const Graph& g);
 
-/// Parses an edge-list; throws std::invalid_argument with a line number on
-/// malformed input.
+/// Parses an edge-list; throws io::ParseError (a std::invalid_argument)
+/// with a line number on malformed input — including an oversized 'n'
+/// header (the reader refuses attacker-sized allocations) and duplicate
+/// 'e' records (files must list each edge once).
 Graph read_edge_list(std::istream& is);
 
 /// Graphviz DOT output; when `phi` is given, nodes are labelled and

@@ -1,0 +1,22 @@
+// Typed error for text-format readers (graph edge lists, LDC instances).
+//
+// Everything reaching these parsers is untrusted input — the CLI, the job
+// service's graph-file path, downstream users exchanging files — so every
+// malformed-input condition must surface as this one catchable type with a
+// line-numbered message, never as a crash, a std::bad_alloc from an
+// attacker-chosen allocation size, or a silently mis-loaded structure.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ldc::io {
+
+/// Thrown by read_edge_list / read_instance on malformed input. Derives
+/// from std::invalid_argument so pre-existing catch sites keep working.
+class ParseError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+}  // namespace ldc::io

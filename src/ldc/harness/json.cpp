@@ -389,4 +389,23 @@ Json Json::parse(const std::string& text) {
   return Parser(text).document();
 }
 
+Json Json::parse_line(const std::string& line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\n' || line[i] == '\r') {
+      throw JsonError("json parse error at byte " + std::to_string(i) +
+                      ": embedded newline in line-delimited document");
+    }
+  }
+  std::size_t first = 0;
+  while (first < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[first]))) {
+    ++first;
+  }
+  if (first == line.size()) {
+    throw JsonError("json parse error at byte " + std::to_string(first) +
+                    ": blank line where a document was expected");
+  }
+  return Parser(line).document();
+}
+
 }  // namespace ldc::harness

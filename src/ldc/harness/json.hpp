@@ -81,6 +81,14 @@ class Json {
   /// Parses one complete document; trailing non-space input is an error.
   static Json parse(const std::string& text);
 
+  /// Line-delimited entry point for JSONL protocols: parses exactly one
+  /// document from one framing line. Unlike parse() — which skips any
+  /// leading whitespace, silently accepting blank lines glued onto a
+  /// document — this rejects embedded newline bytes ('\n'/'\r' anywhere,
+  /// a framing violation), and rejects empty or whitespace-only input,
+  /// always reporting the byte offset of the offence.
+  static Json parse_line(const std::string& line);
+
  private:
   void expect(Kind k) const;
   void write(std::string& out, int indent, int depth) const;

@@ -131,7 +131,19 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
 
   const auto selected = registry.match(options.filters);
   if (selected.empty()) {
-    err << "ldc_bench: no experiments match the given filters\n";
+    // Running nothing must never look like success: a typo'd --filter in a
+    // CI gate would otherwise silently skip the whole roster. Name the
+    // offending filters so the fix is obvious, and exit as a usage error.
+    err << "ldc_bench: no experiments match ";
+    if (options.filters.empty()) {
+      err << "(registry is empty)";
+    } else {
+      err << "--filter ";
+      for (std::size_t i = 0; i < options.filters.size(); ++i) {
+        err << (i == 0 ? "" : ", ") << "'" << options.filters[i] << "'";
+      }
+    }
+    err << "; see --list for the registered experiments\n";
     return 2;
   }
 

@@ -353,6 +353,9 @@ RoundMail Network::exchange(const std::vector<Outbox>& outboxes) {
   if (outboxes.size() != n) {
     throw std::invalid_argument("Network::exchange: outbox count != n");
   }
+  // Round-boundary hook (cancellation checks live here): runs before the
+  // round is accounted, so a throwing callback leaves metrics untouched.
+  if (round_cb_) round_cb_(metrics_.rounds);
   // Invalidate prior views before touching the arena, so even a throwing
   // round can never expose half-rewritten slots through a stale RoundMail.
   ++arena_.epoch_;
@@ -498,6 +501,7 @@ RoundMail Network::exchange_broadcast(const std::vector<Message>& msgs,
     throw std::invalid_argument(
         "Network::exchange_broadcast: active mask size != n");
   }
+  if (round_cb_) round_cb_(metrics_.rounds);
   ++arena_.epoch_;
   const std::uint64_t round = metrics_.rounds;
   ++metrics_.rounds;

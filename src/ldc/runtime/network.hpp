@@ -187,6 +187,18 @@ class Network {
   /// exchange() appends one Trace::Round. Pass nullptr to detach.
   void attach_trace(Trace* trace) { trace_ = trace; }
 
+  /// Round-boundary hook, mirroring attach_trace/attach_faults: invoked at
+  /// the top of every exchange()/exchange_broadcast() with the index of the
+  /// round about to run, before any message is validated or delivered. The
+  /// callback must not mutate the Network or any algorithm state (results
+  /// must stay byte-identical with and without it); it may throw, which
+  /// aborts the round before it is accounted — the cooperative-cancellation
+  /// path the job service uses to honour deadlines and cancel requests.
+  /// Pass an empty function to detach.
+  void set_round_callback(std::function<void(std::uint64_t)> cb) {
+    round_cb_ = std::move(cb);
+  }
+
   /// The attached recorder (nullptr if none) — algorithms use it to mark
   /// their phases.
   Trace* trace() const { return trace_; }
@@ -220,6 +232,7 @@ class Network {
   bool strict_;
   RunMetrics metrics_;
   Trace* trace_ = nullptr;
+  std::function<void(std::uint64_t)> round_cb_;  ///< round-boundary hook
   Engine engine_ = Engine::kSerial;
   std::unique_ptr<ThreadPool> pool_;
   std::uint64_t pending_compute_ns_ = 0;  ///< run_node_programs time since

@@ -1,0 +1,49 @@
+#include "ldc/service/cache.hpp"
+
+namespace ldc::service {
+
+std::optional<JobOutcome> ResultCache::get(std::uint64_t digest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(digest);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->outcome;
+}
+
+void ResultCache::put(std::uint64_t digest, const JobOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_ < kEntryBytes) return;  // budget 0 (or absurdly small) = off
+  auto it = index_.find(digest);
+  if (it != index_.end()) {
+    it->second->outcome = outcome;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (!lru_.empty() && (lru_.size() + 1) * kEntryBytes > budget_) {
+    index_.erase(lru_.back().digest);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{digest, outcome});
+  index_[digest] = lru_.begin();
+  ++insertions_;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = lru_.size() * kEntryBytes;
+  s.byte_budget = budget_;
+  return s;
+}
+
+}  // namespace ldc::service

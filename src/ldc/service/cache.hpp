@@ -1,0 +1,69 @@
+// Byte-budgeted LRU cache of job outcomes, keyed by job digest.
+//
+// An outcome is a pure function of its job digest (see job.hpp), so the
+// cache never needs invalidation — only eviction. The budget is in
+// approximate bytes (a fixed per-entry estimate covering the outcome,
+// the key and the bookkeeping nodes); when an insertion would exceed it,
+// least-recently-used entries are evicted first. A budget of 0 disables
+// caching entirely (every get misses, every put is dropped).
+//
+// Thread-safe: the service's workers call get/put concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "ldc/service/algorithms.hpp"
+
+namespace ldc::service {
+
+class ResultCache {
+ public:
+  /// Approximate footprint charged per cached entry: the outcome payload
+  /// plus list/map node overhead. Deliberately a round, documented number
+  /// so budgets translate to entry counts predictably.
+  static constexpr std::size_t kEntryBytes = 192;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;        ///< current charged footprint
+    std::size_t entries = 0;
+    std::size_t byte_budget = 0;
+  };
+
+  explicit ResultCache(std::size_t byte_budget) : budget_(byte_budget) {}
+
+  /// Looks up a digest; refreshes its LRU position on hit. Counts a hit
+  /// or a miss either way.
+  std::optional<JobOutcome> get(std::uint64_t digest);
+
+  /// Inserts or overwrites; the entry becomes most-recently-used. Evicts
+  /// from the LRU tail until the footprint fits the budget.
+  void put(std::uint64_t digest, const JobOutcome& outcome);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t digest;
+    JobOutcome outcome;
+  };
+
+  const std::size_t budget_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ldc::service

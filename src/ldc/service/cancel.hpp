@@ -1,0 +1,69 @@
+// Cooperative cancellation for served coloring jobs.
+//
+// A CancelToken is shared between the service (which cancels or arms a
+// deadline) and the running job (which polls it). Jobs poll at round
+// boundaries through Network::set_round_callback — the simulator's natural
+// preemption points — so a cancelled or deadline-exceeded job unwinds via
+// JobCancelled before its next communication round, never mid-round.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace ldc::service {
+
+/// Thrown out of a job body when its token fires; the worker maps it to a
+/// "cancelled" or "deadline_missed" result instead of a failure.
+class JobCancelled : public std::runtime_error {
+ public:
+  explicit JobCancelled(bool deadline)
+      : std::runtime_error(deadline ? "job deadline exceeded"
+                                    : "job cancelled"),
+        deadline_(deadline) {}
+
+  bool deadline_missed() const { return deadline_; }
+
+ private:
+  bool deadline_;
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Requests cancellation; the next check() throws.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a wall-clock deadline; check() throws once it has passed.
+  void arm_deadline(Clock::time_point when) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            when.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Throws JobCancelled when cancelled or past the armed deadline. Cheap
+  /// enough to call every round: two relaxed atomic loads plus a clock
+  /// read only when a deadline is armed.
+  void check() const {
+    if (cancelled()) throw JobCancelled(/*deadline=*/false);
+    const auto ns = deadline_ns_.load(std::memory_order_relaxed);
+    if (ns != 0 &&
+        Clock::now().time_since_epoch() >= std::chrono::nanoseconds(ns)) {
+      throw JobCancelled(/*deadline=*/true);
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< 0 = no deadline
+};
+
+}  // namespace ldc::service

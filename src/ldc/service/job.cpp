@@ -1,0 +1,280 @@
+#include "ldc/service/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "ldc/graph/generators.hpp"
+#include "ldc/graph/io.hpp"
+
+namespace ldc::service {
+namespace {
+
+// The service builds a fresh graph per job, so generator sizes bound both
+// memory and admission-to-first-round latency; a wire-supplied "n" beyond
+// this is a spec error, not an allocation attempt.
+constexpr std::uint64_t kMaxJobNodes = std::uint64_t{1} << 20;
+constexpr std::uint64_t kMaxIdBits = 40;
+
+/// Canonical double rendering for digests: shortest round-trip form, so
+/// 0.1 always digests identically.
+std::string canon_double(double v) {
+  char buf[32];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+void require_range(const char* field, std::uint64_t value, std::uint64_t lo,
+                   std::uint64_t hi) {
+  if (value < lo || value > hi) {
+    throw JobSpecError(std::string("job spec: '") + field + "' = " +
+                       std::to_string(value) + " outside [" +
+                       std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+}
+
+std::uint64_t get_uint(const harness::Json& obj, const char* field,
+                       std::uint64_t dflt) {
+  const harness::Json* v = obj.find(field);
+  if (v == nullptr) return dflt;
+  try {
+    return v->as_uint();
+  } catch (const harness::JsonError&) {
+    throw JobSpecError(std::string("job spec: '") + field +
+                       "' must be a non-negative integer");
+  }
+}
+
+double get_double(const harness::Json& obj, const char* field, double dflt) {
+  const harness::Json* v = obj.find(field);
+  if (v == nullptr) return dflt;
+  try {
+    return v->as_double();
+  } catch (const harness::JsonError&) {
+    throw JobSpecError(std::string("job spec: '") + field +
+                       "' must be a number");
+  }
+}
+
+std::string get_string(const harness::Json& obj, const char* field) {
+  const harness::Json* v = obj.find(field);
+  if (v == nullptr) {
+    throw JobSpecError(std::string("job spec: missing '") + field + "'");
+  }
+  try {
+    return v->as_string();
+  } catch (const harness::JsonError&) {
+    throw JobSpecError(std::string("job spec: '") + field +
+                       "' must be a string");
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t len, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Graph build_graph(const GraphSpec& spec) {
+  const auto& f = spec.family;
+  if (f != "file") require_range("n", spec.n, 1, kMaxJobNodes);
+  require_range("id_bits", spec.id_bits, 0, kMaxIdBits);
+  Graph g = [&]() -> Graph {
+    if (f == "ring") {
+      require_range("n", spec.n, 3, kMaxJobNodes);
+      return gen::ring(spec.n);
+    }
+    if (f == "path") return gen::path(spec.n);
+    if (f == "clique") {
+      require_range("n", spec.n, 1, 4096);  // K_n is dense: n^2 edges
+      return gen::clique(spec.n);
+    }
+    if (f == "gnp") {
+      if (!(spec.p >= 0.0 && spec.p <= 1.0)) {
+        throw JobSpecError("job spec: 'p' must be in [0, 1]");
+      }
+      require_range("n", spec.n, 1, 1u << 14);  // expected n^2 p edges
+      return gen::gnp(spec.n, spec.p, spec.seed);
+    }
+    if (f == "regular") {
+      require_range("d", spec.d, 1, spec.n - 1);
+      if ((static_cast<std::uint64_t>(spec.n) * spec.d) % 2 != 0) {
+        // The bench helper silently bumps n; a wire client must instead
+        // learn that no such graph exists.
+        throw JobSpecError("job spec: d-regular graph needs n*d even");
+      }
+      return gen::random_regular(spec.n, spec.d, spec.seed);
+    }
+    if (f == "torus") {
+      require_range("w", spec.w, 3, 4096);
+      require_range("h", spec.h, 3, 4096);
+      return gen::torus(spec.w, spec.h);
+    }
+    if (f == "tree") return gen::random_tree(spec.n, spec.seed);
+    if (f == "power_law") {
+      if (!(spec.alpha > 2.0)) {
+        throw JobSpecError("job spec: 'alpha' must be > 2");
+      }
+      if (!(spec.avg_deg > 0.0 &&
+            spec.avg_deg <= static_cast<double>(spec.n))) {
+        throw JobSpecError("job spec: 'avg_deg' must be in (0, n]");
+      }
+      return gen::power_law(spec.n, spec.alpha, spec.avg_deg, spec.seed);
+    }
+    if (f == "file") {
+      if (spec.path.empty()) {
+        throw JobSpecError("job spec: family 'file' requires 'path'");
+      }
+      return io::load_edge_list(spec.path);
+    }
+    throw JobSpecError("job spec: unknown graph family '" + f + "'");
+  }();
+  if (spec.id_bits > 0) {
+    if ((std::uint64_t{1} << spec.id_bits) < g.n()) {
+      throw JobSpecError("job spec: id space 2^" +
+                         std::to_string(spec.id_bits) + " smaller than n");
+    }
+    gen::scramble_ids(g, std::uint64_t{1} << spec.id_bits, spec.seed + 101);
+  }
+  return g;
+}
+
+void Job::normalize() {
+  std::sort(params.begin(), params.end());
+  const auto dup = std::adjacent_find(
+      params.begin(), params.end(),
+      [](const auto& a, const auto& b) { return a.first == b.first; });
+  if (dup != params.end()) {
+    throw JobSpecError("job spec: duplicate param '" + dup->first + "'");
+  }
+}
+
+std::uint64_t Job::param_or(const std::string& key,
+                            std::uint64_t dflt) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return dflt;
+}
+
+std::string Job::canonical() const {
+  std::string s = "algo=" + algorithm + "|seed=" + std::to_string(seed) +
+                  "|graph=" + graph.family;
+  if (graph.family == "file") {
+    s += ",path=" + graph.path;
+  } else {
+    s += ",n=" + std::to_string(graph.n) + ",d=" + std::to_string(graph.d) +
+         ",w=" + std::to_string(graph.w) + ",h=" + std::to_string(graph.h) +
+         ",p=" + canon_double(graph.p) +
+         ",alpha=" + canon_double(graph.alpha) +
+         ",avg_deg=" + canon_double(graph.avg_deg) +
+         ",gseed=" + std::to_string(graph.seed);
+  }
+  s += ",id_bits=" + std::to_string(graph.id_bits);
+  for (const auto& [k, v] : params) {
+    s += "|" + k + "=" + std::to_string(v);
+  }
+  return s;
+}
+
+std::uint64_t Job::digest() const {
+  const std::string c = canonical();
+  return fnv1a64(c.data(), c.size());
+}
+
+Job job_from_json(const harness::Json& j) {
+  if (j.kind() != harness::Json::Kind::kObject) {
+    throw JobSpecError("job spec: expected an object");
+  }
+  Job job;
+  job.algorithm = get_string(j, "algorithm");
+  job.seed = get_uint(j, "seed", 1);
+  job.deadline_ms = get_uint(j, "deadline_ms", 0);
+
+  const harness::Json* g = j.find("graph");
+  if (g == nullptr || g->kind() != harness::Json::Kind::kObject) {
+    throw JobSpecError("job spec: missing 'graph' object");
+  }
+  job.graph.family = get_string(*g, "family");
+  job.graph.n = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(get_uint(*g, "n", 0), UINT32_MAX));
+  job.graph.d = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(get_uint(*g, "d", 0), UINT32_MAX));
+  job.graph.w = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(get_uint(*g, "w", 0), UINT32_MAX));
+  job.graph.h = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(get_uint(*g, "h", 0), UINT32_MAX));
+  job.graph.p = get_double(*g, "p", 0.0);
+  job.graph.alpha = get_double(*g, "alpha", 0.0);
+  job.graph.avg_deg = get_double(*g, "avg_deg", 0.0);
+  job.graph.seed = get_uint(*g, "seed", 1);
+  job.graph.id_bits = get_uint(*g, "id_bits", 0);
+  if (const harness::Json* path = g->find("path")) {
+    try {
+      job.graph.path = path->as_string();
+    } catch (const harness::JsonError&) {
+      throw JobSpecError("job spec: 'path' must be a string");
+    }
+  }
+
+  if (const harness::Json* params = j.find("params")) {
+    if (params->kind() != harness::Json::Kind::kObject) {
+      throw JobSpecError("job spec: 'params' must be an object");
+    }
+    for (const auto& [key, value] : params->as_object()) {
+      try {
+        job.params.emplace_back(key, value.as_uint());
+      } catch (const harness::JsonError&) {
+        throw JobSpecError("job spec: param '" + key +
+                           "' must be a non-negative integer");
+      }
+    }
+  }
+  job.normalize();
+  return job;
+}
+
+harness::Json job_to_json(const Job& job) {
+  using harness::Json;
+  Json g = Json::object();
+  g.add("family", job.graph.family);
+  if (job.graph.family == "file") {
+    g.add("path", job.graph.path);
+  } else {
+    if (job.graph.n != 0) g.add("n", std::uint64_t{job.graph.n});
+    if (job.graph.d != 0) g.add("d", std::uint64_t{job.graph.d});
+    if (job.graph.w != 0) g.add("w", std::uint64_t{job.graph.w});
+    if (job.graph.h != 0) g.add("h", std::uint64_t{job.graph.h});
+    if (job.graph.p != 0.0) g.add("p", job.graph.p);
+    if (job.graph.alpha != 0.0) g.add("alpha", job.graph.alpha);
+    if (job.graph.avg_deg != 0.0) g.add("avg_deg", job.graph.avg_deg);
+    g.add("seed", job.graph.seed);
+  }
+  if (job.graph.id_bits != 0) g.add("id_bits", job.graph.id_bits);
+
+  Json j = Json::object();
+  j.add("algorithm", job.algorithm);
+  j.add("graph", std::move(g));
+  j.add("seed", job.seed);
+  if (job.deadline_ms != 0) j.add("deadline_ms", job.deadline_ms);
+  if (!job.params.empty()) {
+    Json params = Json::object();
+    for (const auto& [k, v] : job.params) params.add(k, v);
+    j.add("params", std::move(params));
+  }
+  return j;
+}
+
+}  // namespace ldc::service

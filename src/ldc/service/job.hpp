@@ -1,0 +1,95 @@
+// Job specification for the coloring service.
+//
+// A Job is the unit of admission: a graph source (a named generator spec,
+// or a serialized edge-list file), an algorithm id from the service's
+// AlgorithmRegistry, integer parameters, a seed, and an optional deadline.
+// Every job has a deterministic canonical digest — a pure function of the
+// fields that determine its *result* (the deadline is excluded: it decides
+// whether the job runs, not what it computes) — which keys the result
+// cache and lets clients correlate resubmissions.
+//
+// Job specs arrive over the wire, so parsing is strict: unknown fields,
+// out-of-range sizes and unknown families/algorithms all throw JobSpecError
+// with the offending field named.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ldc/graph/graph.hpp"
+#include "ldc/harness/json.hpp"
+
+namespace ldc::service {
+
+/// Malformed job specification (untrusted input; never a crash).
+class JobSpecError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Where the job's graph comes from. `family` selects a deterministic
+/// generator from ldc::gen (sized by the fields that family uses), or
+/// "file" to load an edge list from `path` (the untrusted-input path —
+/// io::read_edge_list enforces its own limits).
+struct GraphSpec {
+  std::string family;        ///< ring|path|clique|gnp|regular|torus|tree|
+                             ///< power_law|file
+  std::uint32_t n = 0;       ///< node count (generator families)
+  std::uint32_t d = 0;       ///< degree (regular)
+  std::uint32_t w = 0;       ///< torus width
+  std::uint32_t h = 0;       ///< torus height
+  double p = 0.0;            ///< edge probability (gnp)
+  double alpha = 0.0;        ///< power-law exponent
+  double avg_deg = 0.0;      ///< power-law expected average degree
+  std::uint64_t seed = 1;    ///< generator seed
+  std::uint64_t id_bits = 0; ///< > 0: scramble ids into [0, 2^id_bits)
+  std::string path;          ///< edge-list file (family == "file")
+};
+
+/// Instantiates the spec; throws JobSpecError on an invalid spec and
+/// propagates io errors for the "file" family.
+Graph build_graph(const GraphSpec& spec);
+
+struct Job {
+  GraphSpec graph;
+  std::string algorithm;          ///< AlgorithmRegistry id
+  std::uint64_t seed = 1;         ///< algorithm seed (randomized solvers)
+  std::uint64_t deadline_ms = 0;  ///< 0 = no deadline
+  /// Algorithm parameters, canonicalized to sorted unique keys by
+  /// normalize()/job_from_json. Integer-valued by design so the canonical
+  /// form (and therefore the digest) never depends on float formatting.
+  std::vector<std::pair<std::string, std::uint64_t>> params;
+
+  /// Sorts params by key; throws JobSpecError on duplicate keys.
+  void normalize();
+
+  /// Parameter lookup with default (params must be normalized).
+  std::uint64_t param_or(const std::string& key, std::uint64_t dflt) const;
+
+  /// Canonical text form — the digest preimage. Covers graph spec,
+  /// algorithm, seed and normalized params; excludes the deadline. For
+  /// family == "file" the *path* stands in for the graph (the file must
+  /// not change under a running service for cache hits to be meaningful).
+  std::string canonical() const;
+
+  /// FNV-1a 64 of canonical().
+  std::uint64_t digest() const;
+};
+
+/// Parses a job from its wire form; throws JobSpecError naming the field
+/// on any malformed, missing or out-of-range input. The result is
+/// normalized.
+Job job_from_json(const harness::Json& j);
+
+/// Wire form round-trip (used by clients and the protocol tests).
+harness::Json job_to_json(const Job& job);
+
+/// FNV-1a 64 over bytes — the digest primitive shared by job digests and
+/// coloring digests.
+std::uint64_t fnv1a64(const void* data, std::size_t len,
+                      std::uint64_t seed = 14695981039346656037ull);
+
+}  // namespace ldc::service

@@ -1,0 +1,74 @@
+#include "ldc/service/metrics.hpp"
+
+namespace ldc::service {
+
+std::uint64_t LatencyHistogram::percentile_ns(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-quantile sample, 1-based, ceiling convention.
+  const std::uint64_t rank =
+      std::uint64_t(q * double(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return i >= 63 ? ~std::uint64_t{0} : (std::uint64_t{1} << (i + 1)) - 1;
+    }
+  }
+  return ~std::uint64_t{0};
+}
+
+harness::Json LatencyHistogram::to_json() const {
+  using harness::Json;
+  Json j = Json::object();
+  j.add("count", count_);
+  const double mean_ms =
+      count_ == 0 ? 0.0 : double(sum_ns_) / double(count_) / 1e6;
+  j.add("mean_ms", mean_ms);
+  j.add("p50_ms", double(percentile_ns(0.50)) / 1e6);
+  j.add("p95_ms", double(percentile_ns(0.95)) / 1e6);
+  j.add("p99_ms", double(percentile_ns(0.99)) / 1e6);
+  return j;
+}
+
+harness::Json metrics_to_json(const ServiceMetrics& m,
+                              const ResultCache::Stats& cache,
+                              bool counters_only) {
+  using harness::Json;
+  std::lock_guard<std::mutex> lock(m.mu);
+  Json j = Json::object();
+  j.add("submitted", m.submitted);
+  j.add("admitted", m.admitted);
+  j.add("rejected", m.rejected);
+  j.add("completed", m.completed);
+  j.add("failed", m.failed);
+  j.add("cancelled", m.cancelled);
+  j.add("deadline_missed", m.deadline_missed);
+  j.add("queue_depth", std::uint64_t{m.queue_depth});
+  j.add("outstanding", std::uint64_t{m.outstanding});
+
+  Json c = Json::object();
+  c.add("hits", cache.hits);
+  c.add("misses", cache.misses);
+  c.add("insertions", cache.insertions);
+  c.add("evictions", cache.evictions);
+  c.add("entries", std::uint64_t{cache.entries});
+  c.add("bytes", std::uint64_t{cache.bytes});
+  c.add("byte_budget", std::uint64_t{cache.byte_budget});
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  c.add("hit_rate",
+        lookups == 0 ? 0.0 : double(cache.hits) / double(lookups));
+  j.add("cache", std::move(c));
+
+  if (!counters_only) {
+    Json lat = Json::object();
+    for (const auto& [algo, hist] : m.latency) {
+      lat.add(algo, hist.to_json());
+    }
+    j.add("latency", std::move(lat));
+  }
+  return j;
+}
+
+}  // namespace ldc::service

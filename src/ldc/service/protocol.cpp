@@ -1,0 +1,216 @@
+#include "ldc/service/protocol.hpp"
+
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+
+namespace ldc::service {
+
+bool StreamLineIO::read_line(std::string& out) {
+  return static_cast<bool>(std::getline(in_, out));
+}
+
+void StreamLineIO::write_line(const std::string& line) {
+  out_ << line << '\n';
+  out_.flush();
+}
+
+namespace {
+
+using harness::Json;
+
+Json event(const char* name) {
+  Json j = Json::object();
+  j.add("event", name);
+  return j;
+}
+
+Json result_event(const JobResult& r, const std::string& tag) {
+  Json j = event("result");
+  j.add("id", r.id);
+  if (!tag.empty()) j.add("tag", tag);
+  j.add("digest", r.digest);
+  j.add("algorithm", r.algorithm);
+  j.add("status", r.status);
+  j.add("cached", r.cached);
+  if (r.status == "ok") {
+    j.add("valid", r.outcome.valid);
+    j.add("n", std::uint64_t{r.outcome.n});
+    j.add("colors", r.outcome.colors);
+    j.add("palette", r.outcome.palette);
+    j.add("rounds", r.outcome.rounds);
+    j.add("messages", r.outcome.messages);
+    j.add("bits", r.outcome.total_bits);
+    j.add("color_digest", r.outcome.color_digest);
+  } else if (!r.error.empty()) {
+    j.add("error", r.error);
+  }
+  return j;
+}
+
+/// Serializes every line written to the transport; also owns the id->tag
+/// echo map shared between the request thread and the workers.
+class Session {
+ public:
+  Session(LineIO& io, const ServiceConfig& cfg)
+      : io_(io), service_(cfg, [this](const JobResult& r) { on_result(r); }) {}
+
+  /// False once the session should end (shutdown op).
+  bool handle(const std::string& line) {
+    Json req;
+    try {
+      req = Json::parse_line(line);
+    } catch (const harness::JsonError& e) {
+      error(std::string("bad request line: ") + e.what());
+      return true;
+    }
+    const Json* op = req.find("op");
+    if (op == nullptr || op->kind() != Json::Kind::kString) {
+      error("request needs a string 'op'");
+      return true;
+    }
+    const std::string& name = op->as_string();
+    if (name == "submit") return do_submit(req), true;
+    if (name == "cancel") return do_cancel(req), true;
+    if (name == "pause") return service_.pause(), write(event("paused")), true;
+    if (name == "resume") {
+      // Lock across resume + ack: a result line released by this resume
+      // (a worker can finish instantly) must not precede the "resumed"
+      // line, or single-worker streams stop being byte-deterministic.
+      std::lock_guard<std::mutex> lock(mu_);
+      service_.resume();
+      io_.write_line(event("resumed").dump());
+      return true;
+    }
+    if (name == "drain") {
+      service_.drain();  // deliberately outside the write lock
+      write(event("drained"));
+      return true;
+    }
+    if (name == "stats") return do_stats(req), true;
+    if (name == "shutdown") return false;
+    error("unknown op '" + name + "'");
+    return true;
+  }
+
+  /// Graceful end: finish every admitted job, then say goodbye.
+  void finish() {
+    service_.shutdown();
+    write(event("bye"));
+  }
+
+ private:
+  void do_submit(const Json& req) {
+    const Json* spec = req.find("job");
+    if (spec == nullptr) {
+      error("submit needs a 'job' object");
+      return;
+    }
+    std::string tag;
+    if (const Json* t = req.find("tag")) {
+      if (t->kind() != Json::Kind::kString) {
+        error("'tag' must be a string");
+        return;
+      }
+      tag = t->as_string();
+    }
+    Job job;
+    try {
+      job = job_from_json(*spec);
+    } catch (const JobSpecError& e) {
+      error(e.what());
+      return;
+    }
+    // Lock across submit + admitted so this job's result line (written by
+    // a worker under the same lock) cannot precede its admitted line.
+    std::lock_guard<std::mutex> lock(mu_);
+    const Admission a = service_.submit(job);
+    if (a.admitted && !tag.empty()) tags_[a.id] = tag;
+    Json j = event(a.admitted ? "admitted" : "rejected");
+    j.add("id", a.id);
+    if (!tag.empty()) j.add("tag", tag);
+    if (a.admitted) {
+      j.add("digest", job.digest());
+    } else {
+      j.add("reason", a.reason);
+    }
+    io_.write_line(j.dump());
+  }
+
+  void do_cancel(const Json& req) {
+    const Json* id = req.find("id");
+    std::uint64_t value = 0;
+    try {
+      if (id != nullptr) value = id->as_uint();
+    } catch (const harness::JsonError&) {
+      id = nullptr;
+    }
+    if (id == nullptr) {
+      error("cancel needs a numeric 'id'");
+      return;
+    }
+    const bool found = service_.cancel(value);
+    Json j = event("cancel");
+    j.add("id", value);
+    j.add("found", found);
+    write(std::move(j));
+  }
+
+  void do_stats(const Json& req) {
+    bool counters_only = false;
+    if (const Json* c = req.find("counters_only")) {
+      counters_only = c->kind() == Json::Kind::kBool && c->as_bool();
+    }
+    Json j = event("stats");
+    j.add("metrics", service_.stats(counters_only));
+    write(std::move(j));
+  }
+
+  void on_result(const JobResult& r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string tag;
+    auto it = tags_.find(r.id);
+    if (it != tags_.end()) {
+      tag = it->second;
+      tags_.erase(it);
+    }
+    io_.write_line(result_event(r, tag).dump());
+  }
+
+  void error(std::string message) {
+    Json j = event("error");
+    j.add("message", std::move(message));
+    write(std::move(j));
+  }
+
+  void write(Json j) {
+    std::lock_guard<std::mutex> lock(mu_);
+    io_.write_line(j.dump());
+  }
+
+  LineIO& io_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::string> tags_;
+  Service service_;  // declared last: workers may call on_result until join
+};
+
+}  // namespace
+
+void serve(LineIO& io, const ServiceConfig& cfg) {
+  // Heap-allocated: the session owns mutexes, and TSan only invalidates a
+  // mutex's lock-order state when its memory is freed — stack-allocated
+  // sessions in back-to-back serve() calls (e.g. the test suite in one
+  // process) would alias addresses and produce phantom inversion cycles.
+  const auto session = std::make_unique<Session>(io, cfg);
+  std::string line;
+  bool more = true;
+  while (more && io.read_line(line)) {
+    more = session->handle(line);
+  }
+  session->finish();
+}
+
+}  // namespace ldc::service

@@ -1,0 +1,63 @@
+// Line-delimited JSON protocol over the Service: one request object per
+// line in, one event object per line out.
+//
+// Requests ({"op": ...}):
+//   submit   {"op":"submit","job":{...},"tag":"..."} -> admitted|rejected
+//   cancel   {"op":"cancel","id":N}                  -> cancel (found flag)
+//   pause    {"op":"pause"}                          -> paused
+//   resume   {"op":"resume"}                         -> resumed
+//   drain    {"op":"drain"}  (blocks)                -> drained
+//   stats    {"op":"stats","counters_only":true}     -> stats
+//   shutdown {"op":"shutdown"}                       -> bye (serve returns)
+//
+// Events carry "event": admitted, rejected, result, cancel, paused,
+// resumed, drained, stats, error, bye. A malformed line or unknown op
+// produces an error event and the session continues — bad input must
+// never take the server down. EOF on input triggers a graceful drain:
+// queued jobs finish, their results are emitted, then bye.
+//
+// Determinism contract: the emit lock is held across submit+admitted so
+// a job's admitted line always precedes its result line; result lines
+// contain only model-exact fields (no latencies), so with one worker and
+// drain-separated bursts the whole output stream is byte-reproducible.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ldc/service/service.hpp"
+
+namespace ldc::service {
+
+/// Transport abstraction: blocking line reader + line writer. The serve
+/// loop is transport-agnostic; tests drive it with string streams, the
+/// binary with fds (stdin/stdout or a unix socket).
+class LineIO {
+ public:
+  virtual ~LineIO() = default;
+  /// Blocks for the next input line (without terminator); false on EOF
+  /// or interruption (both mean: drain and finish).
+  virtual bool read_line(std::string& out) = 0;
+  /// Writes one line (terminator appended). Must tolerate concurrent
+  /// exclusion by the caller — serve serializes all writes itself.
+  virtual void write_line(const std::string& line) = 0;
+};
+
+/// std::istream/std::ostream transport (tests, simple pipes).
+class StreamLineIO final : public LineIO {
+ public:
+  StreamLineIO(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
+  bool read_line(std::string& out) override;
+  void write_line(const std::string& line) override;
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+/// Runs one protocol session over `io` with a fresh Service built from
+/// `cfg`. Returns when the client sends shutdown or the input ends;
+/// either way every admitted job has emitted its result by then.
+void serve(LineIO& io, const ServiceConfig& cfg);
+
+}  // namespace ldc::service

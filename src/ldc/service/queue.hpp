@@ -1,0 +1,99 @@
+// Bounded FIFO admission queue with backpressure, pause gating and
+// graceful close — the head of the service pipeline.
+//
+// Semantics:
+//  * try_push: non-blocking; false when the queue is at capacity or
+//    closed. Admission control *is* this rejection — the caller reports
+//    the reason to the client instead of queueing unboundedly.
+//  * pop: blocks until an item is deliverable. While paused, delivery is
+//    gated (items accumulate; deterministic-burst scripts use this to
+//    decouple admission order from worker timing). close() overrides the
+//    pause so a shutdown always drains. Returns nullopt only when closed
+//    and empty — the worker-loop exit condition.
+//  * Strict FIFO: pop order equals successful push order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ldc::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues unless full or closed; never blocks.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item; blocks while empty-but-open or paused.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return (!items_.empty() && (!paused_ || closed_)) ||
+             (closed_ && items_.empty());
+    });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Gates delivery (admission continues). Idempotent.
+  void pause() {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+  }
+
+  void resume() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      paused_ = false;
+    }
+    cv_.notify_all();
+  }
+
+  /// Rejects all further pushes; queued items still drain (close beats
+  /// pause, so a paused service can always shut down).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool paused_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace ldc::service

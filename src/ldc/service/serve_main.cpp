@@ -1,0 +1,229 @@
+// ldc_serve: the coloring service as a line-delimited JSON server.
+//
+// Default transport is stdin/stdout — `ldc_serve < script.jsonl` — which
+// composes with shell pipelines and is what CI smoke-tests. With
+// --socket PATH it listens on a unix domain socket instead, serving one
+// client session at a time (each accept gets a fresh Service).
+//
+// SIGTERM/SIGINT are installed without SA_RESTART so a blocking read
+// returns EINTR; the read loop treats that as end-of-input, which flows
+// into the same graceful-drain path as EOF: queued jobs finish, their
+// results are emitted, "bye" is written, exit 0.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "ldc/service/protocol.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void install_signals() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads must return EINTR
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+/// File-descriptor transport. read_line blocks in read(2); EOF, read
+/// errors and EINTR-with-stop-flag all end the session (-> drain).
+class FdLineIO final : public ldc::service::LineIO {
+ public:
+  FdLineIO(int in_fd, int out_fd) : in_(in_fd), out_(out_fd) {}
+
+  bool read_line(std::string& out) override {
+    out.clear();
+    for (;;) {
+      if (pos_ == len_) {
+        if (g_stop) return false;
+        const ssize_t n = ::read(in_, buf_, sizeof buf_);
+        if (n < 0) {
+          if (errno == EINTR && !g_stop) continue;
+          return false;  // interrupted for shutdown, or a hard error
+        }
+        if (n == 0) return !out.empty();  // EOF: deliver a final ragged line
+        pos_ = 0;
+        len_ = static_cast<std::size_t>(n);
+      }
+      while (pos_ < len_) {
+        const char c = buf_[pos_++];
+        if (c == '\n') return true;
+        out.push_back(c);
+      }
+    }
+  }
+
+  void write_line(const std::string& line) override {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::write(out_, framed.data() + off,
+                                framed.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // client went away; the session will end at next read
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int in_;
+  int out_;
+  char buf_[4096];
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+};
+
+int serve_socket(const std::string& path,
+                 const ldc::service::ServiceConfig& cfg) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("ldc_serve: socket");
+    return 1;
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "ldc_serve: socket path too long: %s\n",
+                 path.c_str());
+    ::close(listener);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listener, 1) < 0) {
+    std::perror("ldc_serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "ldc_serve: listening on %s\n", path.c_str());
+  while (!g_stop) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks g_stop
+      std::perror("ldc_serve: accept");
+      break;
+    }
+    FdLineIO io(client, client);
+    ldc::service::serve(io, cfg);
+    ::close(client);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: ldc_serve [options]\n"
+               "\n"
+               "Serves coloring jobs as line-delimited JSON on stdin/stdout\n"
+               "(or a unix socket). One request object per line in, one\n"
+               "event object per line out; EOF or SIGTERM drains and exits.\n"
+               "\n"
+               "  --workers N         worker lanes (0 = LDC_THREADS/cores; "
+               "default 1)\n"
+               "  --queue-capacity N  admission bound before backpressure "
+               "(default 64)\n"
+               "  --cache-bytes N     result-cache budget, 0 disables "
+               "(default 65536)\n"
+               "  --engine serial|parallel\n"
+               "                      per-job simulation engine (default "
+               "serial)\n"
+               "  --job-threads N     engine lanes per job (default 1)\n"
+               "  --socket PATH       listen on a unix socket instead of "
+               "stdin\n"
+               "  --help              this text\n");
+}
+
+bool parse_size(const char* s, std::size_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ldc::service::ServiceConfig cfg;
+  std::string socket_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ldc_serve: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--workers") {
+      if (!parse_size(value(), cfg.workers)) {
+        std::fprintf(stderr, "ldc_serve: bad --workers\n");
+        return 2;
+      }
+    } else if (arg == "--queue-capacity") {
+      if (!parse_size(value(), cfg.queue_capacity) ||
+          cfg.queue_capacity == 0) {
+        std::fprintf(stderr, "ldc_serve: bad --queue-capacity\n");
+        return 2;
+      }
+    } else if (arg == "--cache-bytes") {
+      if (!parse_size(value(), cfg.cache_bytes)) {
+        std::fprintf(stderr, "ldc_serve: bad --cache-bytes\n");
+        return 2;
+      }
+    } else if (arg == "--engine") {
+      const std::string v = value();
+      if (v == "serial") {
+        cfg.job_engine = ldc::Network::Engine::kSerial;
+      } else if (v == "parallel") {
+        cfg.job_engine = ldc::Network::Engine::kParallel;
+      } else {
+        std::fprintf(stderr, "ldc_serve: --engine serial|parallel\n");
+        return 2;
+      }
+    } else if (arg == "--job-threads") {
+      if (!parse_size(value(), cfg.job_threads) || cfg.job_threads == 0) {
+        std::fprintf(stderr, "ldc_serve: bad --job-threads\n");
+        return 2;
+      }
+    } else if (arg == "--socket") {
+      socket_path = value();
+    } else {
+      std::fprintf(stderr, "ldc_serve: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  install_signals();
+  if (!socket_path.empty()) return serve_socket(socket_path, cfg);
+
+  FdLineIO io(STDIN_FILENO, STDOUT_FILENO);
+  ldc::service::serve(io, cfg);
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "ldc/service/service.hpp"
+
+#include <utility>
+
+#include "ldc/graph/io_error.hpp"
+
+namespace ldc::service {
+
+Service::Service(ServiceConfig cfg, ResultCallback on_result)
+    : cfg_(cfg),
+      on_result_(std::move(on_result)),
+      cache_(cfg.cache_bytes),
+      queue_(cfg.queue_capacity),
+      pool_(cfg.workers) {
+  // run_tasks blocks until every loop returns (i.e. the queue is closed
+  // and drained), so it needs a dedicated driver thread; the driver
+  // participates as one of the pool's lanes.
+  driver_ = std::thread([this] {
+    std::vector<std::function<void()>> loops;
+    loops.reserve(pool_.size());
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      loops.emplace_back([this] { worker_loop(); });
+    }
+    pool_.run_tasks(std::move(loops));
+  });
+}
+
+Service::~Service() { shutdown(); }
+
+Admission Service::submit(const Job& job) {
+  Admission a;
+  std::lock_guard<std::mutex> admit(admit_mu_);
+  a.id = next_id_++;
+  {
+    std::lock_guard<std::mutex> lock(metrics_.mu);
+    ++metrics_.submitted;
+  }
+  Pending p;
+  p.job = job;
+  p.id = a.id;
+  p.digest = job.digest();
+  p.enqueued = Clock::now();
+  p.token = std::make_shared<CancelToken>();
+  if (job.deadline_ms != 0) {
+    p.token->arm_deadline(p.enqueued +
+                          std::chrono::milliseconds(job.deadline_ms));
+  }
+  // Cache consult happens at admission so the hit is pinned to this job
+  // even if the entry is evicted before a worker dequeues it.
+  p.cached = cache_.get(p.digest);
+
+  const auto token = p.token;
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.try_push(std::move(p))) {
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    a.admitted = false;
+    a.reason = queue_.closed() ? "shutting down" : "queue full";
+    std::lock_guard<std::mutex> lock(metrics_.mu);
+    ++metrics_.rejected;
+    return a;
+  }
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_[a.id] = token;
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_.mu);
+    ++metrics_.admitted;
+  }
+  a.admitted = true;
+  return a;
+}
+
+bool Service::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  it->second->cancel();
+  return true;
+}
+
+void Service::pause() { queue_.pause(); }
+
+void Service::resume() { queue_.resume(); }
+
+void Service::drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void Service::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    queue_.close();  // rejects new pushes; overrides any pause
+    if (driver_.joinable()) driver_.join();
+  });
+}
+
+harness::Json Service::stats(bool counters_only) const {
+  {
+    std::lock_guard<std::mutex> lock(metrics_.mu);
+    metrics_.queue_depth = queue_.size();
+    metrics_.outstanding = outstanding_.load(std::memory_order_relaxed);
+  }
+  return metrics_to_json(metrics_, cache_.stats(), counters_only);
+}
+
+void Service::worker_loop() {
+  while (auto p = queue_.pop()) {
+    run_one(*p);
+  }
+}
+
+void Service::run_one(Pending& p) {
+  JobResult r;
+  r.id = p.id;
+  r.digest = p.digest;
+  r.algorithm = p.job.algorithm;
+  try {
+    p.token->check();  // queued-phase cancellation / deadline
+    if (p.cached.has_value()) {
+      r.status = "ok";
+      r.cached = true;
+      r.outcome = *p.cached;
+    } else {
+      const AlgorithmInfo* algo =
+          AlgorithmRegistry::instance().find(p.job.algorithm);
+      if (algo == nullptr) {
+        throw JobSpecError("unknown algorithm '" + p.job.algorithm + "'");
+      }
+      const Graph g = build_graph(p.job.graph);
+      ExecContext exec;
+      exec.engine = cfg_.job_engine;
+      exec.threads = cfg_.job_threads;
+      exec.cancel = p.token.get();
+      r.outcome = algo->run(g, p.job, exec);
+      p.token->check();  // a deadline that fired during the last round
+      r.status = "ok";
+      cache_.put(p.digest, r.outcome);
+    }
+  } catch (const JobCancelled& e) {
+    r.status = e.deadline_missed() ? "deadline_missed" : "cancelled";
+  } catch (const std::exception& e) {
+    r.status = "failed";
+    r.error = e.what();
+  }
+  emit(r, p);
+}
+
+void Service::emit(const JobResult& r, const Pending& p) {
+  JobResult out = r;
+  out.latency_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           p.enqueued)
+          .count());
+  {
+    std::lock_guard<std::mutex> lock(metrics_.mu);
+    if (out.status == "ok") {
+      ++metrics_.completed;
+    } else if (out.status == "failed") {
+      ++metrics_.failed;
+    } else if (out.status == "deadline_missed") {
+      ++metrics_.deadline_missed;
+    } else {
+      ++metrics_.cancelled;
+    }
+    metrics_.latency[out.algorithm].add(out.latency_ns);
+  }
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_.erase(out.id);
+  }
+  on_result_(out);
+  // Decrement last: drain() returning guarantees the callback has run.
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    outstanding_.fetch_sub(1, std::memory_order_release);
+  }
+  drain_cv_.notify_all();
+}
+
+}  // namespace ldc::service

@@ -1,0 +1,161 @@
+// The job-serving subsystem: bounded admission -> worker pool -> result
+// cache, with cooperative cancellation and deadline enforcement at round
+// boundaries.
+//
+// Flow: submit() parses nothing (it takes a parsed Job), assigns a
+// monotone id, consults the result cache, and either rejects (queue full
+// or shut down — the backpressure signal) or enqueues a Pending entry.
+// Cache hits are NOT answered inline: they ride through the queue like
+// any job and are emitted by a worker in FIFO position, so admission
+// control and emission order treat hits and misses uniformly (this is
+// what makes scripted runs deterministic at one worker). Workers pop
+// entries, honour cancellation/deadlines, run the algorithm via the
+// registry, feed the cache, and invoke the result callback.
+//
+// Thread-nesting policy (documented contract, exercised in test_service):
+// the pool runs WHOLE jobs concurrently, one lane per job. A job may
+// itself request the parallel engine (config job_engine/job_threads);
+// each Network owns its private ThreadPool, so nesting is safe but
+// multiplies live threads (workers * job_threads) — the deployment
+// default is therefore parallel jobs with a serial engine, or one worker
+// with a parallel engine, not both.
+//
+// Determinism: with workers == 1 and a script that separates bursts with
+// drain(), the full result stream (ids, order, every field) is a pure
+// function of the script. With workers > 1 the *set* of results is
+// unchanged; only interleaving varies. Latencies are the one exception,
+// which is why they live only in the stats export (counters_only hides
+// them).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "ldc/runtime/network.hpp"
+#include "ldc/runtime/thread_pool.hpp"
+#include "ldc/service/algorithms.hpp"
+#include "ldc/service/cache.hpp"
+#include "ldc/service/cancel.hpp"
+#include "ldc/service/job.hpp"
+#include "ldc/service/metrics.hpp"
+#include "ldc/service/queue.hpp"
+
+namespace ldc::service {
+
+struct ServiceConfig {
+  std::size_t workers = 1;         ///< pool lanes; 0 = default_thread_count
+  std::size_t queue_capacity = 64; ///< admission bound (backpressure beyond)
+  std::size_t cache_bytes = 64 * 1024;  ///< result-cache budget; 0 = off
+  Network::Engine job_engine = Network::Engine::kSerial;
+  std::size_t job_threads = 1;     ///< engine lanes per job (nesting policy)
+};
+
+/// Outcome of a submit(): either an assigned id or a rejection reason.
+struct Admission {
+  bool admitted = false;
+  std::uint64_t id = 0;       ///< assigned either way (correlates rejects)
+  std::string reason;         ///< non-empty iff rejected
+};
+
+/// Everything a client learns about one finished job.
+struct JobResult {
+  std::uint64_t id = 0;
+  std::uint64_t digest = 0;
+  std::string algorithm;
+  std::string status;         ///< ok | failed | cancelled | deadline_missed
+  std::string error;          ///< non-empty iff status == failed
+  bool cached = false;        ///< outcome came from the result cache
+  JobOutcome outcome;         ///< meaningful iff status == ok
+  std::uint64_t latency_ns = 0;  ///< admission -> emission (wall clock)
+};
+
+class Service {
+ public:
+  using ResultCallback = std::function<void(const JobResult&)>;
+  using Clock = std::chrono::steady_clock;
+
+  /// Starts the worker pool immediately. The callback is invoked from
+  /// worker threads, one call at a time per job but concurrently across
+  /// jobs when workers > 1 — the callback must be thread-safe.
+  Service(ServiceConfig cfg, ResultCallback on_result);
+
+  /// Implies shutdown(): drains admitted jobs, joins workers.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admission. Never blocks: a full (or shut down) queue rejects with a
+  /// reason instead. Consults the result cache on the admission path so a
+  /// hit is pinned to the job even if the entry is evicted before a
+  /// worker reaches it.
+  Admission submit(const Job& job);
+
+  /// Requests cancellation of a queued or running job; honoured at the
+  /// next round boundary (running) or at dequeue (queued). False when the
+  /// id is unknown or already finished.
+  bool cancel(std::uint64_t id);
+
+  /// Gates delivery to workers; admission continues (scripted bursts use
+  /// this to make backpressure deterministic).
+  void pause();
+  void resume();
+
+  /// Blocks until every admitted job has emitted its result. Does not
+  /// resume a paused queue — resume() first, or drain() waits forever.
+  void drain();
+
+  /// Stops admission, drains queued jobs (overriding any pause), joins
+  /// the pool. Idempotent.
+  void shutdown();
+
+  /// Consistent metrics snapshot (gauges sampled now). counters_only
+  /// omits wall-clock-derived fields for deterministic scripts.
+  harness::Json stats(bool counters_only) const;
+
+  std::size_t workers() const { return pool_.size(); }
+
+ private:
+  struct Pending {
+    Job job;
+    std::uint64_t id = 0;
+    std::uint64_t digest = 0;
+    Clock::time_point enqueued;
+    std::shared_ptr<CancelToken> token;
+    std::optional<JobOutcome> cached;  ///< admission-time cache hit
+  };
+
+  void worker_loop();
+  void run_one(Pending& p);
+  void emit(const JobResult& r, const Pending& p);
+
+  const ServiceConfig cfg_;
+  ResultCallback on_result_;
+  ResultCache cache_;
+  mutable ServiceMetrics metrics_;
+  BoundedQueue<Pending> queue_;
+
+  std::mutex admit_mu_;  ///< serializes id assignment + push (FIFO = id order)
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<CancelToken>> live_;
+  std::mutex live_mu_;
+
+  std::atomic<std::size_t> outstanding_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  ThreadPool pool_;
+  std::thread driver_;  ///< blocks in pool_.run_tasks for the service's life
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace ldc::service

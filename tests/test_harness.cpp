@@ -78,6 +78,37 @@ TEST(HarnessJson, MissingKeyLookup) {
   EXPECT_THROW(j.at("b"), JsonError);
 }
 
+TEST(HarnessJson, ParseLineAcceptsOneDocument) {
+  const Json j = Json::parse_line(R"({"op":"submit","id":3})");
+  EXPECT_EQ(j.at("id").as_uint(), 3u);
+  // Leading spaces/tabs before the document are legal JSON whitespace.
+  EXPECT_EQ(Json::parse_line("  \t{\"a\":1}").at("a").as_uint(), 1u);
+}
+
+TEST(HarnessJson, ParseLineRejectsEmbeddedNewlines) {
+  // A newline inside the "line" is a framing violation: the transport
+  // glued two frames together (or a raw \n leaked into a string field).
+  // The offset must point at the offending byte.
+  try {
+    Json::parse_line("{\"a\":1}\n{\"b\":2}");
+    FAIL() << "embedded \\n accepted";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 7"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(Json::parse_line("{\"a\":1}\r"), JsonError);
+  EXPECT_THROW(Json::parse_line("\n"), JsonError);
+}
+
+TEST(HarnessJson, ParseLineRejectsBlankLines) {
+  // parse() skips leading whitespace, so a whitespace-only line used to
+  // slip through concatenated with the next document; as a *line* it must
+  // be an explicit error instead of a silent accept.
+  EXPECT_THROW(Json::parse_line(""), JsonError);
+  EXPECT_THROW(Json::parse_line("   "), JsonError);
+  EXPECT_THROW(Json::parse_line("\t \t"), JsonError);
+}
+
 // ---------------------------------------------------------------------------
 // Registry
 
@@ -474,6 +505,36 @@ TEST(HarnessCli, RejectsBadUsage) {
   EXPECT_THROW(
       parse_cli(static_cast<int>(bad_engine.size()), bad_engine.data()),
       std::invalid_argument);
+}
+
+// Registers one no-op experiment in the *global* registry so run_cli has
+// something to (not) match against.
+const Registrar cli_probe{{
+    .name = "zz_cli_probe",
+    .claim = "test-only probe for run_cli selection",
+    .axes = {},
+    .run = [](ExperimentContext&) {},
+}};
+
+TEST(HarnessCli, UnmatchedFilterIsUsageErrorNamingTheFilter) {
+  CliOptions o;
+  o.filters = {"no_such_experiment_zzz"};
+  o.print_tables = false;
+  std::ostringstream out, err;
+  // A typo'd --filter in a CI gate must not look like success: nothing
+  // ran, so nothing was checked.
+  EXPECT_EQ(run_cli(o, out, err), 2);
+  EXPECT_NE(err.str().find("no experiments match"), std::string::npos)
+      << err.str();
+  EXPECT_NE(err.str().find("'no_such_experiment_zzz'"), std::string::npos)
+      << err.str();
+
+  // Same selection logic, matching filter: exit 0.
+  CliOptions ok;
+  ok.filters = {"zz_cli_probe"};
+  ok.print_tables = false;
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_cli(ok, out2, err2), 0);
 }
 
 }  // namespace

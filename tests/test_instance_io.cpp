@@ -58,6 +58,30 @@ TEST(InstanceIo, RejectsMalformed) {
   }
 }
 
+TEST(InstanceIo, ThrowsTypedParseError) {
+  const Graph g = gen::path(2);
+  std::istringstream is("l 0 1/0\n");
+  EXPECT_THROW(io::read_instance(is, g), io::ParseError);
+}
+
+TEST(InstanceIo, RejectsTruncatedFiles) {
+  // A file that ends before covering every node used to load silently
+  // (LdcInstance::check() tolerates empty lists); the reader must treat
+  // missing coverage as truncation and name the first uncovered node.
+  const Graph g = gen::path(3);
+  std::istringstream is(
+      "space 4\n"
+      "l 0 1/0\n"
+      "l 1 2/0\n");  // node 2 never appears
+  try {
+    io::read_instance(is, g);
+    FAIL() << "truncated instance accepted";
+  } catch (const io::ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no list for node 2"), std::string::npos) << what;
+  }
+}
+
 TEST(InstanceIo, FileRoundTrip) {
   const Graph g = gen::ring(6);
   const LdcInstance inst = uniform_defective_instance(g, 3, 1);

@@ -73,6 +73,63 @@ TEST(GraphIo, RejectsMalformedInput) {
   }
 }
 
+TEST(GraphIo, ThrowsTypedParseError) {
+  // Malformed input is a ParseError — callers serving untrusted files
+  // (the job service's "file" graph family) catch exactly this type and
+  // turn it into a client-visible rejection, never a crash or a bare
+  // invalid_argument that could be confused with a programming bug.
+  std::istringstream is("n 2\ne 0 5\n");
+  EXPECT_THROW(io::read_edge_list(is), io::ParseError);
+}
+
+TEST(GraphIo, RejectsTruncatedRecords) {
+  {
+    std::istringstream is("n 3\ne 0\n");  // edge missing its endpoint
+    EXPECT_THROW(io::read_edge_list(is), io::ParseError);
+  }
+  {
+    std::istringstream is("n\n");  // header missing its count
+    EXPECT_THROW(io::read_edge_list(is), io::ParseError);
+  }
+  {
+    std::istringstream is("n 3\nid 0\n");  // id missing its value
+    EXPECT_THROW(io::read_edge_list(is), io::ParseError);
+  }
+}
+
+TEST(GraphIo, RejectsOversizedHeaderCountBeforeAllocating) {
+  // "n 4000000000" must fail as a parse error, not attempt a
+  // multi-gigabyte allocation on behalf of the input.
+  std::istringstream is("n 4000000000\n");
+  try {
+    io::read_edge_list(is);
+    FAIL() << "oversized n accepted";
+  } catch (const io::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds limit"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GraphIo, RejectsDuplicateEdges) {
+  {
+    std::istringstream is("n 3\ne 0 1\ne 0 1\n");
+    EXPECT_THROW(io::read_edge_list(is), io::ParseError);
+  }
+  {
+    // Same edge written in the opposite direction is still a duplicate.
+    std::istringstream is("n 3\ne 0 1\ne 1 0\n");
+    try {
+      io::read_edge_list(is);
+      FAIL() << "reversed duplicate accepted";
+    } catch (const io::ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("duplicate edge"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(GraphIo, ErrorMessagesCarryLineNumbers) {
   std::istringstream is("n 2\ne 0 5\n");
   try {

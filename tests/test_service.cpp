@@ -1,0 +1,609 @@
+// The job-serving subsystem: queue semantics, LRU cache accounting, job
+// digests, latency histograms, end-to-end service behaviour (backpressure,
+// cancellation, deadlines, caching, the thread-nesting policy) and the
+// line-delimited JSON protocol including its determinism contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ldc/service/cache.hpp"
+#include "ldc/service/job.hpp"
+#include "ldc/service/metrics.hpp"
+#include "ldc/service/protocol.hpp"
+#include "ldc/service/queue.hpp"
+#include "ldc/service/service.hpp"
+#include "ldc/support/bitio.hpp"
+
+namespace ldc::service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+
+TEST(ServiceQueue, FifoWithBackpressure) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: the backpressure signal
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);  // strict FIFO
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(ServiceQueue, CloseRejectsPushesAndDrains) {
+  BoundedQueue<int> q(4);
+  q.try_push(1);
+  q.try_push(2);
+  q.close();
+  EXPECT_FALSE(q.try_push(3));  // closed: no new admissions
+  EXPECT_EQ(q.pop(), 1);        // queued items still drain
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);  // closed and empty: worker exit
+}
+
+TEST(ServiceQueue, CloseOverridesPause) {
+  // A paused queue must still drain after close(), otherwise a paused
+  // service could never shut down.
+  BoundedQueue<int> q(4);
+  q.pause();
+  q.try_push(7);
+  q.close();
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(ServiceQueue, ResumeDeliversToBlockedPop) {
+  BoundedQueue<int> q(4);
+  q.pause();
+  q.try_push(5);
+  std::thread popper([&] { EXPECT_EQ(q.pop(), 5); });
+  q.resume();
+  popper.join();
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+
+JobOutcome outcome_with_digest(std::uint64_t d) {
+  JobOutcome o;
+  o.valid = true;
+  o.color_digest = d;
+  return o;
+}
+
+TEST(ServiceCache, LruEvictionUnderByteBudget) {
+  ResultCache cache(2 * ResultCache::kEntryBytes);
+  cache.put(1, outcome_with_digest(11));
+  cache.put(2, outcome_with_digest(22));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().bytes, 2 * ResultCache::kEntryBytes);
+
+  ASSERT_TRUE(cache.get(1).has_value());  // refreshes 1 -> MRU
+  cache.put(3, outcome_with_digest(33));  // evicts 2 (the LRU)
+  EXPECT_FALSE(cache.get(2).has_value());
+  ASSERT_TRUE(cache.get(1).has_value());
+  EXPECT_EQ(cache.get(1)->color_digest, 11u);
+  ASSERT_TRUE(cache.get(3).has_value());
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(ServiceCache, OverwriteRefreshes) {
+  ResultCache cache(2 * ResultCache::kEntryBytes);
+  cache.put(1, outcome_with_digest(11));
+  cache.put(2, outcome_with_digest(22));
+  cache.put(1, outcome_with_digest(99));  // overwrite, 1 becomes MRU
+  cache.put(3, outcome_with_digest(33));  // evicts 2
+  EXPECT_EQ(cache.get(1)->color_digest, 99u);
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ServiceCache, ZeroBudgetDisablesCaching) {
+  ResultCache cache(0);
+  cache.put(1, outcome_with_digest(11));
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Job spec + digest
+
+Job parse_job(const std::string& text) {
+  return job_from_json(harness::Json::parse(text));
+}
+
+TEST(ServiceJob, DigestIgnoresParamOrderAndDeadline) {
+  const Job a = parse_job(
+      R"({"algorithm":"d1lc","graph":{"family":"ring","n":32},)"
+      R"("params":{"alpha":1,"beta":2}})");
+  const Job b = parse_job(
+      R"({"algorithm":"d1lc","graph":{"family":"ring","n":32},)"
+      R"("params":{"beta":2,"alpha":1},"deadline_ms":500})");
+  // Same work, so same digest: the deadline decides *whether* the job
+  // runs, never *what* it computes.
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.canonical(), b.canonical());
+}
+
+TEST(ServiceJob, DigestSeparatesDistinctWork) {
+  const Job base = parse_job(
+      R"({"algorithm":"luby","graph":{"family":"ring","n":32},"seed":1})");
+  const Job seed = parse_job(
+      R"({"algorithm":"luby","graph":{"family":"ring","n":32},"seed":2})");
+  const Job algo = parse_job(
+      R"({"algorithm":"kw","graph":{"family":"ring","n":32},"seed":1})");
+  const Job graph = parse_job(
+      R"({"algorithm":"luby","graph":{"family":"ring","n":33},"seed":1})");
+  EXPECT_NE(base.digest(), seed.digest());
+  EXPECT_NE(base.digest(), algo.digest());
+  EXPECT_NE(base.digest(), graph.digest());
+}
+
+TEST(ServiceJob, RoundTripsThroughWireForm) {
+  const Job a = parse_job(
+      R"({"algorithm":"d1lc","graph":{"family":"regular","n":48,"d":6,)"
+      R"("seed":9,"id_bits":16},"seed":3,"deadline_ms":100,)"
+      R"("params":{"reduction_levels":2}})");
+  const Job b = job_from_json(job_to_json(a));
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+}
+
+TEST(ServiceJob, ParseErrorsNameTheField) {
+  const char* bad[] = {
+      R"({"graph":{"family":"ring","n":8}})",              // no algorithm
+      R"({"algorithm":"kw"})",                             // no graph
+      R"({"algorithm":"kw","graph":{"n":8}})",             // no family
+      R"({"algorithm":"kw","graph":{"family":"ring","n":8},"params":3})",
+      R"({"algorithm":"kw","graph":{"family":"ring","n":8},)"
+      R"("params":{"x":"y"}})",                            // non-integer param
+      R"([1,2])",                                          // not an object
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parse_job(text), JobSpecError) << text;
+  }
+}
+
+TEST(ServiceJob, BuildGraphRejectsBadSpecs) {
+  const char* bad[] = {
+      R"({"algorithm":"kw","graph":{"family":"moebius","n":8}})",
+      R"({"algorithm":"kw","graph":{"family":"ring","n":2}})",   // ring n<3
+      R"({"algorithm":"kw","graph":{"family":"ring","n":2000000}})",
+      R"({"algorithm":"kw","graph":{"family":"gnp","n":64,"p":1.5}})",
+      R"({"algorithm":"kw","graph":{"family":"regular","n":9,"d":3}})",
+      R"({"algorithm":"kw","graph":{"family":"regular","n":8,"d":9}})",
+      R"({"algorithm":"kw","graph":{"family":"file"}})",        // no path
+      R"({"algorithm":"kw","graph":{"family":"ring","n":64,"id_bits":4}})",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(build_graph(parse_job(text).graph), JobSpecError) << text;
+  }
+  const Job ok = parse_job(
+      R"({"algorithm":"kw","graph":{"family":"torus","w":4,"h":5,"n":20}})");
+  EXPECT_EQ(build_graph(ok.graph).n(), 20u);
+}
+
+TEST(ServiceJob, DuplicateParamsRejected) {
+  Job job;
+  job.algorithm = "kw";
+  job.params = {{"x", 1}, {"x", 2}};
+  EXPECT_THROW(job.normalize(), JobSpecError);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+TEST(ServiceMetrics, HistogramPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile_ns(0.5), 0u);  // empty
+  for (int i = 0; i < 90; ++i) h.add(1'000);      // ~1us bucket
+  for (int i = 0; i < 10; ++i) h.add(1'000'000);  // ~1ms bucket
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LT(h.percentile_ns(0.50), 10'000u);
+  EXPECT_GT(h.percentile_ns(0.95), 500'000u);
+  EXPECT_GT(h.percentile_ns(0.99), 500'000u);
+  const harness::Json j = h.to_json();
+  EXPECT_EQ(j.at("count").as_uint(), 100u);
+  EXPECT_GT(j.at("p95_ms").as_double(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Service end-to-end
+
+Job ring_job(const std::string& algo, std::uint32_t n, std::uint64_t seed) {
+  Job job;
+  job.algorithm = algo;
+  job.seed = seed;
+  job.graph.family = "ring";
+  job.graph.n = n;
+  return job;
+}
+
+/// Collects results thread-safely and hands them back after a drain.
+struct Collector {
+  std::vector<JobResult> results;
+  std::mutex mu;
+  Service::ResultCallback callback() {
+    return [this](const JobResult& r) {
+      std::lock_guard<std::mutex> lock(mu);
+      results.push_back(r);
+    };
+  }
+  const JobResult* by_id(std::uint64_t id) const {
+    for (const auto& r : results) {
+      if (r.id == id) return &r;
+    }
+    return nullptr;
+  }
+};
+
+TEST(Service, RunsJobsAndServesCacheHits) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  Collector c;
+  Service svc(cfg, c.callback());
+
+  const auto a1 = svc.submit(ring_job("greedy", 24, 1));
+  ASSERT_TRUE(a1.admitted);
+  svc.drain();  // barrier: the first run must be in the cache
+  const auto a2 = svc.submit(ring_job("greedy", 24, 1));
+  ASSERT_TRUE(a2.admitted);
+  svc.drain();
+  svc.shutdown();
+
+  ASSERT_EQ(c.results.size(), 2u);
+  const JobResult* first = c.by_id(a1.id);
+  const JobResult* second = c.by_id(a2.id);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->status, "ok");
+  EXPECT_FALSE(first->cached);
+  EXPECT_TRUE(second->cached);
+  EXPECT_TRUE(second->outcome.valid);
+  EXPECT_EQ(first->outcome.color_digest, second->outcome.color_digest);
+  EXPECT_EQ(first->digest, second->digest);
+
+  const auto stats = svc.stats(/*counters_only=*/true);
+  EXPECT_EQ(stats.at("admitted").as_uint(), 2u);
+  EXPECT_EQ(stats.at("completed").as_uint(), 2u);
+  EXPECT_EQ(stats.at("cache").at("hits").as_uint(), 1u);
+}
+
+TEST(Service, BackpressureRejectsDeterministically) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 2;
+  Collector c;
+  Service svc(cfg, c.callback());
+
+  // Paused, admission is decided before any job runs: exactly
+  // (submissions - capacity) rejections regardless of worker timing.
+  svc.pause();
+  std::uint64_t rejected = 0;
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    const auto a = svc.submit(ring_job("luby", 16, s));
+    if (!a.admitted) {
+      ++rejected;
+      EXPECT_EQ(a.reason, "queue full");
+    }
+  }
+  EXPECT_EQ(rejected, 3u);
+  svc.resume();
+  svc.drain();
+  svc.shutdown();
+  EXPECT_EQ(c.results.size(), 2u);
+  for (const auto& r : c.results) EXPECT_EQ(r.status, "ok");
+}
+
+TEST(Service, CancelsQueuedJobBeforeItRuns) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  Collector c;
+  Service svc(cfg, c.callback());
+  svc.pause();
+  const auto a = svc.submit(ring_job("kw", 16, 1));
+  ASSERT_TRUE(a.admitted);
+  EXPECT_TRUE(svc.cancel(a.id));
+  EXPECT_FALSE(svc.cancel(a.id + 99));  // unknown id
+  svc.resume();
+  svc.drain();
+  ASSERT_EQ(c.results.size(), 1u);
+  EXPECT_EQ(c.results[0].status, "cancelled");
+  EXPECT_FALSE(svc.cancel(a.id));  // already finished
+  svc.shutdown();
+  EXPECT_EQ(svc.stats(true).at("cancelled").as_uint(), 1u);
+}
+
+TEST(Service, RejectsAfterShutdown) {
+  ServiceConfig cfg;
+  Collector c;
+  Service svc(cfg, c.callback());
+  svc.shutdown();
+  const auto a = svc.submit(ring_job("greedy", 8, 1));
+  EXPECT_FALSE(a.admitted);
+  EXPECT_EQ(a.reason, "shutting down");
+}
+
+// Test-only algorithms for the cancellation paths. Registered once in the
+// process-wide registry under names no real client uses.
+std::atomic<bool> g_spin_started{false};
+
+void register_test_algorithms() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& r = AlgorithmRegistry::instance();
+    r.add({"test_spin", "spins exchange rounds until cancelled",
+           [](const Graph& g, const Job&, const ExecContext& exec)
+               -> JobOutcome {
+             Network net(g);
+             exec.configure(net);
+             BitWriter w;
+             w.write(1, 1);
+             const std::vector<Message> msgs(g.n(), Message::from(w));
+             g_spin_started.store(true, std::memory_order_release);
+             // Unbounded on purpose: only the round-boundary cancellation
+             // hook can end this job. A broken hook hangs the test.
+             for (;;) net.exchange_broadcast(msgs);
+           }});
+    r.add({"test_sleepy", "sleeps, then runs a few rounds",
+           [](const Graph& g, const Job& job, const ExecContext& exec) {
+             Network net(g);
+             exec.configure(net);
+             std::this_thread::sleep_for(
+                 std::chrono::milliseconds(job.param_or("sleep_ms", 30)));
+             BitWriter w;
+             w.write(1, 1);
+             const std::vector<Message> msgs(g.n(), Message::from(w));
+             for (int i = 0; i < 4; ++i) net.exchange_broadcast(msgs);
+             JobOutcome out;
+             out.valid = true;
+             out.n = g.n();
+             out.rounds = net.metrics().rounds;
+             return out;
+           }});
+  });
+}
+
+TEST(Service, CancelsRunningJobAtRoundBoundary) {
+  register_test_algorithms();
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  Collector c;
+  Service svc(cfg, c.callback());
+  g_spin_started.store(false);
+  const auto a = svc.submit(ring_job("test_spin", 4, 1));
+  ASSERT_TRUE(a.admitted);
+  while (!g_spin_started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // The job is provably mid-run now; cancellation must land at its next
+  // exchange instead of waiting for (non-existent) completion.
+  EXPECT_TRUE(svc.cancel(a.id));
+  svc.drain();
+  svc.shutdown();
+  ASSERT_EQ(c.results.size(), 1u);
+  EXPECT_EQ(c.results[0].status, "cancelled");
+}
+
+TEST(Service, DeadlineMissedAtRoundBoundary) {
+  register_test_algorithms();
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  Collector c;
+  Service svc(cfg, c.callback());
+  Job job = ring_job("test_sleepy", 4, 1);
+  job.deadline_ms = 1;  // expires during the 30ms sleep
+  const auto a = svc.submit(job);
+  ASSERT_TRUE(a.admitted);
+  svc.drain();
+  svc.shutdown();
+  ASSERT_EQ(c.results.size(), 1u);
+  EXPECT_EQ(c.results[0].status, "deadline_missed");
+  EXPECT_EQ(svc.stats(true).at("deadline_missed").as_uint(), 1u);
+}
+
+TEST(Service, FailedJobReportsErrorNotCrash) {
+  ServiceConfig cfg;
+  Collector c;
+  Service svc(cfg, c.callback());
+  Job job;
+  job.algorithm = "no_such_algorithm";
+  job.graph.family = "ring";
+  job.graph.n = 8;
+  const auto a = svc.submit(job);
+  ASSERT_TRUE(a.admitted);
+  svc.drain();
+  svc.shutdown();
+  ASSERT_EQ(c.results.size(), 1u);
+  EXPECT_EQ(c.results[0].status, "failed");
+  EXPECT_NE(c.results[0].error.find("no_such_algorithm"),
+            std::string::npos);
+}
+
+TEST(Service, NestingPolicyParallelJobsInsideWorkerPool) {
+  // The documented nesting contract: pool lanes run whole jobs; a job may
+  // itself use the parallel engine (each Network owns a private pool).
+  // The engine choice must not change any model-exact result.
+  const std::vector<Job> jobs = {
+      ring_job("linial", 32, 1), ring_job("kw", 32, 1),
+      ring_job("luby", 32, 7), ring_job("greedy", 32, 1)};
+
+  auto run_with = [&](Network::Engine engine, std::size_t job_threads) {
+    ServiceConfig cfg;
+    cfg.workers = 2;  // concurrent whole jobs ...
+    cfg.job_engine = engine;
+    cfg.job_threads = job_threads;  // ... each itself parallel
+    cfg.cache_bytes = 0;  // force real computation in both configurations
+    Collector c;
+    Service svc(cfg, c.callback());
+    for (const auto& j : jobs) EXPECT_TRUE(svc.submit(j).admitted);
+    svc.drain();
+    svc.shutdown();
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    for (const auto& r : c.results) {
+      EXPECT_EQ(r.status, "ok");
+      EXPECT_TRUE(r.outcome.valid);
+      out.emplace_back(r.digest, r.outcome.color_digest);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  const auto serial = run_with(Network::Engine::kSerial, 1);
+  const auto nested = run_with(Network::Engine::kParallel, 2);
+  EXPECT_EQ(serial, nested);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+
+std::string serve_script(const std::string& script,
+                         const ServiceConfig& cfg) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  StreamLineIO io(in, out);
+  serve(io, cfg);
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+const char* kScript =
+    R"({"op":"pause"}
+{"op":"submit","job":{"algorithm":"greedy","graph":{"family":"ring","n":16}},"tag":"g"}
+{"op":"submit","job":{"algorithm":"linial","graph":{"family":"ring","n":16}}}
+{"op":"submit","job":{"algorithm":"kw","graph":{"family":"ring","n":16}}}
+{"op":"resume"}
+{"op":"drain"}
+{"op":"submit","job":{"algorithm":"greedy","graph":{"family":"ring","n":16}},"tag":"dup"}
+{"op":"drain"}
+{"op":"stats","counters_only":true}
+{"op":"shutdown"}
+)";
+
+ServiceConfig script_config(std::size_t workers) {
+  ServiceConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = 2;  // third burst submit must bounce
+  return cfg;
+}
+
+TEST(ServiceProtocol, ScriptedSessionIsByteDeterministic) {
+  const std::string run1 = serve_script(kScript, script_config(1));
+  const std::string run2 = serve_script(kScript, script_config(1));
+  EXPECT_EQ(run1, run2);  // byte-identical at one worker
+
+  EXPECT_NE(run1.find("\"event\":\"rejected\""), std::string::npos) << run1;
+  EXPECT_NE(run1.find("\"reason\":\"queue full\""), std::string::npos);
+  EXPECT_NE(run1.find("\"cached\":true"), std::string::npos);
+  EXPECT_NE(run1.find("\"tag\":\"dup\""), std::string::npos);
+  EXPECT_NE(run1.find("\"event\":\"bye\""), std::string::npos);
+  // Every line is one parseable document (the framing contract).
+  for (const auto& line : lines_of(run1)) {
+    EXPECT_NO_THROW(harness::Json::parse_line(line)) << line;
+  }
+}
+
+TEST(ServiceProtocol, WorkerCountChangesOrderNotContent) {
+  // At 7 workers only interleaving may change: the multiset of emitted
+  // lines must match the one-worker run exactly (rejections and cache
+  // hits stay deterministic thanks to the pause/drain discipline).
+  auto sorted = [](const std::string& text) {
+    auto l = lines_of(text);
+    std::sort(l.begin(), l.end());
+    return l;
+  };
+  const auto one = sorted(serve_script(kScript, script_config(1)));
+  const auto seven = sorted(serve_script(kScript, script_config(7)));
+  EXPECT_EQ(one, seven);
+}
+
+TEST(ServiceProtocol, MalformedInputNeverKillsTheSession) {
+  const char* script =
+      "{oops\n"
+      "\n"
+      "{\"op\":42}\n"
+      "{\"noop\":1}\n"
+      "{\"op\":\"frobnicate\"}\n"
+      "{\"op\":\"submit\"}\n"
+      "{\"op\":\"submit\",\"job\":{\"algorithm\":\"kw\",\"graph\":"
+      "{\"family\":\"moebius\",\"n\":8}}}\n"
+      "{\"op\":\"cancel\"}\n"
+      "{\"op\":\"submit\",\"job\":{\"algorithm\":\"greedy\",\"graph\":"
+      "{\"family\":\"ring\",\"n\":8}}}\n"
+      "{\"op\":\"shutdown\"}\n";
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  const std::string out = serve_script(script, cfg);
+  // One error per bad line...
+  std::size_t errors = 0;
+  for (const auto& line : lines_of(out)) {
+    errors += line.find("\"event\":\"error\"") != std::string::npos;
+  }
+  EXPECT_EQ(errors, 7u) << out;
+  // ...and the session still served the valid job afterwards. The unknown
+  // graph family is rejected at job build time, i.e. a failed *result*
+  // would also be acceptable — here the spec parser catches it earlier.
+  EXPECT_NE(out.find("\"status\":\"ok\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"event\":\"bye\""), std::string::npos);
+}
+
+TEST(ServiceProtocol, EofTriggersGracefulDrain) {
+  // No shutdown op: the script just ends. Every admitted job must still
+  // emit its result before the final bye.
+  const char* script =
+      "{\"op\":\"submit\",\"job\":{\"algorithm\":\"greedy\",\"graph\":"
+      "{\"family\":\"ring\",\"n\":12}}}\n"
+      "{\"op\":\"submit\",\"job\":{\"algorithm\":\"kw\",\"graph\":"
+      "{\"family\":\"ring\",\"n\":12}}}\n";
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  const std::string out = serve_script(script, cfg);
+  const auto lines = lines_of(out);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), R"({"event":"bye"})");
+  std::size_t results = 0;
+  for (const auto& line : lines) {
+    results += line.find("\"event\":\"result\"") != std::string::npos;
+  }
+  EXPECT_EQ(results, 2u) << out;
+}
+
+TEST(ServiceProtocol, StatsShapes) {
+  ServiceConfig cfg;
+  Collector c;
+  Service svc(cfg, c.callback());
+  svc.submit(ring_job("greedy", 8, 1));
+  svc.drain();
+  const auto counters = svc.stats(/*counters_only=*/true);
+  EXPECT_EQ(counters.find("latency"), nullptr);  // deterministic snapshot
+  const auto full = svc.stats(/*counters_only=*/false);
+  ASSERT_NE(full.find("latency"), nullptr);
+  EXPECT_EQ(full.at("latency").at("greedy").at("count").as_uint(), 1u);
+  EXPECT_GT(full.at("latency").at("greedy").at("p50_ms").as_double(), 0.0);
+  svc.shutdown();
+}
+
+}  // namespace
+}  // namespace ldc::service
