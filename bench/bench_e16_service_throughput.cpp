@@ -45,17 +45,7 @@ service::Job regular_job(const std::string& algo, std::uint32_t n,
   return job;
 }
 
-/// Order-sensitive digest of an emitted result stream (model-exact
-/// fields only), comparable across runs and machines.
-std::uint64_t stream_digest(const std::vector<service::JobResult>& rs) {
-  std::string s;
-  for (const auto& r : rs) {
-    s += std::to_string(r.id) + ":" + r.status + ":" +
-         (r.cached ? "1" : "0") + ":" + std::to_string(r.digest) + ":" +
-         std::to_string(r.outcome.color_digest) + "|";
-  }
-  return service::fnv1a64(s.data(), s.size());
-}
+using bench::stream_digest;
 
 void run(harness::ExperimentContext& ctx) {
   // ---- Scripted phase: deterministic counters at one worker. ----------

@@ -17,9 +17,30 @@
 #include "ldc/oldc/two_phase.hpp"
 #include "ldc/reduction/color_space.hpp"
 #include "ldc/runtime/network.hpp"
+#include "ldc/service/service.hpp"
 #include "ldc/support/tables.hpp"
 
 namespace ldc::bench {
+
+/// Order-sensitive digest of an emitted result stream (model-exact
+/// fields only), comparable across runs and machines. Shared by the
+/// service experiments (E16 scripted sessions, E17 concurrent sessions).
+inline std::uint64_t stream_digest(
+    const std::vector<service::JobResult>& rs) {
+  std::string s;
+  for (const auto& r : rs) {
+    s += std::to_string(r.id) + ":" + r.status + ":" +
+         (r.cached ? "1" : "0") + ":" + std::to_string(r.digest) + ":" +
+         std::to_string(r.outcome.color_digest) + "|";
+  }
+  return service::fnv1a64(s.data(), s.size());
+}
+
+/// FNV-1a 64 of raw bytes — for digesting whole protocol streams, whose
+/// lines already contain only model-exact fields.
+inline std::uint64_t bytes_digest(const std::string& s) {
+  return service::fnv1a64(s.data(), s.size());
+}
 
 /// Random d-regular graph with scrambled CONGEST-style identifiers. A
 /// d-regular graph exists only when n*d is even, so an odd request is

@@ -1,0 +1,226 @@
+#include "ldc/service/event_loop.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+namespace ldc::service {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EventLoopServer::EventLoopServer(const ServiceConfig& cfg,
+                                 EventLoopOptions opts)
+    : opts_(opts), service_(cfg) {
+  make_wake_pipe();
+}
+
+EventLoopServer::~EventLoopServer() {
+  // Join the workers FIRST: after shutdown() no result callback can run,
+  // so sessions (and the wake pipe their callbacks write to) are safe to
+  // tear down.
+  service_.shutdown();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.clear();
+    for (int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  if (listener_ >= 0) ::close(listener_);
+  if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+  ::close(wake_rd_);
+  ::close(wake_wr_);
+}
+
+void EventLoopServer::make_wake_pipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) fail("pipe");
+  wake_rd_ = fds[0];
+  wake_wr_ = fds[1];
+  set_nonblocking(wake_rd_);
+  set_nonblocking(wake_wr_);
+}
+
+void EventLoopServer::wake() {
+  const char byte = 1;
+  // Non-blocking: EAGAIN means the pipe already holds a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
+}
+
+void EventLoopServer::listen_on(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  listener_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener_ < 0) fail("socket");
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    fail("bind " + path);
+  }
+  if (::listen(listener_, opts_.backlog) != 0) fail("listen");
+  set_nonblocking(listener_);
+  socket_path_ = path;
+}
+
+void EventLoopServer::adopt(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(fd);
+  }
+  wake();
+}
+
+void EventLoopServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake();
+}
+
+std::size_t EventLoopServer::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+void EventLoopServer::add_session(int fd) {
+  auto session = std::make_shared<EventSession>(
+      fd, service_, opts_.session_limits, [this] { wake(); });
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.push_back(std::move(session));
+}
+
+void EventLoopServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listener_, nullptr, nullptr);
+    if (fd < 0) {
+      // EINTR: retry. ECONNABORTED: the client gave up between the
+      // handshake and our accept — its problem, not a server error.
+      if (errno == EINTR) continue;
+      if (errno == ECONNABORTED) continue;
+      break;  // EAGAIN/EWOULDBLOCK or a transient error: next poll round
+    }
+    bool full = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      full = sessions_.size() >= opts_.max_sessions;
+    }
+    if (full) {
+      ::close(fd);  // immediate EOF; client can retry later
+      continue;
+    }
+    add_session(fd);
+  }
+}
+
+void EventLoopServer::run() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<EventSession>> live;
+  bool stopping = false;
+  for (;;) {
+    if (!stopping &&
+        (opts_.stop_flag != nullptr && *opts_.stop_flag != 0)) {
+      stop();
+    }
+    // Snapshot under the lock; poll and dispatch outside it (worker
+    // callbacks never touch the loop's containers, only sessions).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ && !stopping) {
+        stopping = true;
+        if (listener_ >= 0) {
+          ::close(listener_);
+          listener_ = -1;
+          if (!socket_path_.empty()) {
+            ::unlink(socket_path_.c_str());
+            socket_path_.clear();
+          }
+        }
+        for (auto& s : sessions_) s->begin_shutdown();
+      }
+      for (int fd : pending_) {
+        if (stopping) {
+          ::close(fd);
+        } else if (sessions_.size() >= opts_.max_sessions) {
+          ::close(fd);
+        } else {
+          // add_session relocks mu_; stage outside instead.
+          auto session = std::make_shared<EventSession>(
+              fd, service_, opts_.session_limits, [this] { wake(); });
+          sessions_.push_back(std::move(session));
+        }
+      }
+      pending_.clear();
+      // Reap finished sessions (goodbye flushed, or dead with no jobs).
+      sessions_.erase(
+          std::remove_if(sessions_.begin(), sessions_.end(),
+                         [](const std::shared_ptr<EventSession>& s) {
+                           return s->finished();
+                         }),
+          sessions_.end());
+      if (stopping && sessions_.empty()) return;
+      live.assign(sessions_.begin(), sessions_.end());
+    }
+
+    fds.clear();
+    fds.push_back({wake_rd_, POLLIN, 0});
+    if (!stopping && listener_ >= 0) {
+      fds.push_back({listener_, POLLIN, 0});
+    }
+    const std::size_t session_base = fds.size();
+    for (const auto& s : live) {
+      short events = 0;
+      if (s->wants_read()) events |= POLLIN;
+      if (s->wants_write()) events |= POLLOUT;
+      fds.push_back({s->fd(), events, 0});
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), opts_.poll_interval_ms);
+    if (rc < 0 && errno != EINTR) fail("poll");
+
+    if (rc > 0) {
+      if ((fds[0].revents & POLLIN) != 0) {
+        char buf[256];
+        while (::read(wake_rd_, buf, sizeof buf) > 0) {
+        }
+      }
+      if (!stopping && session_base == 2 &&
+          (fds[1].revents & POLLIN) != 0) {
+        accept_ready();
+      }
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const short re = fds[session_base + i].revents;
+        if ((re & POLLOUT) != 0) live[i]->on_writable();
+        if ((re & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          live[i]->on_readable();
+        }
+      }
+    }
+    // Always tick: a worker may have finished a drain between polls.
+    for (const auto& s : live) s->tick();
+  }
+}
+
+}  // namespace ldc::service

@@ -1,0 +1,94 @@
+// poll(2)-based serving frontend: one loop thread multiplexes a listening
+// unix socket plus any number of EventSessions over ONE shared Service
+// (one queue, one worker pool, one result cache for every client).
+//
+// Structure per iteration:
+//   1. poll() over {wake pipe, listener, every live session} with a
+//      bounded timeout (so a stop flag flipped by a signal handler in
+//      another thread is still observed promptly).
+//   2. Drain the wake pipe (workers write one byte when a session gained
+//      output or finished a drain — the write is non-blocking and a full
+//      pipe means a wakeup is already pending).
+//   3. Adopt externally-provided fds (adopt() is thread-safe; tests use
+//      it with socketpair()s to avoid filesystem sockets).
+//   4. Accept until EAGAIN. EINTR/ECONNABORTED are non-fatal; beyond
+//      max_sessions the fd is closed immediately (the client sees EOF).
+//   5. Dispatch readability/writability to sessions, tick() the ones a
+//      worker unblocked, reap finished() sessions.
+//
+// Shutdown: when the stop flag is set (or stop() is called) the listener
+// closes, every session behaves as if its client sent EOF — outstanding
+// jobs finish and flush — and run() returns once no sessions remain.
+// The destructor shuts the Service down (joining workers) before any
+// session teardown, so no result callback can fire into a dead loop.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ldc/service/session.hpp"
+
+namespace ldc::service {
+
+struct EventLoopOptions {
+  int backlog = 128;                ///< listen(2) backlog
+  std::size_t max_sessions = 1024;  ///< beyond this, accepts are refused
+  SessionLimits session_limits;
+  /// Optional external stop request (e.g. a signal handler's flag);
+  /// polled every iteration. May be null.
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
+  int poll_interval_ms = 200;  ///< poll timeout; bounds stop-flag latency
+};
+
+class EventLoopServer {
+ public:
+  EventLoopServer(const ServiceConfig& cfg, EventLoopOptions opts);
+  ~EventLoopServer();
+
+  EventLoopServer(const EventLoopServer&) = delete;
+  EventLoopServer& operator=(const EventLoopServer&) = delete;
+
+  /// Binds + listens on a unix socket path (unlinking a stale one).
+  /// Throws std::runtime_error on failure. Call at most once, before
+  /// run().
+  void listen_on(const std::string& path);
+
+  /// Hands an already-connected stream socket to the loop (takes
+  /// ownership). Thread-safe; may be called while run() is executing.
+  void adopt(int fd);
+
+  /// Runs the loop on the calling thread until stop. Returns after every
+  /// session has finished (all outstanding jobs emitted and flushed).
+  void run();
+
+  /// Requests shutdown from any thread (idempotent).
+  void stop();
+
+  Service& service() { return service_; }
+  std::size_t session_count() const;
+
+ private:
+  void make_wake_pipe();
+  void wake();
+  void accept_ready();
+  void add_session(int fd);
+
+  const EventLoopOptions opts_;
+  Service service_;  // declared before sessions_: workers outlive no session
+
+  int listener_ = -1;
+  std::string socket_path_;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+
+  mutable std::mutex mu_;  // guards sessions_/pending_/stop_ (loop + adopt/stop)
+  std::vector<std::shared_ptr<EventSession>> sessions_;
+  std::vector<int> pending_;  ///< adopted fds awaiting the loop thread
+  bool stop_ = false;
+};
+
+}  // namespace ldc::service

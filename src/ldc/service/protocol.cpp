@@ -18,18 +18,16 @@ void StreamLineIO::write_line(const std::string& line) {
   out_.flush();
 }
 
-namespace {
-
 using harness::Json;
 
-Json event(const char* name) {
+Json protocol_event(const char* name) {
   Json j = Json::object();
   j.add("event", name);
   return j;
 }
 
-Json result_event(const JobResult& r, const std::string& tag) {
-  Json j = event("result");
+Json protocol_result(const JobResult& r, const std::string& tag) {
+  Json j = protocol_event("result");
   j.add("id", r.id);
   if (!tag.empty()) j.add("tag", tag);
   j.add("digest", r.digest);
@@ -49,6 +47,14 @@ Json result_event(const JobResult& r, const std::string& tag) {
     j.add("error", r.error);
   }
   return j;
+}
+
+namespace {
+
+Json event(const char* name) { return protocol_event(name); }
+
+Json result_event(const JobResult& r, const std::string& tag) {
+  return protocol_result(r, tag);
 }
 
 /// Serializes every line written to the transport; also owns the id->tag

@@ -60,4 +60,12 @@ class StreamLineIO final : public LineIO {
 /// either way every admitted job has emitted its result by then.
 void serve(LineIO& io, const ServiceConfig& cfg);
 
+/// Event formatting shared between this blocking loop and the event-loop
+/// sessions (session.hpp): {"event":name}, plus the full result line
+/// (model-exact fields only; `tag` echoed when non-empty). Both frontends
+/// must emit byte-identical lines for a given JobResult, or the solo-vs-
+/// multiplexed determinism contract breaks.
+harness::Json protocol_event(const char* name);
+harness::Json protocol_result(const JobResult& r, const std::string& tag);
+
 }  // namespace ldc::service

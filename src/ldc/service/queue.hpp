@@ -11,11 +11,19 @@
 //    pause so a shutdown always drains. Returns nullopt only when closed
 //    and empty — the worker-loop exit condition.
 //  * Strict FIFO: pop order equals successful push order.
+//  * Optional per-item gate: a predicate supplied at construction that
+//    decides whether an item is currently deliverable (the event-loop
+//    frontend uses it for session-scoped pause). Pop delivers the oldest
+//    *deliverable* item, so FIFO holds within every gate class. Gate
+//    state lives outside the queue; flip it and then poke() so blocked
+//    pops re-scan. close() overrides gates exactly like it overrides
+//    pause — shutdown must always drain.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -25,7 +33,12 @@ namespace ldc::service {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+  /// Returns true when the item may be delivered now. Called with the
+  /// queue mutex held, so it must be cheap and lock-free (an atomic read).
+  using Gate = std::function<bool(const T&)>;
+
+  explicit BoundedQueue(std::size_t capacity, Gate gate = nullptr)
+      : capacity_(capacity), gate_(std::move(gate)) {}
 
   /// Enqueues unless full or closed; never blocks.
   bool try_push(T item) {
@@ -38,17 +51,28 @@ class BoundedQueue {
     return true;
   }
 
-  /// Dequeues the oldest item; blocks while empty-but-open or paused.
+  /// Dequeues the oldest deliverable item; blocks while nothing is
+  /// deliverable (empty, paused, or every queued item gated).
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      return (!items_.empty() && (!paused_ || closed_)) ||
-             (closed_ && items_.empty());
-    });
-    if (items_.empty()) return std::nullopt;  // closed and drained
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
+    for (;;) {
+      if (closed_) {  // gates and pause no longer apply: drain in FIFO order
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+      }
+      if (!paused_) {
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+          if (!gate_ || gate_(*it)) {
+            T item = std::move(*it);
+            items_.erase(it);
+            return item;
+          }
+        }
+      }
+      cv_.wait(lock);
+    }
   }
 
   /// Gates delivery (admission continues). Idempotent.
@@ -65,8 +89,12 @@ class BoundedQueue {
     cv_.notify_all();
   }
 
+  /// Wakes every blocked pop so it re-evaluates the gate predicate. Call
+  /// after externally-owned gate state changes (e.g. a session resume).
+  void poke() { cv_.notify_all(); }
+
   /// Rejects all further pushes; queued items still drain (close beats
-  /// pause, so a paused service can always shut down).
+  /// pause and gates, so a paused service can always shut down).
   void close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -89,6 +117,7 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
+  const Gate gate_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> items_;

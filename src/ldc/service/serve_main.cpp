@@ -2,24 +2,27 @@
 //
 // Default transport is stdin/stdout — `ldc_serve < script.jsonl` — which
 // composes with shell pipelines and is what CI smoke-tests. With
-// --socket PATH it listens on a unix domain socket instead, serving one
-// client session at a time (each accept gets a fresh Service).
+// --socket PATH it runs the poll(2) event loop instead, multiplexing
+// many concurrent client sessions over ONE shared Service (one queue,
+// one worker pool, one result cache); each session sees its own
+// submission numbering and a byte-deterministic stream at one worker.
 //
 // SIGTERM/SIGINT are installed without SA_RESTART so a blocking read
 // returns EINTR; the read loop treats that as end-of-input, which flows
 // into the same graceful-drain path as EOF: queued jobs finish, their
-// results are emitted, "bye" is written, exit 0.
+// results are emitted, "bye" is written, exit 0. The event loop polls
+// the same stop flag and drains every live session before exiting.
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
+#include "ldc/service/event_loop.hpp"
 #include "ldc/service/protocol.hpp"
 
 namespace {
@@ -90,43 +93,18 @@ class FdLineIO final : public ldc::service::LineIO {
 };
 
 int serve_socket(const std::string& path,
-                 const ldc::service::ServiceConfig& cfg) {
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("ldc_serve: socket");
+                 const ldc::service::ServiceConfig& cfg,
+                 ldc::service::EventLoopOptions opts) {
+  opts.stop_flag = &g_stop;
+  try {
+    ldc::service::EventLoopServer server(cfg, opts);
+    server.listen_on(path);
+    std::fprintf(stderr, "ldc_serve: listening on %s\n", path.c_str());
+    server.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ldc_serve: %s\n", e.what());
     return 1;
   }
-  sockaddr_un addr;
-  std::memset(&addr, 0, sizeof addr);
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof addr.sun_path) {
-    std::fprintf(stderr, "ldc_serve: socket path too long: %s\n",
-                 path.c_str());
-    ::close(listener);
-    return 1;
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-  ::unlink(path.c_str());
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(listener, 1) < 0) {
-    std::perror("ldc_serve: bind/listen");
-    ::close(listener);
-    return 1;
-  }
-  std::fprintf(stderr, "ldc_serve: listening on %s\n", path.c_str());
-  while (!g_stop) {
-    const int client = ::accept(listener, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) continue;  // signal: loop re-checks g_stop
-      std::perror("ldc_serve: accept");
-      break;
-    }
-    FdLineIO io(client, client);
-    ldc::service::serve(io, cfg);
-    ::close(client);
-  }
-  ::close(listener);
-  ::unlink(path.c_str());
   return 0;
 }
 
@@ -150,6 +128,9 @@ void usage(std::FILE* out) {
                "  --job-threads N     engine lanes per job (default 1)\n"
                "  --socket PATH       listen on a unix socket instead of "
                "stdin\n"
+               "                      (event loop; many concurrent sessions)\n"
+               "  --backlog N         listen(2) backlog (default 128)\n"
+               "  --max-sessions N    concurrent session cap (default 1024)\n"
                "  --help              this text\n");
 }
 
@@ -166,6 +147,7 @@ bool parse_size(const char* s, std::size_t& out) {
 
 int main(int argc, char** argv) {
   ldc::service::ServiceConfig cfg;
+  ldc::service::EventLoopOptions opts;
   std::string socket_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -213,6 +195,20 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--socket") {
       socket_path = value();
+    } else if (arg == "--backlog") {
+      std::size_t backlog = 0;
+      if (!parse_size(value(), backlog) || backlog == 0 ||
+          backlog > 65535) {
+        std::fprintf(stderr, "ldc_serve: bad --backlog\n");
+        return 2;
+      }
+      opts.backlog = static_cast<int>(backlog);
+    } else if (arg == "--max-sessions") {
+      if (!parse_size(value(), opts.max_sessions) ||
+          opts.max_sessions == 0) {
+        std::fprintf(stderr, "ldc_serve: bad --max-sessions\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "ldc_serve: unknown option '%s'\n", arg.c_str());
       usage(stderr);
@@ -221,7 +217,7 @@ int main(int argc, char** argv) {
   }
 
   install_signals();
-  if (!socket_path.empty()) return serve_socket(socket_path, cfg);
+  if (!socket_path.empty()) return serve_socket(socket_path, cfg, opts);
 
   FdLineIO io(STDIN_FILENO, STDOUT_FILENO);
   ldc::service::serve(io, cfg);

@@ -10,7 +10,11 @@ Service::Service(ServiceConfig cfg, ResultCallback on_result)
     : cfg_(cfg),
       on_result_(std::move(on_result)),
       cache_(cfg.cache_bytes),
-      queue_(cfg.queue_capacity),
+      queue_(cfg.queue_capacity,
+             [](const Pending& p) {
+               return p.gate == nullptr ||
+                      !p.gate->paused.load(std::memory_order_acquire);
+             }),
       pool_(cfg.workers) {
   // run_tasks blocks until every loop returns (i.e. the queue is closed
   // and drained), so it needs a dedicated driver thread; the driver
@@ -27,7 +31,7 @@ Service::Service(ServiceConfig cfg, ResultCallback on_result)
 
 Service::~Service() { shutdown(); }
 
-Admission Service::submit(const Job& job) {
+Admission Service::submit(const Job& job, SubmitOptions opts) {
   Admission a;
   std::lock_guard<std::mutex> admit(admit_mu_);
   a.id = next_id_++;
@@ -41,6 +45,8 @@ Admission Service::submit(const Job& job) {
   p.digest = job.digest();
   p.enqueued = Clock::now();
   p.token = std::make_shared<CancelToken>();
+  p.gate = std::move(opts.gate);
+  p.on_result = std::move(opts.on_result);
   if (job.deadline_ms != 0) {
     p.token->arm_deadline(p.enqueued +
                           std::chrono::milliseconds(job.deadline_ms));
@@ -82,6 +88,15 @@ bool Service::cancel(std::uint64_t id) {
 void Service::pause() { queue_.pause(); }
 
 void Service::resume() { queue_.resume(); }
+
+void Service::pause_session(SessionGate& gate) {
+  gate.paused.store(true, std::memory_order_release);
+}
+
+void Service::resume_session(SessionGate& gate) {
+  gate.paused.store(false, std::memory_order_release);
+  queue_.poke();  // blocked workers re-scan for this session's jobs
+}
 
 void Service::drain() {
   std::unique_lock<std::mutex> lock(drain_mu_);
@@ -171,7 +186,11 @@ void Service::emit(const JobResult& r, const Pending& p) {
     std::lock_guard<std::mutex> lock(live_mu_);
     live_.erase(out.id);
   }
-  on_result_(out);
+  if (p.on_result) {
+    p.on_result(out);
+  } else if (on_result_) {
+    on_result_(out);
+  }
   // Decrement last: drain() returning guarantees the callback has run.
   {
     std::lock_guard<std::mutex> lock(drain_mu_);

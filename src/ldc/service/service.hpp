@@ -78,6 +78,27 @@ struct JobResult {
   std::uint64_t latency_ns = 0;  ///< admission -> emission (wall clock)
 };
 
+/// Session-scoped delivery gate: while paused, jobs submitted under this
+/// gate stay queued (admission continues — backpressure semantics are
+/// unchanged) but are skipped by workers. One frontend session owns one
+/// gate; flipping it never affects other sessions' jobs, which is what
+/// lets many multiplexed sessions script deterministic bursts over a
+/// *shared* worker pool. Flip via Service::pause_session/resume_session
+/// so blocked workers are woken to re-scan.
+struct SessionGate {
+  std::atomic<bool> paused{false};
+};
+
+/// Per-submit options for multi-session frontends.
+struct SubmitOptions {
+  /// Session delivery gate; nullptr = always deliverable.
+  std::shared_ptr<SessionGate> gate;
+  /// Overrides the service-wide result callback for this job (used to
+  /// route results back to the owning session). Same threading contract
+  /// as the constructor callback.
+  std::function<void(const JobResult&)> on_result;
+};
+
 class Service {
  public:
   using ResultCallback = std::function<void(const JobResult&)>;
@@ -87,6 +108,11 @@ class Service {
   /// worker threads, one call at a time per job but concurrently across
   /// jobs when workers > 1 — the callback must be thread-safe.
   Service(ServiceConfig cfg, ResultCallback on_result);
+
+  /// Callback-less variant for frontends that route every result through
+  /// per-submit callbacks (SubmitOptions::on_result). A job submitted
+  /// without its own callback is still run; its result is dropped.
+  explicit Service(ServiceConfig cfg) : Service(std::move(cfg), nullptr) {}
 
   /// Implies shutdown(): drains admitted jobs, joins workers.
   ~Service();
@@ -98,7 +124,15 @@ class Service {
   /// reason instead. Consults the result cache on the admission path so a
   /// hit is pinned to the job even if the entry is evicted before a
   /// worker reaches it.
-  Admission submit(const Job& job);
+  Admission submit(const Job& job) { return submit(job, SubmitOptions{}); }
+
+  /// Admission with a session gate and/or per-job result routing.
+  Admission submit(const Job& job, SubmitOptions opts);
+
+  /// Session-scoped pause/resume: gates delivery of that session's queued
+  /// jobs only. resume_session wakes blocked workers so they re-scan.
+  void pause_session(SessionGate& gate);
+  void resume_session(SessionGate& gate);
 
   /// Requests cancellation of a queued or running job; honoured at the
   /// next round boundary (running) or at dequeue (queued). False when the
@@ -132,6 +166,8 @@ class Service {
     Clock::time_point enqueued;
     std::shared_ptr<CancelToken> token;
     std::optional<JobOutcome> cached;  ///< admission-time cache hit
+    std::shared_ptr<SessionGate> gate; ///< session delivery gate (may be null)
+    ResultCallback on_result;          ///< per-job override (may be null)
   };
 
   void worker_loop();

@@ -1,0 +1,359 @@
+#include "ldc/service/session.hpp"
+
+#include "ldc/service/protocol.hpp"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace ldc::service {
+
+namespace {
+
+using harness::Json;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+EventSession::EventSession(int fd, Service& service, SessionLimits limits,
+                           std::function<void()> wake)
+    : fd_(fd),
+      service_(service),
+      limits_(limits),
+      wake_(std::move(wake)),
+      gate_(std::make_shared<SessionGate>()) {
+  set_nonblocking(fd_);
+}
+
+EventSession::~EventSession() { ::close(fd_); }
+
+bool EventSession::parse_blocked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drain_pending_ || input_done_;
+}
+
+bool EventSession::wants_read() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !input_done_ && !drain_pending_;
+}
+
+bool EventSession::wants_write() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !write_dead_ && out_off_ < outbuf_.size();
+}
+
+bool EventSession::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (write_dead_) return input_done_ && outstanding_ == 0;
+  return bye_queued_ && out_off_ == outbuf_.size();
+}
+
+std::uint64_t EventSession::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+void EventSession::on_readable() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (input_done_) return;
+  }
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      // Hard read error: the connection is gone. Finish like EOF so
+      // outstanding jobs still drain before teardown.
+      read_eof_ = true;
+      break;
+    }
+    if (n == 0) {
+      read_eof_ = true;
+      break;
+    }
+    std::size_t start = 0;
+    const std::size_t len = static_cast<std::size_t>(n);
+    if (discarding_line_) {
+      // Drop bytes up to and including the newline that ends the
+      // oversized line, then resume normal framing.
+      std::size_t i = 0;
+      while (i < len && buf[i] != '\n') ++i;
+      if (i == len) continue;  // still inside the oversized line
+      discarding_line_ = false;
+      start = i + 1;
+    }
+    inbuf_.append(buf + start, len - start);
+    // Oversized unterminated line: reject once, discard its remainder.
+    if (inbuf_.size() > limits_.max_line_bytes &&
+        inbuf_.find('\n') == std::string::npos) {
+      inbuf_.clear();
+      discarding_line_ = true;
+      error_event("request line too long");
+    }
+  }
+  pump();
+}
+
+void EventSession::pump() {
+  while (!parse_blocked()) {
+    const std::size_t nl = inbuf_.find('\n');
+    if (nl == std::string::npos) {
+      if (!read_eof_) return;
+      if (!inbuf_.empty()) {
+        // Final ragged line at EOF — same contract as the blocking
+        // FdLineIO, which delivers it before reporting end-of-input.
+        std::string line;
+        line.swap(inbuf_);
+        handle_line(line);
+        continue;  // handle_line may have blocked parsing (drain)
+      }
+      enter_input_done();
+      return;
+    }
+    std::string line = inbuf_.substr(0, nl);
+    inbuf_.erase(0, nl + 1);
+    if (line.size() > limits_.max_line_bytes) {
+      error_event("request line too long");
+      continue;
+    }
+    handle_line(line);
+  }
+}
+
+void EventSession::handle_line(const std::string& line) {
+  Json req;
+  try {
+    req = Json::parse_line(line);
+  } catch (const harness::JsonError& e) {
+    error_event(std::string("bad request line: ") + e.what());
+    return;
+  }
+  const Json* op = req.find("op");
+  if (op == nullptr || op->kind() != Json::Kind::kString) {
+    error_event("request needs a string 'op'");
+    return;
+  }
+  const std::string& name = op->as_string();
+  if (name == "submit") return do_submit(req);
+  if (name == "cancel") return do_cancel(req);
+  if (name == "pause") {
+    service_.pause_session(*gate_);
+    std::lock_guard<std::mutex> lock(mu_);
+    append_locked(protocol_event("paused"));
+    return;
+  }
+  if (name == "resume") {
+    // Lock across resume + ack: a result released by this resume (a
+    // worker can finish instantly) must not precede the "resumed" line,
+    // or the session's stream stops being byte-deterministic.
+    std::lock_guard<std::mutex> lock(mu_);
+    service_.resume_session(*gate_);
+    append_locked(protocol_event("resumed"));
+    return;
+  }
+  if (name == "drain") {
+    // Asynchronous: never blocks the loop thread. Parsing stays
+    // suspended until the last outstanding result appends "drained".
+    std::lock_guard<std::mutex> lock(mu_);
+    if (outstanding_ == 0) {
+      append_locked(protocol_event("drained"));
+    } else {
+      drain_pending_ = true;
+    }
+    return;
+  }
+  if (name == "stats") return do_stats(req);
+  if (name == "shutdown") {
+    enter_input_done();
+    return;
+  }
+  error_event("unknown op '" + name + "'");
+}
+
+void EventSession::do_submit(const Json& req) {
+  const Json* spec = req.find("job");
+  if (spec == nullptr) {
+    error_event("submit needs a 'job' object");
+    return;
+  }
+  std::string tag;
+  if (const Json* t = req.find("tag")) {
+    if (t->kind() != Json::Kind::kString) {
+      error_event("'tag' must be a string");
+      return;
+    }
+    tag = t->as_string();
+  }
+  Job job;
+  try {
+    job = job_from_json(*spec);
+  } catch (const JobSpecError& e) {
+    error_event(e.what());
+    return;
+  }
+  // Lock across submit + admitted so this job's result line (appended by
+  // a worker under the same lock) cannot precede its admitted line.
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t local = next_local_++;
+  SubmitOptions opts;
+  opts.gate = gate_;
+  auto self = shared_from_this();
+  opts.on_result = [self, local, tag](const JobResult& r) {
+    self->on_result(r, local, tag);
+  };
+  const Admission a = service_.submit(job, std::move(opts));
+  if (a.admitted) {
+    ++outstanding_;
+    local_to_global_[local] = a.id;
+  }
+  Json j = protocol_event(a.admitted ? "admitted" : "rejected");
+  j.add("id", local);
+  if (!tag.empty()) j.add("tag", tag);
+  if (a.admitted) {
+    j.add("digest", job.digest());
+  } else {
+    j.add("reason", a.reason);
+  }
+  append_locked(j);
+}
+
+void EventSession::do_cancel(const Json& req) {
+  const Json* id = req.find("id");
+  std::uint64_t value = 0;
+  try {
+    if (id != nullptr) value = id->as_uint();
+  } catch (const harness::JsonError&) {
+    id = nullptr;
+  }
+  if (id == nullptr) {
+    error_event("cancel needs a numeric 'id'");
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  bool found = false;
+  auto it = local_to_global_.find(value);
+  if (it != local_to_global_.end()) found = service_.cancel(it->second);
+  Json j = protocol_event("cancel");
+  j.add("id", value);
+  j.add("found", found);
+  append_locked(j);
+}
+
+void EventSession::do_stats(const Json& req) {
+  bool counters_only = false;
+  if (const Json* c = req.find("counters_only")) {
+    counters_only = c->kind() == Json::Kind::kBool && c->as_bool();
+  }
+  // Service-wide snapshot: the shared core has one queue, one cache and
+  // one pool, so stats are global by design (documented in README).
+  Json j = protocol_event("stats");
+  j.add("metrics", service_.stats(counters_only));
+  std::lock_guard<std::mutex> lock(mu_);
+  append_locked(j);
+}
+
+void EventSession::enter_input_done() {
+  inbuf_.clear();
+  read_eof_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  input_done_ = true;
+  if (outstanding_ == 0 && !bye_queued_) {
+    append_locked(protocol_event("bye"));
+    bye_queued_ = true;
+  }
+}
+
+void EventSession::on_result(const JobResult& r, std::uint64_t local_id,
+                             const std::string& tag) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    JobResult local = r;
+    local.id = local_id;
+    append_locked(protocol_result(local, tag));
+    local_to_global_.erase(local_id);
+    --outstanding_;
+    if (outstanding_ == 0) {
+      if (drain_pending_) {
+        drain_pending_ = false;
+        append_locked(protocol_event("drained"));
+        resume_parse_ = true;  // the loop's next tick() re-enters pump()
+      }
+      if (input_done_ && !bye_queued_) {
+        append_locked(protocol_event("bye"));
+        bye_queued_ = true;
+      }
+    }
+  }
+  wake_();
+}
+
+void EventSession::tick() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!resume_parse_) return;
+    resume_parse_ = false;
+  }
+  pump();
+}
+
+void EventSession::begin_shutdown() { enter_input_done(); }
+
+void EventSession::on_writable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!write_dead_ && out_off_ < outbuf_.size()) {
+    // send() with MSG_NOSIGNAL: a peer that closed mid-stream must
+    // surface as EPIPE here, not as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, outbuf_.data() + out_off_,
+                             outbuf_.size() - out_off_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      // Client unreachable: drop buffered output, stop reading, let
+      // outstanding jobs finish (their results are discarded).
+      write_dead_ = true;
+      input_done_ = true;
+      outbuf_.clear();
+      out_off_ = 0;
+      return;
+    }
+    out_off_ += static_cast<std::size_t>(n);
+  }
+  if (out_off_ == outbuf_.size()) {
+    outbuf_.clear();
+    out_off_ = 0;
+  } else if (out_off_ > (std::size_t{1} << 16)) {
+    outbuf_.erase(0, out_off_);
+    out_off_ = 0;
+  }
+}
+
+void EventSession::append_locked(const Json& event) {
+  if (write_dead_) return;
+  if (outbuf_.size() - out_off_ > limits_.max_outbuf_bytes) {
+    // Slow reader overflow: same terminal state as a broken pipe.
+    write_dead_ = true;
+    input_done_ = true;
+    outbuf_.clear();
+    out_off_ = 0;
+    return;
+  }
+  outbuf_ += event.dump();
+  outbuf_.push_back('\n');
+}
+
+void EventSession::error_event(std::string message) {
+  Json j = protocol_event("error");
+  j.add("message", std::move(message));
+  std::lock_guard<std::mutex> lock(mu_);
+  append_locked(j);
+}
+
+}  // namespace ldc::service

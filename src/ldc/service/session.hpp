@@ -1,0 +1,127 @@
+// One event-loop protocol session: the non-blocking twin of the blocking
+// serve() loop in protocol.cpp, designed to be multiplexed by the poll
+// loop in event_loop.hpp over a *shared* Service.
+//
+// Responsibilities:
+//  * Read framing: reassembles request lines across arbitrarily short
+//    reads (the transport gives no framing guarantees beyond the byte
+//    stream); a line longer than SessionLimits::max_line_bytes is a
+//    typed error event and the excess is discarded up to the next
+//    newline — hostile input never kills the session.
+//  * Write buffering: every emitted line is appended to a per-session
+//    output buffer; only the event-loop thread performs socket writes,
+//    draining the buffer on writability. A write error (client gone)
+//    discards buffered output and lets outstanding jobs finish silently.
+//  * Session-local ids: submissions are numbered 1.. per session (the
+//    same numbering a client sees from a dedicated blocking serve()), and
+//    results are routed back through per-job callbacks — the shared
+//    Service's global ids never leak to clients.
+//  * Ordering invariants: the session mutex is held across
+//    submit+admitted (a result emitted by a worker can never precede its
+//    own admitted line) and across resume+resumed-ack (a result released
+//    by the resume can never precede the ack). With one worker and the
+//    pause/submit/resume/drain discipline, a session's full byte stream
+//    is therefore identical whether it runs alone or multiplexed with
+//    any number of other sessions.
+//  * Asynchronous drain/shutdown: `drain` must not block the loop
+//    thread, so it suspends request parsing until the session's
+//    outstanding count hits zero (the last result emits "drained" and
+//    resumes parsing). EOF and `shutdown` work the same way with "bye"
+//    and session teardown at the end.
+//
+// Threading: on_readable/on_writable/tick/begin_shutdown run on the loop
+// thread only. Result callbacks run on worker threads and only touch
+// mutex-guarded state plus the wake hook. The session is shared_ptr-
+// managed; per-job callbacks keep it alive until its last result lands.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "ldc/service/service.hpp"
+
+namespace ldc::service {
+
+/// Per-session resource bounds (untrusted clients).
+struct SessionLimits {
+  std::size_t max_line_bytes = 1 << 20;  ///< longer request lines error out
+  /// Output buffered for a slow reader before the session is declared
+  /// dead (buffered lines dropped, connection torn down after its jobs
+  /// finish). Keeps one stuck client from holding the server's memory.
+  std::size_t max_outbuf_bytes = std::size_t{16} << 20;
+};
+
+class EventSession : public std::enable_shared_from_this<EventSession> {
+ public:
+  /// Takes ownership of `fd` (an already-connected stream socket; made
+  /// non-blocking here). `wake` is invoked — possibly from worker
+  /// threads — whenever output becomes available or a state transition
+  /// needs the loop's attention; it must be callable until the session
+  /// is destroyed.
+  EventSession(int fd, Service& service, SessionLimits limits,
+               std::function<void()> wake);
+  ~EventSession();
+
+  EventSession(const EventSession&) = delete;
+  EventSession& operator=(const EventSession&) = delete;
+
+  int fd() const { return fd_; }
+
+  // ---- event-loop thread interface ----------------------------------
+  void on_readable();   ///< drain the socket, reassemble + handle lines
+  void on_writable();   ///< flush as much buffered output as the fd takes
+  void tick();          ///< resume parsing after a worker unblocked it
+  void begin_shutdown();///< server stop: behave as if the client sent EOF
+
+  bool wants_read() const;
+  bool wants_write() const;
+  /// True once the session can be reaped: goodbye flushed, or the
+  /// connection is dead and no jobs are outstanding.
+  bool finished() const;
+
+  // ---- observability (tests) ----------------------------------------
+  std::uint64_t outstanding() const;
+
+ private:
+  void pump();                              // parse complete inbuf lines
+  void handle_line(const std::string& line);
+  void do_submit(const harness::Json& req);
+  void do_cancel(const harness::Json& req);
+  void do_stats(const harness::Json& req);
+  void enter_input_done();                  // EOF/shutdown/dead-write path
+  void on_result(const JobResult& r, std::uint64_t local_id,
+                 const std::string& tag);   // worker threads
+  void append_locked(const harness::Json& event);  // mu_ held
+  void error_event(std::string message);
+  bool parse_blocked() const;
+
+  const int fd_;
+  Service& service_;
+  const SessionLimits limits_;
+  const std::function<void()> wake_;
+  const std::shared_ptr<SessionGate> gate_;
+
+  // Read-side state: loop thread only, no lock.
+  std::string inbuf_;
+  bool discarding_line_ = false;  ///< oversized line: drop until newline
+  bool read_eof_ = false;
+
+  // Cross-thread state.
+  mutable std::mutex mu_;
+  std::string outbuf_;            ///< framed lines awaiting the socket
+  std::size_t out_off_ = 0;       ///< consumed prefix of outbuf_
+  std::uint64_t next_local_ = 1;  ///< session-local submission ids
+  std::unordered_map<std::uint64_t, std::uint64_t> local_to_global_;
+  std::uint64_t outstanding_ = 0; ///< admitted, result not yet appended
+  bool drain_pending_ = false;    ///< "drained" owed once outstanding==0
+  bool input_done_ = false;       ///< no more requests (EOF/shutdown/dead)
+  bool bye_queued_ = false;
+  bool write_dead_ = false;       ///< client unreachable; output discarded
+  bool resume_parse_ = false;     ///< tick() must pump (drain finished)
+};
+
+}  // namespace ldc::service

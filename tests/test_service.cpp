@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -68,6 +69,44 @@ TEST(ServiceQueue, ResumeDeliversToBlockedPop) {
   std::thread popper([&] { EXPECT_EQ(q.pop(), 5); });
   q.resume();
   popper.join();
+}
+
+TEST(ServiceQueue, GateSkipsBlockedItemsFifoWithinClass) {
+  // A gated pop must skip undeliverable items but stay FIFO among the
+  // deliverable ones.
+  std::atomic<bool> evens_blocked{true};
+  BoundedQueue<int> q(8, [&](const int& v) {
+    return v % 2 != 0 || !evens_blocked.load();
+  });
+  q.try_push(2);
+  q.try_push(1);
+  q.try_push(4);
+  q.try_push(3);
+  EXPECT_EQ(q.pop(), 1);  // skips 2
+  EXPECT_EQ(q.pop(), 3);  // skips 2 and 4
+  evens_blocked.store(false);
+  EXPECT_EQ(q.pop(), 2);  // gate lifted: original order restored
+  EXPECT_EQ(q.pop(), 4);
+}
+
+TEST(ServiceQueue, PokeWakesBlockedPopAfterGateFlip) {
+  std::atomic<bool> blocked{true};
+  BoundedQueue<int> q(4, [&](const int&) { return !blocked.load(); });
+  q.try_push(9);
+  std::thread popper([&] { EXPECT_EQ(q.pop(), 9); });
+  blocked.store(false);
+  q.poke();  // the gate changed outside the queue: wake the sleeper
+  popper.join();
+}
+
+TEST(ServiceQueue, CloseOverridesGate) {
+  // Shutdown must drain even permanently-gated items, mirroring how
+  // close() overrides pause(): a gated session's jobs still complete.
+  BoundedQueue<int> q(4, [](const int&) { return false; });
+  q.try_push(5);
+  q.close();
+  EXPECT_EQ(q.pop(), 5);
+  EXPECT_EQ(q.pop(), std::nullopt);
 }
 
 // ---------------------------------------------------------------------------
@@ -327,6 +366,71 @@ TEST(Service, CancelsQueuedJobBeforeItRuns) {
   EXPECT_FALSE(svc.cancel(a.id));  // already finished
   svc.shutdown();
   EXPECT_EQ(svc.stats(true).at("cancelled").as_uint(), 1u);
+}
+
+TEST(Service, SessionGatePausesOnlyThatSession) {
+  // Per-session gates are what lets the event-loop frontend scope
+  // pause/resume to one client on a shared queue: a gated session's
+  // jobs sit in the queue while other sessions' jobs flow around them.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_bytes = 0;
+  Service svc(cfg);
+
+  auto gate_a = std::make_shared<SessionGate>();
+  auto gate_b = std::make_shared<SessionGate>();
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> done;
+  auto finish = [&](std::string name) {
+    return [&, name](const JobResult&) {
+      std::lock_guard<std::mutex> lock(mu);
+      done.push_back(name);
+      cv.notify_all();
+    };
+  };
+
+  svc.pause_session(*gate_a);
+  SubmitOptions oa;
+  oa.gate = gate_a;
+  oa.on_result = finish("a");
+  ASSERT_TRUE(svc.submit(ring_job("greedy", 16, 1), std::move(oa)).admitted);
+  SubmitOptions ob;
+  ob.gate = gate_b;
+  ob.on_result = finish("b");
+  ASSERT_TRUE(svc.submit(ring_job("greedy", 16, 2), std::move(ob)).admitted);
+
+  // B overtakes A even though A was submitted first: only A is gated.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return !done.empty(); });
+    EXPECT_EQ(done[0], "b");
+  }
+  svc.resume_session(*gate_a);
+  svc.drain();
+  svc.shutdown();
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[1], "a");
+}
+
+TEST(Service, PerJobCallbackOverridesGlobalCallback) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  Collector c;
+  Service svc(cfg, c.callback());
+  std::atomic<std::uint64_t> routed{0};
+  SubmitOptions opts;
+  opts.on_result = [&](const JobResult&) {
+    routed.fetch_add(1, std::memory_order_relaxed);
+  };
+  ASSERT_TRUE(svc.submit(ring_job("greedy", 16, 1), std::move(opts)).admitted);
+  ASSERT_TRUE(svc.submit(ring_job("greedy", 16, 2)).admitted);
+  svc.drain();
+  svc.shutdown();
+  // The per-job result went to its own callback, not the global sink.
+  EXPECT_EQ(routed.load(), 1u);
+  EXPECT_EQ(c.results.size(), 1u);
 }
 
 TEST(Service, RejectsAfterShutdown) {
