@@ -1,8 +1,9 @@
 // ldc_load: open-loop load generator for a running `ldc_serve --socket`.
 //
 //   ldc_serve --socket /tmp/ldc.sock --workers 4 &
-//   ldc_load --socket /tmp/ldc.sock --rate 500 --duration-ms 2000 \
-//            --connections 8 --zipf-s 1.2 --cancel-every 10
+//   ldc_load --socket /tmp/ldc.sock --rate 500 --duration-ms 2000
+//   ldc_load --socket /tmp/ldc.sock --connections 8 --zipf-s 1.2
+//            --cancel-every 10 --json
 //
 // Offered load is open-loop (arrivals never wait for responses), job
 // popularity is Zipf-skewed over a hot set to exercise the result cache,

@@ -69,7 +69,10 @@ struct LoadReport {
   std::uint64_t errors = 0;      ///< protocol error events
   double wall_ms = 0;            ///< send window + drain, wall clock
   double goodput = 0;            ///< ok results per second of wall time
-  double p50_us = 0, p99_us = 0, p999_us = 0;  ///< admit->result latency
+  /// Submit->result latency: the send timestamp of the submit line to the
+  /// arrival of its result line (NOT admission — the admitted event is not
+  /// timestamped, so queueing delay ahead of admission is included).
+  double p50_us = 0, p99_us = 0, p999_us = 0;
 };
 
 namespace loadgen_detail {
@@ -143,6 +146,20 @@ inline void send_all(int fd, const std::string& data) {
     }
     off += static_cast<std::size_t>(n);
   }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the element
+/// with 1-based rank ceil(p * N), clamped to [1, N]. Empty input reports
+/// 0. This is the standard convention — p99.9 of 100 samples is rank 100
+/// (the maximum), where the floor-index form `sorted[size_t(p * (N-1))]`
+/// would round down to sorted[98] and under-report the tail.
+inline double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p * n));
+  const std::size_t idx =
+      std::min(std::max<std::size_t>(rank, 1), sorted.size()) - 1;
+  return sorted[idx];
 }
 
 struct ConnStats {
@@ -318,15 +335,9 @@ inline LoadReport run_open_loop(const LoadOptions& opt) {
   rep.wall_ms = wall_ms;
   rep.goodput = wall_ms > 0 ? 1000.0 * double(rep.ok) / wall_ms : 0.0;
   std::sort(latencies.begin(), latencies.end());
-  auto pct = [&](double p) {
-    if (latencies.empty()) return 0.0;
-    const auto idx = static_cast<std::size_t>(
-        p * static_cast<double>(latencies.size() - 1));
-    return latencies[idx];
-  };
-  rep.p50_us = pct(0.50);
-  rep.p99_us = pct(0.99);
-  rep.p999_us = pct(0.999);
+  rep.p50_us = loadgen_detail::percentile_sorted(latencies, 0.50);
+  rep.p99_us = loadgen_detail::percentile_sorted(latencies, 0.99);
+  rep.p999_us = loadgen_detail::percentile_sorted(latencies, 0.999);
   return rep;
 }
 

@@ -90,22 +90,20 @@ Theorem13Result solve_list_arbdefective(Network& net,
       }
       stamp[v] = batch;
     }
-    std::vector<Message> msgs(n);
+    // Fused broadcast: each committing node announces one bounded word.
+    std::vector<std::uint64_t> words(n);
     std::vector<bool> active(n, false);
     for (NodeId v : now) {
       active[v] = true;
-      BitWriter w;
-      w.write_bounded(phi[v], inst.color_space - 1);
-      msgs[v] = Message::from(w);
+      words[v] = phi[v];
     }
-    const auto inboxes = net.exchange_broadcast(msgs, &active);
+    const WordMail inboxes =
+        net.exchange_broadcast_word(words, inst.color_space - 1, &active);
     ++res.stats.rounds;
     for (NodeId v = 0; v < n; ++v) {
-      for (const auto& [u, msg] : inboxes[v]) {
+      for (const auto [u, word] : inboxes[v]) {
         (void)u;
-        auto r = msg.reader();
-        const Color c =
-            static_cast<Color>(r.read_bounded(inst.color_space - 1));
+        const Color c = static_cast<Color>(word);
         const std::size_t i = inst.lists[v].find(c);
         if (i != inst.lists[v].size()) ++av[v][i];
       }

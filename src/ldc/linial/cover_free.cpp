@@ -9,6 +9,21 @@
 #include "ldc/support/primes.hpp"
 
 namespace ldc::linial {
+namespace {
+
+// Largest q whose square still fits in 64 bits: families beyond this name
+// output colors no uint64 palette can hold.
+constexpr std::uint64_t kMaxQ = 0xFFFFFFFFull;  // floor(sqrt(2^64 - 1))
+
+// Cap on pow-table entries (q * (deg+1)); above it RsEvalTable falls back
+// to Horner so one huge first round cannot allocate an outsized table.
+constexpr std::uint64_t kMaxPowEntries = std::uint64_t{1} << 22;
+
+}  // namespace
+
+std::uint64_t RsFamily::output_space() const {
+  return checked_mul(q, q, "RsFamily::output_space: q^2 overflows uint64");
+}
 
 std::uint64_t RsFamily::evaluate(std::uint64_t color, std::uint64_t x) const {
   assert(color < input_space);
@@ -25,6 +40,55 @@ std::uint64_t RsFamily::evaluate(std::uint64_t color, std::uint64_t x) const {
 std::uint64_t RsFamily::element(std::uint64_t color, std::uint64_t x) const {
   assert(x < q);
   return x * q + evaluate(color, x);
+}
+
+RsEvalTable::RsEvalTable(const RsFamily& fam) : fam_(fam) {
+  if (fam_.q == 0) {
+    throw std::invalid_argument("RsEvalTable: family has q == 0");
+  }
+  const std::uint64_t k = fam_.deg + 1;
+  if (fam_.q > kMaxQ || sat_mul(fam_.q, k) > kMaxPowEntries) {
+    return;  // Horner fallback; digit caching still applies
+  }
+  // Unreduced accumulation needs k * (q-1)^2 < 2^64.
+  const std::uint64_t sq = (fam_.q - 1) * (fam_.q - 1);
+  unreduced_ok_ =
+      sq <= std::numeric_limits<std::uint64_t>::max() / k;
+  pow_.resize(static_cast<std::size_t>(fam_.q * k));
+  for (std::uint64_t x = 0; x < fam_.q; ++x) {
+    std::uint64_t* row = &pow_[x * k];
+    row[0] = fam_.q == 1 ? 0 : 1;  // x^0 mod q
+    for (std::uint64_t j = 1; j < k; ++j) {
+      row[j] = row[j - 1] * x % fam_.q;
+    }
+  }
+}
+
+void RsEvalTable::digits_of(std::uint64_t color, std::uint64_t* out) const {
+  const unsigned k = fam_.deg + 1;
+  for (unsigned i = 0; i < k; ++i) {
+    out[i] = color % fam_.q;
+    color /= fam_.q;
+  }
+}
+
+std::uint64_t RsEvalTable::eval(const std::uint64_t* digits,
+                                std::uint64_t x) const {
+  const unsigned k = fam_.deg + 1;
+  if (!pow_.empty()) {
+    const std::uint64_t* row = &pow_[x * k];
+    std::uint64_t acc = 0;
+    if (unreduced_ok_) {
+      for (unsigned j = 0; j < k; ++j) acc += digits[j] * row[j];
+      return acc % fam_.q;
+    }
+    // q < 2^32, so each product fits; reduce per term.
+    for (unsigned j = 0; j < k; ++j) {
+      acc = (acc + digits[j] * row[j] % fam_.q) % fam_.q;
+    }
+    return acc;
+  }
+  return poly_eval({digits, k}, x, fam_.q);
 }
 
 std::uint64_t kth_root_ceil(std::uint64_t m, unsigned k) {
@@ -47,18 +111,36 @@ RsFamily choose_family(std::uint64_t m, std::uint64_t D, std::uint32_t d) {
   if (m == 0 || D == 0) throw std::invalid_argument("choose_family: m,D >= 1");
   RsFamily best;
   std::uint64_t best_out = std::numeric_limits<std::uint64_t>::max();
+  bool found = false;
   for (std::uint32_t deg = 1; deg < 64; ++deg) {
-    // q > D*deg/(d+1)  <=>  q >= floor(D*deg/(d+1)) + 1.
-    const std::uint64_t q_conflict = D * deg / (d + 1) + 1;
+    // q > D*deg/(d+1)  <=>  q >= floor(D*deg/(d+1)) + 1. D*deg can exceed
+    // 64 bits for adversarial D, so the bound is computed in 128 bits — a
+    // wrapped q_conflict here used to yield a tiny q that violates the
+    // defect guarantee silently.
+    const unsigned __int128 conflict_floor =
+        static_cast<unsigned __int128>(D) * deg / (d + 1);
+    if (conflict_floor >= kMaxQ) break;  // grows with deg: no deg beyond fits
+    const std::uint64_t q_conflict =
+        static_cast<std::uint64_t>(conflict_floor) + 1;
     const std::uint64_t q_capacity = kth_root_ceil(m, deg + 1);
-    const std::uint64_t q = next_prime(std::max(q_conflict, q_capacity));
-    const std::uint64_t out = sat_mul(q, q);
-    if (out < best_out) {
-      best = RsFamily{q, deg, m};
-      best_out = out;
+    if (q_capacity <= kMaxQ) {
+      const std::uint64_t q = next_prime(std::max(q_conflict, q_capacity));
+      if (q <= kMaxQ) {  // prime gap cannot push past the cap in practice
+        const std::uint64_t out = q * q;  // exact: q^2 <= kMaxQ^2 < 2^64
+        if (out < best_out) {
+          best = RsFamily{q, deg, m};
+          best_out = out;
+          found = true;
+        }
+      }
     }
     // Once capacity stops binding, larger deg only increases q_conflict.
     if (q_capacity <= q_conflict) break;
+  }
+  if (!found) {
+    throw std::overflow_error(
+        "choose_family: no representable family — q^2 would overflow uint64 "
+        "for every admissible degree (m or D too large)");
   }
   return best;
 }

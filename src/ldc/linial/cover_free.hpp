@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace ldc::linial {
 
@@ -21,7 +22,9 @@ struct RsFamily {
   std::uint32_t deg = 1;      ///< polynomial degree
   std::uint64_t input_space = 0;   ///< m: colors representable
 
-  std::uint64_t output_space() const { return q * q; }
+  /// q^2; throws std::overflow_error if the output space does not fit in
+  /// 64 bits (such a family names colors no palette can hold).
+  std::uint64_t output_space() const;
 
   /// The family element of input color `color` at evaluation point `x`:
   /// the output color x*q + p_color(x).
@@ -31,6 +34,37 @@ struct RsFamily {
   std::uint64_t evaluate(std::uint64_t color, std::uint64_t x) const;
 };
 
+/// Per-round evaluation tables for one family. RsFamily::evaluate redoes
+/// the base-q digit split of `color` (deg+1 divisions) on every (color, x)
+/// call — inside a round loop that is q * |conflicts| division chains per
+/// node. An RsEvalTable hoists the per-color work out of the x loop
+/// (digits_of, once per color) and pre-tabulates x^j mod q for every
+/// (x, j), so eval() is a dot product of table lookups with at most one
+/// final modulo when q is small enough to accumulate unreduced.
+///
+/// Build one per round (it depends only on the family, which is shared by
+/// all nodes); eval results are bit-identical to RsFamily::evaluate.
+class RsEvalTable {
+ public:
+  explicit RsEvalTable(const RsFamily& fam);
+
+  const RsFamily& family() const { return fam_; }
+
+  /// Writes the base-q digits of `color` (the polynomial's coefficients)
+  /// to out[0 .. deg]; out must hold deg+1 entries.
+  void digits_of(std::uint64_t color, std::uint64_t* out) const;
+
+  /// p(x) for the polynomial with coefficient vector `digits` (length
+  /// deg+1), x < q.
+  std::uint64_t eval(const std::uint64_t* digits, std::uint64_t x) const;
+
+ private:
+  RsFamily fam_;
+  bool unreduced_ok_ = false;      ///< sum of k products fits in 64 bits
+  std::vector<std::uint64_t> pow_; ///< pow_[x*(deg+1) + j] = x^j mod q;
+                                   ///< empty => Horner fallback (huge q)
+};
+
 /// Smallest integer r with r^k >= m (integer k-th root, rounded up).
 std::uint64_t kth_root_ceil(std::uint64_t m, unsigned k);
 
@@ -38,7 +72,11 @@ std::uint64_t kth_root_ceil(std::uint64_t m, unsigned k);
 ///   q^(deg+1) >= m     (every input color is a distinct polynomial)
 ///   q > D*deg/(d+1)    (a d-defective evaluation point always exists
 ///                       against <= D conflicting neighbors)
-/// over deg = 1..63. m >= 1, D >= 1.
+/// over deg = 1..63. m >= 1, D >= 1. All candidate arithmetic is
+/// overflow-checked: degrees whose required q would make q^2 wrap 64 bits
+/// are rejected, and if no degree admits a representable family the call
+/// throws std::overflow_error instead of returning a wrapped (invalid)
+/// family.
 RsFamily choose_family(std::uint64_t m, std::uint64_t D, std::uint32_t d);
 
 }  // namespace ldc::linial

@@ -1,5 +1,6 @@
 #include "ldc/linial/linial.hpp"
 
+#include <array>
 #include <stdexcept>
 #include <vector>
 
@@ -19,43 +20,55 @@ std::uint64_t reduce_once(Network& net, Coloring& phi, std::uint64_t palette,
                           std::uint32_t defect, const Options& opt) {
   const Graph& g = net.graph();
   const RsFamily fam = choose_family(palette, conflict_bound(g, opt), defect);
+  // Per-round GF(q) tables: digits split once per color, x^j mod q looked
+  // up instead of recomputed per (color, x) pair.
+  const RsEvalTable tab(fam);
+  const unsigned k = fam.deg + 1;
 
-  // Round: everyone broadcasts its current color (O(log palette) bits).
-  std::vector<Message> msgs(g.n());
-  net.run_node_programs([&](NodeId v) {
-    BitWriter w;
-    w.write_bounded(phi[v], palette - 1);
-    msgs[v] = Message::from(w);
-  });
-  const auto inboxes = net.exchange_broadcast(msgs);
+  // Round: everyone broadcasts its current color (O(log palette) bits) —
+  // one bounded word per node, the fused fast path.
+  std::vector<std::uint64_t> words(g.n());
+  net.run_node_programs(
+      [&](NodeId v) { words[v] = phi[v]; });
+  const WordMail inboxes = net.exchange_broadcast_word(words, palette - 1);
 
   Coloring next(g.n());
   net.run_node_programs([&](NodeId v) {
-    // Conflicting neighbors' colors.
-    std::vector<std::uint64_t> conflict_colors;
-    for (const auto& [u, m] : inboxes[v]) {
+    // Conflicting neighbors' colors, with their polynomials' coefficient
+    // digits split once up front (the x loop below revisits each color
+    // fam.q times).
+    std::vector<std::uint64_t> conflict_digits;
+    std::size_t conflicts = 0;
+    for (const auto [u, word] : inboxes[v]) {
       if (opt.orientation != nullptr &&
           !opt.orientation->has_out_edge(v, u)) {
         continue;
       }
-      auto r = m.reader();
-      const std::uint64_t c = r.read_bounded(palette - 1);
+      const std::uint64_t c = word;
       // A fixed-width decode can yield values >= palette only when the
       // payload was corrupted in transit (fault injection); such claims
       // name no real color, so they cannot constrain the choice — ignore
-      // them rather than index the family out of range.
-      if (c < palette) conflict_colors.push_back(c);
+      // them rather than index the family out of range. A neighbor
+      // claiming the node's own color never agrees anywhere (c != phi[v]
+      // is x-independent), so it is filtered here instead of per x.
+      if (c < palette && c != phi[v]) {
+        conflict_digits.resize(conflict_digits.size() + k);
+        tab.digits_of(c, &conflict_digits[conflicts * k]);
+        ++conflicts;
+      }
     }
+    std::array<std::uint64_t, 64> own;
+    tab.digits_of(phi[v], own.data());
     // Pick the evaluation point with the fewest agreements; the family
     // parameters guarantee the minimum is <= defect when the input coloring
     // is proper w.r.t. the conflict set.
     std::uint64_t best_x = 0;
-    std::uint64_t best_agree = conflict_colors.size() + 1;
+    std::uint64_t best_agree = conflicts + 1;
     for (std::uint64_t x = 0; x < fam.q && best_agree > 0; ++x) {
-      const std::uint64_t mine = fam.evaluate(phi[v], x);
+      const std::uint64_t mine = tab.eval(own.data(), x);
       std::uint64_t agree = 0;
-      for (std::uint64_t c : conflict_colors) {
-        if (c != phi[v] && fam.evaluate(c, x) == mine) ++agree;
+      for (std::size_t i = 0; i < conflicts; ++i) {
+        if (tab.eval(&conflict_digits[i * k], x) == mine) ++agree;
       }
       if (agree < best_agree) {
         best_agree = agree;

@@ -9,6 +9,7 @@
 #include "ldc/mt/conflict.hpp"
 #include "ldc/repair/repair.hpp"
 #include "ldc/support/math.hpp"
+#include "ldc/support/packed_palette.hpp"
 #include "ldc/support/prf.hpp"
 
 namespace ldc::oldc {
@@ -159,22 +160,18 @@ OldcResult solve_single_defect(Network& net, const SingleDefectInput& in) {
   });
   for (NodeId v = 0; v < n; ++v) res.stats.p1_relaxed += p1_relaxed[v];
 
-  // --- Round 2: broadcast the chosen candidate index.
+  // --- Round 2: broadcast the chosen candidate index (one bounded word:
+  // the fused fast path).
   net.mark("oldc/p1-index");
   {
-    std::vector<Message> msgs(n);
-    net.run_node_programs([&](NodeId v) {
-      BitWriter w;
-      w.write_bounded(chosen_index[v], in.params.kprime - 1);
-      msgs[v] = Message::from(w);
-    });
-    const auto inboxes = net.exchange_broadcast(msgs);
+    std::vector<std::uint64_t> words(n);
+    net.run_node_programs([&](NodeId v) { words[v] = chosen_index[v]; });
+    const WordMail inboxes =
+        net.exchange_broadcast_word(words, in.params.kprime - 1);
     ++res.stats.rounds;
     net.run_node_programs([&](NodeId v) {
-      for (const auto& [u, m] : inboxes[v]) {
-        auto r = m.reader();
-        const auto j = static_cast<std::uint32_t>(
-            r.read_bounded(in.params.kprime - 1));
+      for (const auto [u, word] : inboxes[v]) {
+        const auto j = static_cast<std::uint32_t>(word);
         auto& info = nb[v][g.neighbor_index(v, u)];
         info.chosen_set = info.family->set(
             std::min(j, info.family->size() - 1));
@@ -186,7 +183,7 @@ OldcResult solve_single_defect(Network& net, const SingleDefectInput& in) {
   net.mark("oldc/p0-classes");
   const auto my_set = [&](NodeId v) { return family[v]->set(chosen_index[v]); };
   for (std::uint32_t cls = h; cls >= 1; --cls) {
-    std::vector<Message> msgs(n);
+    std::vector<std::uint64_t> words(n);
     std::vector<bool> active(n, false);
     for (NodeId v = 0; v < n; ++v) active[v] = (gamma[v] == cls);
     net.run_node_programs([&](NodeId v) {
@@ -194,38 +191,59 @@ OldcResult solve_single_defect(Network& net, const SingleDefectInput& in) {
       const auto cv = my_set(v);
       Color best = cv.empty() ? restricted[v].front() : cv.front();
       std::uint64_t best_f = ~0ULL;
-      for (Color x : cv) {
-        std::uint64_t f = 0;
-        for (NodeId u : orient.out(v)) {
-          const auto& info = nb[v][g.neighbor_index(v, u)];
-          if (info.gamma <= gamma[v]) {
-            f += mt::mu_g(x, info.chosen_set, in.g);
-          } else if (info.chosen_color != kUncolored) {
-            const std::int64_t diff =
-                static_cast<std::int64_t>(info.chosen_color) - x;
-            if (static_cast<std::uint64_t>(diff < 0 ? -diff : diff) <=
-                in.g) {
-              ++f;
+      // Packed fast path: the g-dilated union of every constraining color.
+      // A candidate absent from the union has frequency f == 0, and the
+      // loop below picks the *first* minimum — so the first absent
+      // candidate (list order) is the exact answer. Only when every
+      // candidate conflicts does the exact counting loop run. The palette
+      // is per-thread scratch: built and cleared once per node.
+      static thread_local PackedPalette forbid;
+      forbid.reset(in.color_space);
+      for (NodeId u : orient.out(v)) {
+        const auto& info = nb[v][g.neighbor_index(v, u)];
+        if (info.gamma <= gamma[v]) {
+          for (Color y : info.chosen_set) forbid.insert_window(y, in.g);
+        } else if (info.chosen_color != kUncolored) {
+          forbid.insert_window(info.chosen_color, in.g);
+        }
+      }
+      const std::uint64_t zero_conflict =
+          forbid.first_absent(std::span<const Color>(cv));
+      if (zero_conflict != PackedPalette::npos) {
+        best = static_cast<Color>(zero_conflict);
+        best_f = 0;
+      } else {
+        for (Color x : cv) {
+          std::uint64_t f = 0;
+          for (NodeId u : orient.out(v)) {
+            const auto& info = nb[v][g.neighbor_index(v, u)];
+            if (info.gamma <= gamma[v]) {
+              f += mt::mu_g(x, info.chosen_set, in.g);
+            } else if (info.chosen_color != kUncolored) {
+              const std::int64_t diff =
+                  static_cast<std::int64_t>(info.chosen_color) - x;
+              if (static_cast<std::uint64_t>(diff < 0 ? -diff : diff) <=
+                  in.g) {
+                ++f;
+              }
             }
           }
-        }
-        if (f < best_f) {
-          best_f = f;
-          best = x;
+          if (f < best_f) {
+            best_f = f;
+            best = x;
+          }
         }
       }
       res.phi[v] = best;
-      BitWriter w;
-      w.write_bounded(best, in.color_space - 1);
-      msgs[v] = Message::from(w);
+      words[v] = best;
     });
-    const auto inboxes = net.exchange_broadcast(msgs, &active);
+    const WordMail inboxes =
+        net.exchange_broadcast_word(words, in.color_space - 1, &active);
     ++res.stats.rounds;
     net.run_node_programs([&](NodeId v) {
-      for (const auto& [u, m] : inboxes[v]) {
-        auto r = m.reader();
+      for (const auto [u, word] : inboxes[v]) {
         nb[v][g.neighbor_index(v, u)].chosen_color =
-            static_cast<Color>(r.read_bounded(in.color_space - 1));
+            static_cast<Color>(word);
       }
     });
   }

@@ -13,6 +13,7 @@
 #include "ldc/oldc/rounding.hpp"
 #include "ldc/repair/repair.hpp"
 #include "ldc/support/math.hpp"
+#include "ldc/support/packed_palette.hpp"
 #include "ldc/support/prf.hpp"
 
 namespace ldc::oldc {
@@ -115,23 +116,19 @@ TwoPhaseResult solve_two_phase(Network& net, const TwoPhaseInput& in) {
   }
 
   net.mark("two-phase/class-announce");
-  // --- One round: everyone announces its gamma-class.
+  // --- One round: everyone announces its gamma-class (one bounded word:
+  // the fused fast path).
   std::vector<std::vector<std::uint32_t>> nb_cls(n);
   {
-    std::vector<Message> msgs(n);
-    for (NodeId v = 0; v < n; ++v) {
-      BitWriter w;
-      w.write_bounded(cls[v], h);
-      msgs[v] = Message::from(w);
-    }
-    const auto inboxes = net.exchange_broadcast(msgs);
+    std::vector<std::uint64_t> words(n);
+    for (NodeId v = 0; v < n; ++v) words[v] = cls[v];
+    const WordMail inboxes = net.exchange_broadcast_word(words, h);
     ++res.stats.rounds;
     for (NodeId v = 0; v < n; ++v) {
       nb_cls[v].resize(g.degree(v));
-      for (const auto& [u, m] : inboxes[v]) {
-        auto r = m.reader();
+      for (const auto [u, word] : inboxes[v]) {
         nb_cls[v][g.neighbor_index(v, u)] =
-            static_cast<std::uint32_t>(r.read_bounded(h));
+            static_cast<std::uint32_t>(word);
       }
     }
   }
@@ -145,6 +142,7 @@ TwoPhaseResult solve_two_phase(Network& net, const TwoPhaseInput& in) {
   for (NodeId v = 0; v < n; ++v) nb_set[v].resize(g.degree(v));
   std::vector<const mt::CandidateFamily*> pending_family(n, nullptr);
 
+  PackedPalette lower_union;  // prune scratch, reused across nodes/classes
   for (std::uint32_t i = 1; i <= h; ++i) {
     // Local: members of V_i prune and build candidate families.
     std::vector<bool> active(n, false);
@@ -152,15 +150,27 @@ TwoPhaseResult solve_two_phase(Network& net, const TwoPhaseInput& in) {
     for (NodeId v = 0; v < n; ++v) {
       if (cls[v] != i) continue;
       active[v] = true;
+      // Membership union of all lower-class out-neighbor sets: a color
+      // absent from the union is held by no such neighbor (count 0, always
+      // kept), so the per-neighbor counting loop runs only for colors that
+      // are at least somewhere.
+      lower_union.reset(inst.color_space);
+      for (NodeId u : orient.out(v)) {
+        const auto ui = g.neighbor_index(v, u);
+        if (nb_cls[v][ui] >= i) continue;
+        for (Color y : nb_set[v][ui]) lower_union.insert(y);
+      }
       std::vector<Color> keep;
       keep.reserve(used[v].size());
       for (Color x : used[v]) {
         std::uint32_t cnt = 0;
-        for (NodeId u : orient.out(v)) {
-          const auto ui = g.neighbor_index(v, u);
-          if (nb_cls[v][ui] >= i) continue;
-          const auto cu = nb_set[v][ui];
-          if (std::binary_search(cu.begin(), cu.end(), x)) ++cnt;
+        if (lower_union.contains(x)) {
+          for (NodeId u : orient.out(v)) {
+            const auto ui = g.neighbor_index(v, u);
+            if (nb_cls[v][ui] >= i) continue;
+            const auto cu = nb_set[v][ui];
+            if (std::binary_search(cu.begin(), cu.end(), x)) ++cnt;
+          }
         }
         if (4ULL * cnt > dv[v]) {
           ++res.stats.pruned_colors;
@@ -241,22 +251,18 @@ TwoPhaseResult solve_two_phase(Network& net, const TwoPhaseInput& in) {
       own_set[v] = pending_family[v]->set(best_j);
     }
 
-    // Round B: V_i broadcasts the chosen index.
+    // Round B: V_i broadcasts the chosen index (fused: one bounded word).
     {
-      std::vector<Message> msgs(n);
+      std::vector<std::uint64_t> words(n);
       for (NodeId v = 0; v < n; ++v) {
-        if (!active[v]) continue;
-        BitWriter w;
-        w.write_bounded(chosen[v], in.params.kprime - 1);
-        msgs[v] = Message::from(w);
+        if (active[v]) words[v] = chosen[v];
       }
-      const auto inboxes = net.exchange_broadcast(msgs, &active);
+      const WordMail inboxes =
+          net.exchange_broadcast_word(words, in.params.kprime - 1, &active);
       ++res.stats.rounds;
       for (NodeId v = 0; v < n; ++v) {
-        for (const auto& [u, m] : inboxes[v]) {
-          auto r = m.reader();
-          const auto j = static_cast<std::uint32_t>(
-              r.read_bounded(in.params.kprime - 1));
+        for (const auto [u, word] : inboxes[v]) {
+          const auto j = static_cast<std::uint32_t>(word);
           const auto ui = g.neighbor_index(v, u);
           const auto* fam = nb_family[v][ui];
           if (fam != nullptr) {
@@ -271,8 +277,10 @@ TwoPhaseResult solve_two_phase(Network& net, const TwoPhaseInput& in) {
   // --- Phase II: descending classes pick final colors.
   std::vector<std::vector<Color>> nb_final(n);
   for (NodeId v = 0; v < n; ++v) nb_final[v].assign(g.degree(v), kUncolored);
+  PackedPalette forbid;        // Phase II scratch, reused across nodes
+  std::vector<NodeId> contrib; // same-class out-neighbors that count
   for (std::uint32_t i = h; i >= 1; --i) {
-    std::vector<Message> msgs(n);
+    std::vector<std::uint64_t> words(n);
     std::vector<bool> active(n, false);
     for (NodeId v = 0; v < n; ++v) {
       if (cls[v] != i) continue;
@@ -280,42 +288,61 @@ TwoPhaseResult solve_two_phase(Network& net, const TwoPhaseInput& in) {
       const auto cv = own_set[v];
       Color best = cv.empty() ? used[v].front() : cv.front();
       std::uint64_t best_f = ~0ULL;
-      for (Color x : cv) {
-        std::uint64_t f = 0;
-        for (NodeId u : orient.out(v)) {
-          const auto ui = g.neighbor_index(v, u);
-          const std::uint32_t uc = nb_cls[v][ui];
-          if (uc > i) {
-            if (nb_final[v][ui] == x) ++f;
-          } else if (uc == i) {
-            const auto cu = nb_set[v][ui];
-            // Only non-conflicted same-class neighbors count (the
-            // conflicted <= d_v/4 are charged to the P1 budget).
-            if (!cu.empty() &&
-                !mt::tau_g_conflict(cv, cu, tau, 0) &&
-                std::binary_search(cu.begin(), cu.end(), x)) {
-              ++f;
-            }
+      // The tau&g-conflict test against a same-class neighbor depends on
+      // the two chosen sets only, never on the candidate x — decide it
+      // once per neighbor instead of once per (x, neighbor) pair. Only
+      // non-conflicted same-class neighbors count (the conflicted
+      // <= d_v/4 are charged to the P1 budget); lower classes are covered
+      // by Phase I pruning.
+      contrib.clear();
+      forbid.reset(inst.color_space);
+      for (NodeId u : orient.out(v)) {
+        const auto ui = g.neighbor_index(v, u);
+        const std::uint32_t uc = nb_cls[v][ui];
+        if (uc > i) {
+          if (nb_final[v][ui] != kUncolored) forbid.insert(nb_final[v][ui]);
+        } else if (uc == i) {
+          const auto cu = nb_set[v][ui];
+          if (!cu.empty() && !mt::tau_g_conflict(cv, cu, tau, 0)) {
+            contrib.push_back(u);
+            for (Color y : cu) forbid.insert(y);
           }
-          // Lower classes are covered by Phase I pruning.
         }
-        if (f < best_f) {
-          best_f = f;
-          best = x;
+      }
+      // Packed fast path: a candidate absent from the union of announced
+      // finals and contributing sets has frequency f == 0, and the exact
+      // loop picks the first minimum — so the first absent candidate (in
+      // list order) is the exact answer.
+      const std::uint64_t zero_conflict =
+          forbid.first_absent(std::span<const Color>(cv));
+      if (zero_conflict != PackedPalette::npos) {
+        best = static_cast<Color>(zero_conflict);
+      } else {
+        for (Color x : cv) {
+          std::uint64_t f = 0;
+          for (NodeId u : orient.out(v)) {
+            const auto ui = g.neighbor_index(v, u);
+            if (nb_cls[v][ui] > i && nb_final[v][ui] == x) ++f;
+          }
+          for (NodeId u : contrib) {
+            const auto cu = nb_set[v][g.neighbor_index(v, u)];
+            if (std::binary_search(cu.begin(), cu.end(), x)) ++f;
+          }
+          if (f < best_f) {
+            best_f = f;
+            best = x;
+          }
         }
       }
       res.phi[v] = best;
-      BitWriter w;
-      w.write_bounded(best, inst.color_space - 1);
-      msgs[v] = Message::from(w);
+      words[v] = best;
     }
-    const auto inboxes = net.exchange_broadcast(msgs, &active);
+    const WordMail inboxes =
+        net.exchange_broadcast_word(words, inst.color_space - 1, &active);
     ++res.stats.rounds;
     for (NodeId v = 0; v < n; ++v) {
-      for (const auto& [u, m] : inboxes[v]) {
-        auto r = m.reader();
-        nb_final[v][g.neighbor_index(v, u)] =
-            static_cast<Color>(r.read_bounded(inst.color_space - 1));
+      for (const auto [u, word] : inboxes[v]) {
+        nb_final[v][g.neighbor_index(v, u)] = static_cast<Color>(word);
       }
     }
   }

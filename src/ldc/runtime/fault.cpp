@@ -56,6 +56,17 @@ void FaultPlan::corrupt_payload(std::uint64_t round, NodeId from, NodeId to,
       prf.at_below(hash_combine(key, 1), m.bit_count())));
 }
 
+void FaultPlan::corrupt_word(std::uint64_t round, NodeId from, NodeId to,
+                             std::uint64_t& word,
+                             std::size_t width_bits) const {
+  if (width_bits == 0) return;
+  const Prf prf(seed);
+  const std::uint64_t key = edge_key(kCorrupt, round, from, to);
+  // Same index and reduction as corrupt_payload, so the flipped position
+  // matches the Message path bit for bit.
+  word ^= std::uint64_t{1} << prf.at_below(hash_combine(key, 1), width_bits);
+}
+
 bool FaultPlan::crashes_node(std::uint64_t round, NodeId v) const {
   return hit(Prf(seed).at(node_key(kCrash, round, v)), crash_rate);
 }

@@ -70,6 +70,15 @@ struct FaultPlan {
   void corrupt_payload(std::uint64_t round, NodeId from, NodeId to,
                        Message& m) const;
 
+  /// Word-broadcast twin of corrupt_payload: flips the same PRF-chosen bit
+  /// in a `width_bits`-bit payload carried as one word (no-op when
+  /// width_bits == 0, matching the empty-message no-op). Because BitWriter
+  /// packs a single bounded value LSB-first, bit k of the word IS bit k of
+  /// the equivalent Message payload, so fused and unfused deliveries
+  /// corrupt identically.
+  void corrupt_word(std::uint64_t round, NodeId from, NodeId to,
+                    std::uint64_t& word, std::size_t width_bits) const;
+
   /// Node v crashes at round `round` (before the max_crashes cap).
   bool crashes_node(std::uint64_t round, NodeId v) const;
 

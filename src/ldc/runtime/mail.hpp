@@ -34,9 +34,16 @@ namespace ldc {
 
 class Network;
 class RoundMail;
+class WordMail;
 
 /// One delivered message with its sender.
 using MailSlot = std::pair<NodeId, Message>;
+
+/// One delivered broadcast word with its sender (the fused-round plane).
+struct WordSlot {
+  NodeId sender;
+  std::uint64_t value;
+};
 
 /// Network-owned storage for one round's deliveries, reused across rounds.
 class MailArena {
@@ -52,6 +59,7 @@ class MailArena {
  private:
   friend class Network;
   friend class RoundMail;
+  friend class WordMail;
 
   /// Per-destination counting scratch, epoch-stamped: an entry whose stamp
   /// is not the current epoch reads as zero, so sparse rounds never pay a
@@ -91,6 +99,8 @@ class MailArena {
 
   std::vector<std::uint32_t> offsets_;  ///< n+1 per-destination slot offsets
   std::vector<MailSlot> slots_;         ///< flat (sender, message) slots
+  std::vector<std::uint64_t> words_;    ///< fused dense mode: word per sender
+  std::vector<WordSlot> word_slots_;    ///< fused sparse mode: CSR slots
   std::uint64_t epoch_ = 0;
   std::vector<Lane> lanes_;             ///< lane 0: serial; else per shard
   std::vector<char> transmits_;         ///< broadcast: sender is live
@@ -200,6 +210,115 @@ class RoundMail {
   }
 
   const MailArena* arena_ = nullptr;
+  std::uint32_t n_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Read-only view of one fused broadcast round's inboxes
+/// (Network::exchange_broadcast_word): every delivery is one word, so no
+/// per-edge Message slots exist. Two storage modes behind one interface:
+///
+///  * dense (the all-live fast path): the arena holds just one word per
+///    *sender*; destination v's lane is synthesized on the fly from the
+///    graph's sorted adjacency — O(n) storage and fill for an O(m) logical
+///    round, which is where the fused path's speed comes from.
+///  * sparse (mask and/or faults attached): a CSR of (sender, word) slots,
+///    exactly like RoundMail but with a word payload.
+///
+/// Same lifetime contract as RoundMail: the next exchange on the owning
+/// Network invalidates the view, and stale access throws std::logic_error.
+/// Lane iteration yields WordSlots by value in ascending sender order.
+class WordMail {
+ public:
+  /// One destination's delivered (sender, word) pairs.
+  class Lane {
+   public:
+    using value_type = WordSlot;
+
+    class const_iterator {
+     public:
+      using value_type = WordSlot;
+
+      WordSlot operator*() const { return (*lane_)[i_]; }
+      const_iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+      bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+     private:
+      friend class Lane;
+      const_iterator(const Lane* lane, std::size_t i) : lane_(lane), i_(i) {}
+
+      const Lane* lane_;
+      std::size_t i_;
+    };
+
+    Lane() = default;
+
+    std::size_t size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+    WordSlot operator[](std::size_t i) const {
+      if (slots_ != nullptr) return slots_[i];
+      const NodeId u = nbrs_[i];
+      return WordSlot{u, dense_[u]};
+    }
+    WordSlot front() const { return (*this)[0]; }
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, n_); }
+
+   private:
+    friend class WordMail;
+    Lane(const WordSlot* slots, std::size_t n) : slots_(slots), n_(n) {}
+    Lane(const NodeId* nbrs, const std::uint64_t* dense, std::size_t n)
+        : nbrs_(nbrs), dense_(dense), n_(n) {}
+
+    const WordSlot* slots_ = nullptr;       ///< sparse mode
+    const NodeId* nbrs_ = nullptr;          ///< dense mode: adjacency
+    const std::uint64_t* dense_ = nullptr;  ///< dense mode: word per sender
+    std::size_t n_ = 0;
+  };
+
+  WordMail() = default;
+
+  /// Number of destinations (the graph's n).
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Lane of destination v; throws std::logic_error if this view was
+  /// invalidated by a later exchange on the owning Network.
+  Lane operator[](NodeId v) const {
+    check_fresh();
+    if (v >= n_) {
+      throw std::out_of_range("WordMail: destination out of range");
+    }
+    if (dense_) {
+      const auto nb = graph_->neighbors(v);
+      return Lane(nb.data(), arena_->words_.data(), nb.size());
+    }
+    return Lane(arena_->word_slots_.data() + arena_->offsets_[v],
+                arena_->offsets_[v + 1] - arena_->offsets_[v]);
+  }
+
+ private:
+  friend class Network;
+  WordMail(const MailArena* arena, const Graph* graph, bool dense,
+           std::uint32_t n)
+      : arena_(arena), graph_(graph), dense_(dense), n_(n),
+        epoch_(arena->epoch_) {}
+
+  void check_fresh() const {
+    if (arena_ == nullptr || arena_->epoch_ != epoch_) {
+      throw std::logic_error(
+          "WordMail: view outlived its round (a later exchange rewrote the "
+          "arena; copy the words out to keep them)");
+    }
+  }
+
+  const MailArena* arena_ = nullptr;
+  const Graph* graph_ = nullptr;
+  bool dense_ = false;
   std::uint32_t n_ = 0;
   std::uint64_t epoch_ = 0;
 };

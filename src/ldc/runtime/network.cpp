@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <limits>
 #include <string>
+
+#include "ldc/support/math.hpp"
 
 namespace ldc {
 namespace {
@@ -330,11 +333,10 @@ void Network::debug_check_sorted() const {
 #endif
 }
 
-RoundMail Network::seal_round(std::uint64_t msgs_before,
-                              std::uint64_t bits_before,
-                              std::size_t round_max_bits, std::uint64_t t0,
-                              const RoundFaults& rf) {
-  debug_check_sorted();
+void Network::finish_round(std::uint64_t msgs_before,
+                           std::uint64_t bits_before,
+                           std::size_t round_max_bits, std::uint64_t t0,
+                           const RoundFaults& rf) {
   metrics_.messages_dropped += rf.dropped;
   metrics_.messages_corrupted += rf.corrupted;
   const std::uint64_t wall_ns = (now_ns() - t0) + pending_compute_ns_;
@@ -345,6 +347,14 @@ RoundMail Network::seal_round(std::uint64_t msgs_before,
                          metrics_.total_bits - bits_before, round_max_bits,
                          wall_ns, rf);
   }
+}
+
+RoundMail Network::seal_round(std::uint64_t msgs_before,
+                              std::uint64_t bits_before,
+                              std::size_t round_max_bits, std::uint64_t t0,
+                              const RoundFaults& rf) {
+  debug_check_sorted();
+  finish_round(msgs_before, bits_before, round_max_bits, t0, rf);
   return RoundMail(&arena_, graph_->n());
 }
 
@@ -513,6 +523,129 @@ RoundMail Network::exchange_broadcast(const std::vector<Message>& msgs,
   const std::uint64_t t0 = now_ns();
   broadcast_fill(msgs, active, round, rf, round_max_bits);
   return seal_round(msgs_before, bits_before, round_max_bits, t0, rf);
+}
+
+WordMail Network::exchange_broadcast_word(
+    const std::vector<std::uint64_t>& words, std::uint64_t bound,
+    const std::vector<bool>* active) {
+  const auto n = graph_->n();
+  if (words.size() != n) {
+    throw std::invalid_argument(
+        "Network::exchange_broadcast_word: words count != n");
+  }
+  if (active != nullptr && active->size() != n) {
+    throw std::invalid_argument(
+        "Network::exchange_broadcast_word: active mask size != n");
+  }
+  if (bound == std::numeric_limits<std::uint64_t>::max()) {
+    throw std::invalid_argument(
+        "Network::exchange_broadcast_word: bound must be < 2^64-1 (the "
+        "equivalent write_bounded width is ceil_log2(bound+1))");
+  }
+  if (round_cb_) round_cb_(metrics_.rounds);
+  ++arena_.epoch_;
+  const std::uint64_t round = metrics_.rounds;
+  ++metrics_.rounds;
+  RoundFaults rf;
+  const bool faulty = faults_ != nullptr && faults_->any();
+  if (faulty) prepare_round_faults(round, rf);
+  const std::uint64_t msgs_before = metrics_.messages;
+  const std::uint64_t bits_before = metrics_.total_bits;
+  std::size_t round_max_bits = 0;
+  const std::uint64_t t0 = now_ns();
+
+  // Payload width of the round: every live sender transmits exactly the
+  // bits write_bounded(word, bound) would pack.
+  const std::size_t bits = static_cast<std::size_t>(ceil_log2(bound + 1));
+  MailArena& a = arena_;
+  const bool all_live = active == nullptr && !faulty;
+  if (!all_live) {
+    a.transmits_.assign(n, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      const bool sends = (active == nullptr || (*active)[u]) &&
+                         !(faulty && down_[u] != 0);
+      a.transmits_[u] = sends ? 1 : 0;
+    }
+  }
+
+  // Sender-side accounting: the same bulk walk as broadcast_fill, with
+  // every live sender's payload exactly `bits` wide — so metrics, trace
+  // rows, and the strict-CONGEST throw point match the Message path.
+  for (NodeId u = 0; u < n; ++u) {
+    if (!all_live && a.transmits_[u] == 0) continue;
+    const std::size_t deg = graph_->degree(u);
+    if (deg == 0) continue;
+    assert(words[u] <= bound &&
+           "exchange_broadcast_word: live sender's word exceeds bound");
+    if (budget_bits_ != 0 && bits > budget_bits_) {
+      if (strict_) {
+        ++metrics_.messages;
+        metrics_.total_bits += bits;
+        metrics_.max_message_bits =
+            std::max(metrics_.max_message_bits, bits);
+        ++metrics_.congest_violations;
+        throw CongestViolation("message of " + std::to_string(bits) +
+                               " bits exceeds CONGEST budget of " +
+                               std::to_string(budget_bits_));
+      }
+      metrics_.congest_violations += deg;
+    }
+    metrics_.messages += deg;
+    metrics_.total_bits += static_cast<std::uint64_t>(deg) * bits;
+    metrics_.max_message_bits = std::max(metrics_.max_message_bits, bits);
+    round_max_bits = std::max(round_max_bits, bits);
+  }
+
+  if (all_live) {
+    // Dense mode: one word per sender; lanes are synthesized from the
+    // graph CSR at read time. O(n) work for an O(m) logical round.
+    if (a.words_.size() < n) a.words_.resize(n);
+    std::copy(words.begin(), words.end(), a.words_.begin());
+  } else {
+    // Sparse mode: CSR of (sender, word) slots, mirroring broadcast_fill's
+    // masked/faulty path — drop and corruption events are counted in the
+    // offset pass and re-resolved (pure decisions) in the fill pass.
+    if (a.offsets_.size() < n + 1) a.offsets_.resize(n + 1);
+    std::uint32_t total = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      a.offsets_[v] = total;
+      const bool receiver_down = faulty && down_[v] != 0;
+      for (NodeId u : graph_->neighbors(v)) {
+        if (a.transmits_[u] == 0) continue;
+        if (faulty &&
+            (receiver_down || faults_->drops_message(round, u, v))) {
+          ++rf.dropped;
+          continue;
+        }
+        if (faulty && faults_->corrupts_message(round, u, v)) {
+          ++rf.corrupted;
+        }
+        ++total;
+      }
+    }
+    a.offsets_[n] = total;
+    if (a.word_slots_.size() != total) a.word_slots_.resize(total);
+    for (NodeId v = 0; v < n; ++v) {
+      std::uint32_t cur = a.offsets_[v];
+      const bool receiver_down = faulty && down_[v] != 0;
+      for (NodeId u : graph_->neighbors(v)) {
+        if (a.transmits_[u] == 0) continue;
+        if (faulty &&
+            (receiver_down || faults_->drops_message(round, u, v))) {
+          continue;
+        }
+        WordSlot& slot = a.word_slots_[cur++];
+        slot.sender = u;
+        slot.value = words[u];
+        if (faulty && faults_->corrupts_message(round, u, v)) {
+          faults_->corrupt_word(round, u, v, slot.value, bits);
+        }
+      }
+    }
+  }
+
+  finish_round(msgs_before, bits_before, round_max_bits, t0, rf);
+  return WordMail(&arena_, graph_, all_live, n);
 }
 
 void Network::run_node_programs(const std::function<void(NodeId)>& fn) {

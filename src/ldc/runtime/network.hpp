@@ -125,6 +125,23 @@ class Network {
   RoundMail exchange_broadcast(const std::vector<Message>& msgs,
                                const std::vector<bool>* active = nullptr);
 
+  /// Fused fast path for the most common round shape: every live node
+  /// broadcasts ONE bounded value — exactly what a
+  /// `BitWriter::write_bounded(words[v], bound)` + exchange_broadcast round
+  /// sends, but with no Message materialization and no per-edge slot fill
+  /// on the all-live path (the arena stores one word per *sender*; lanes
+  /// are synthesized from the graph CSR). Observable behavior — metrics,
+  /// trace rows, fault decisions and corrupted bit positions, inbox
+  /// contents/order, strict-CONGEST errors — is byte-identical to the
+  /// equivalent exchange_broadcast round: each delivery is accounted at
+  /// ceil_log2(bound+1) bits, and corruption flips the same PRF-chosen bit
+  /// (BitWriter packs LSB-first, so word bit k == payload bit k). Every
+  /// live sender's word must be <= bound; bound must be < 2^64-1. The
+  /// returned view obeys the same one-round lifetime as exchange().
+  WordMail exchange_broadcast_word(const std::vector<std::uint64_t>& words,
+                                   std::uint64_t bound,
+                                   const std::vector<bool>* active = nullptr);
+
   /// Evaluates fn(v) for every node, in parallel under kParallel. fn must
   /// only write state owned by node v (its own message slot, color, inbox
   /// decode target, ...) — shared reads are fine, shared writes are not.
@@ -265,7 +282,12 @@ class Network {
   void broadcast_fill(const std::vector<Message>& msgs,
                       const std::vector<bool>* active, std::uint64_t round,
                       RoundFaults& rf, std::size_t& round_max_bits);
-  /// Shared round epilogue: fault counters, wall clock, trace row, view.
+  /// Shared round epilogue: fault counters, wall clock, trace row. Used by
+  /// both the Message plane (seal_round) and the fused word plane.
+  void finish_round(std::uint64_t msgs_before, std::uint64_t bits_before,
+                    std::size_t round_max_bits, std::uint64_t t0,
+                    const RoundFaults& rf);
+  /// Message-plane epilogue: order check + finish_round + arena view.
   RoundMail seal_round(std::uint64_t msgs_before, std::uint64_t bits_before,
                        std::size_t round_max_bits, std::uint64_t t0,
                        const RoundFaults& rf);

@@ -1,14 +1,20 @@
 #include "ldc/service/metrics.hpp"
 
+#include <cmath>
+
 namespace ldc::service {
 
 std::uint64_t LatencyHistogram::percentile_ns(double q) const {
   if (count_ == 0) return 0;
   if (q < 0) q = 0;
   if (q > 1) q = 1;
-  // Rank of the q-quantile sample, 1-based, ceiling convention.
-  const std::uint64_t rank =
-      std::uint64_t(q * double(count_ - 1)) + 1;
+  // Nearest-rank: the q-quantile sample has 1-based rank ceil(q * count),
+  // clamped to [1, count]. (floor(q * (count-1)) + 1 under-reports upper
+  // quantiles: p99 of two samples would pick rank 1, the minimum.)
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * double(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 
 namespace ldc {
 
@@ -62,6 +63,21 @@ constexpr std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
   if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
     return std::numeric_limits<std::uint64_t>::max();
   }
+  return a * b;
+}
+
+/// True iff a*b would wrap uint64 (exact, unlike comparing against the
+/// saturated product).
+constexpr bool mul_overflows(std::uint64_t a, std::uint64_t b) {
+  return a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a;
+}
+
+/// a*b, throwing std::overflow_error (tagged with `what`) on wraparound.
+/// For parameter formulas whose results feed sizes/palettes, where a
+/// silently wrapped value would pick an invalid configuration.
+inline std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b,
+                                 const char* what) {
+  if (mul_overflows(a, b)) throw std::overflow_error(what);
   return a * b;
 }
 

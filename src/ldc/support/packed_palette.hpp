@@ -1,0 +1,138 @@
+// Bit-packed color sets for the node-program hot loops.
+//
+// The candidate/conflict scans inside the defective-coloring node programs
+// repeatedly answer two questions about a set of forbidden colors: "is x
+// forbidden?" and "which of my candidate colors is not forbidden?". A
+// PackedPalette answers both word-parallel: colors live as bits in 64-bit
+// words, membership is one shift+mask, and the first-free scan is an
+// AND-NOT over whole words followed by a ctz — 64 candidates per iteration
+// instead of one binary search each.
+//
+// Reuse contract: a palette is meant to be built and torn down once per
+// node per round, so clear() must not cost O(universe). Inserts record the
+// words they touch in a dirty list; clear() zeroes only those words. A
+// palette that is reset(universe)-ed once and then cycled insert*/clear
+// performs no steady-state allocation (the dirty list's capacity is
+// retained). It is scratch state: share one instance per thread, never
+// across threads.
+//
+// Exactness: the migrated scans only use the palette for zero/non-zero
+// membership tests (is there *any* conflict within the g-window of x?),
+// never for multiplicity counts — the counting fallbacks in the callers
+// keep the exact min-frequency semantics when every candidate conflicts.
+// insert_window(c, g) sets the whole dilated interval [c-g, c+g] (clamped
+// to the universe), so "x not in palette" == "no inserted color is within
+// distance g of x" by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ldc {
+
+class PackedPalette {
+ public:
+  static constexpr std::uint64_t npos = ~std::uint64_t{0};
+
+  PackedPalette() = default;
+  explicit PackedPalette(std::uint64_t universe) { reset(universe); }
+
+  /// Colors representable: [0, universe).
+  std::uint64_t universe() const { return universe_; }
+
+  /// Empties the set and (re)sizes it for colors < universe. Growing
+  /// allocates; a same-or-smaller universe reuses the buffer.
+  void reset(std::uint64_t universe) {
+    clear();
+    universe_ = universe;
+    const std::size_t need =
+        static_cast<std::size_t>((universe + 63) / 64);
+    if (words_.size() < need) words_.resize(need, 0);
+  }
+
+  /// Removes every color; O(words actually touched since the last clear).
+  void clear() {
+    for (const std::uint32_t w : dirty_) words_[w] = 0;
+    dirty_.clear();
+  }
+
+  bool empty() const { return dirty_.empty(); }
+
+  void insert(std::uint64_t c) {
+    if (c >= universe_) return;  // out-of-range colors constrain nothing
+    touch(static_cast<std::uint32_t>(c >> 6));
+    words_[c >> 6] |= std::uint64_t{1} << (c & 63);
+  }
+
+  /// Inserts the dilated window [c-g, c+g] clamped to [0, universe):
+  /// afterwards contains(x) holds exactly for the x within distance g of
+  /// some inserted center.
+  void insert_window(std::uint64_t c, std::uint64_t g) {
+    if (universe_ == 0) return;
+    const std::uint64_t lo = c > g ? c - g : 0;
+    if (lo >= universe_) return;
+    std::uint64_t hi = c + g;  // inclusive
+    if (hi < c || hi >= universe_) hi = universe_ - 1;
+    std::uint32_t wlo = static_cast<std::uint32_t>(lo >> 6);
+    const std::uint32_t whi = static_cast<std::uint32_t>(hi >> 6);
+    // First and last word get partial masks; interior words are all-ones.
+    for (std::uint32_t w = wlo; w <= whi; ++w) {
+      std::uint64_t mask = ~std::uint64_t{0};
+      if (w == wlo) mask &= ~std::uint64_t{0} << (lo & 63);
+      if (w == whi) {
+        const unsigned top = static_cast<unsigned>(hi & 63);
+        mask &= top == 63 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << (top + 1)) - 1;
+      }
+      touch(w);
+      words_[w] |= mask;
+    }
+  }
+
+  bool contains(std::uint64_t c) const {
+    if (c >= universe_) return false;
+    return (words_[c >> 6] >> (c & 63)) & 1;
+  }
+
+  /// First element of `candidates` (in the span's own order) that is NOT in
+  /// the set, or npos if every candidate is present. This is the scan shape
+  /// of the migrated pickers: candidates are a node's list, the palette is
+  /// its neighbors' (dilated) conflict union, and the first absentee is the
+  /// earliest zero-conflict choice.
+  template <typename T>
+  std::uint64_t first_absent(std::span<const T> candidates) const {
+    for (const T c : candidates) {
+      if (!contains(static_cast<std::uint64_t>(c))) {
+        return static_cast<std::uint64_t>(c);
+      }
+    }
+    return npos;
+  }
+
+  /// Word-parallel variant: smallest color in `candidates` missing from
+  /// this set (AND-NOT + ctz per word), or npos. Requires `candidates` to
+  /// have been filled by ascending inserts (a sorted list), so its dirty
+  /// word list is ascending; both palettes must share a universe.
+  std::uint64_t first_absent(const PackedPalette& candidates) const {
+    for (const std::uint32_t w : candidates.dirty_) {
+      const std::uint64_t free = candidates.words_[w] & ~words_[w];
+      if (free != 0) {
+        return (static_cast<std::uint64_t>(w) << 6) +
+               static_cast<std::uint64_t>(__builtin_ctzll(free));
+      }
+    }
+    return npos;
+  }
+
+ private:
+  void touch(std::uint32_t w) {
+    if (words_[w] == 0) dirty_.push_back(w);
+  }
+
+  std::uint64_t universe_ = 0;
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint32_t> dirty_;  ///< indices of nonzero words
+};
+
+}  // namespace ldc

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
 #include "ldc/coloring/validate.hpp"
 #include "ldc/graph/generators.hpp"
 #include "ldc/linial/cover_free.hpp"
@@ -63,6 +67,51 @@ TEST(CoverFree, DistinctColorsDisagreeSomewhere) {
         if (f.evaluate(a, x) == f.evaluate(b, x)) ++agreements;
       }
       EXPECT_LE(agreements, f.deg);
+    }
+  }
+}
+
+TEST(CoverFree, OutputSpaceOverflowThrows) {
+  // q*q above 2^64 must refuse loudly instead of silently wrapping into a
+  // tiny (and wrong) palette bound.
+  RsFamily f;
+  f.q = std::uint64_t{1} << 33;
+  f.deg = 1;
+  EXPECT_THROW(f.output_space(), std::overflow_error);
+  f.q = std::uint64_t{1} << 31;  // q^2 = 2^62: representable
+  EXPECT_EQ(f.output_space(), std::uint64_t{1} << 62);
+}
+
+TEST(CoverFree, ChooseFamilyThrowsInsteadOfWrapping) {
+  // Pre-fix, the conflict bound D*deg/(d+1)+1 was computed in 64 bits: a
+  // huge D wrapped to a tiny q_min and the search "succeeded" with a
+  // family whose conflict constraint is violated (or fell through and
+  // returned the default q = 0 family, whose evaluate() divides by zero).
+  EXPECT_THROW(
+      choose_family(1ULL << 32, std::numeric_limits<std::uint64_t>::max(), 0),
+      std::overflow_error);
+  // Large-but-representable boundary still succeeds: q ~ 2^31, q^2 ~ 2^62.
+  const RsFamily f = choose_family(std::uint64_t{1} << 62, 4, 0);
+  EXPECT_GT(f.q, 0u);
+  EXPECT_GE(sat_pow(f.q, f.deg + 1), std::uint64_t{1} << 62);
+  EXPECT_GE(f.output_space(), f.q);
+}
+
+TEST(CoverFree, EvalTableMatchesDirectEvaluation) {
+  // The per-round pow table must be a pure memoization: same value as
+  // RsFamily::evaluate for every (color, point) pair.
+  for (std::uint64_t m : {10ULL, 1000ULL, 1ULL << 20}) {
+    for (std::uint64_t D : {2ULL, 9ULL}) {
+      const RsFamily f = choose_family(m, D, 1);
+      const linial::RsEvalTable tab(f);
+      std::vector<std::uint64_t> digits(f.deg + 1);
+      for (std::uint64_t c = 0; c < std::min<std::uint64_t>(m, 200); c += 7) {
+        tab.digits_of(c, digits.data());
+        for (std::uint64_t x = 0; x < f.q; ++x) {
+          ASSERT_EQ(tab.eval(digits.data(), x), f.evaluate(c, x))
+              << "m=" << m << " D=" << D << " c=" << c << " x=" << x;
+        }
+      }
     }
   }
 }

@@ -1,0 +1,57 @@
+// Unit tests for the load generator's latency reduction. The percentile
+// function is the piece that turns thousands of raw samples into the three
+// numbers people actually read off a load run, so its conventions are
+// pinned here: nearest-rank (ceil(p * N), 1-based), empty input reports 0,
+// and the label on the report matches the timestamp pair being measured.
+#include "load_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ldc::bench {
+namespace {
+
+using loadgen_detail::percentile_sorted;
+
+TEST(LoadGenPercentile, EmptySampleReportsZero) {
+  const std::vector<double> none;
+  EXPECT_EQ(percentile_sorted(none, 0.50), 0.0);
+  EXPECT_EQ(percentile_sorted(none, 0.999), 0.0);
+}
+
+TEST(LoadGenPercentile, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one = {42.0};
+  EXPECT_EQ(percentile_sorted(one, 0.0), 42.0);
+  EXPECT_EQ(percentile_sorted(one, 0.50), 42.0);
+  EXPECT_EQ(percentile_sorted(one, 1.0), 42.0);
+}
+
+TEST(LoadGenPercentile, TailRanksReachTheMaximum) {
+  // 100 ascending samples 1..100. Nearest-rank p99.9 is rank
+  // ceil(0.999 * 100) = 100 — the maximum. The floor-index form
+  // `sorted[size_t(p * (N-1))]` picks index 98 (= 99.0) and silently
+  // under-reports the tail; this is the regression the fix pins.
+  std::vector<double> s(100);
+  for (int i = 0; i < 100; ++i) s[i] = static_cast<double>(i + 1);
+  EXPECT_EQ(percentile_sorted(s, 0.999), 100.0);
+  EXPECT_EQ(percentile_sorted(s, 0.99), 99.0);   // rank ceil(99.0) = 99
+  EXPECT_EQ(percentile_sorted(s, 0.50), 50.0);   // rank ceil(50.0) = 50
+}
+
+TEST(LoadGenPercentile, TwoSampleTail) {
+  const std::vector<double> two = {10.0, 1000.0};
+  // rank ceil(0.99 * 2) = 2: the p99 of two samples is the larger one.
+  EXPECT_EQ(percentile_sorted(two, 0.99), 1000.0);
+  EXPECT_EQ(percentile_sorted(two, 0.50), 10.0);  // rank ceil(1.0) = 1
+}
+
+TEST(LoadGenPercentile, RanksClampToValidRange) {
+  const std::vector<double> s = {1.0, 2.0, 3.0};
+  EXPECT_EQ(percentile_sorted(s, 0.0), 1.0);    // rank clamps up to 1
+  EXPECT_EQ(percentile_sorted(s, 1.0), 3.0);    // rank ceil(3.0) = 3
+  EXPECT_EQ(percentile_sorted(s, 2.0), 3.0);    // out-of-range p clamps
+}
+
+}  // namespace
+}  // namespace ldc::bench

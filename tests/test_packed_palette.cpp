@@ -1,0 +1,153 @@
+#include "ldc/support/packed_palette.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "ldc/coloring/instance.hpp"
+#include "ldc/support/prf.hpp"
+
+namespace ldc {
+namespace {
+
+TEST(PackedPalette, InsertContainsClear) {
+  PackedPalette p;
+  p.reset(130);
+  EXPECT_FALSE(p.contains(0));
+  p.insert(0);
+  p.insert(63);
+  p.insert(64);
+  p.insert(129);
+  p.insert(200);  // out of universe: ignored, not UB
+  EXPECT_TRUE(p.contains(0));
+  EXPECT_TRUE(p.contains(63));
+  EXPECT_TRUE(p.contains(64));
+  EXPECT_TRUE(p.contains(129));
+  EXPECT_FALSE(p.contains(1));
+  EXPECT_FALSE(p.contains(128));
+  p.clear();
+  for (std::uint64_t c : {0ULL, 63ULL, 64ULL, 129ULL}) {
+    EXPECT_FALSE(p.contains(c)) << c;
+  }
+}
+
+TEST(PackedPalette, InsertWindowClampsAndSpansWords) {
+  PackedPalette p;
+  p.reset(200);
+  p.insert_window(2, 5);  // clamps at 0: marks [0, 7]
+  for (std::uint64_t c = 0; c <= 7; ++c) EXPECT_TRUE(p.contains(c)) << c;
+  EXPECT_FALSE(p.contains(8));
+  p.clear();
+  p.insert_window(64, 70);  // spans three words and both universe edges
+  for (std::uint64_t c = 0; c <= 134; ++c) EXPECT_TRUE(p.contains(c)) << c;
+  EXPECT_FALSE(p.contains(135));
+  p.clear();
+  p.insert_window(198, 10);  // clamps at the top: [188, 199]
+  EXPECT_FALSE(p.contains(187));
+  for (std::uint64_t c = 188; c <= 199; ++c) EXPECT_TRUE(p.contains(c)) << c;
+}
+
+TEST(PackedPalette, FirstAbsentListScan) {
+  PackedPalette p;
+  p.reset(64);
+  const std::vector<Color> cand = {3, 5, 9, 11};
+  EXPECT_EQ(p.first_absent(std::span<const Color>(cand)), 3u);
+  p.insert(3);
+  p.insert(5);
+  EXPECT_EQ(p.first_absent(std::span<const Color>(cand)), 9u);
+  p.insert(9);
+  p.insert(11);
+  EXPECT_EQ(p.first_absent(std::span<const Color>(cand)),
+            PackedPalette::npos);
+}
+
+// Randomized equivalence: the packed scan must pick exactly the color a
+// reference std::set-based scan picks, over many universes and densities.
+TEST(PackedPalette, RandomizedMatchesReferenceScan) {
+  const Prf prf(0xfeedULL);
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    const std::uint64_t universe =
+        1 + prf.at_below(hash_combine(trial, 1), 300);
+    PackedPalette packed;
+    packed.reset(universe);
+    std::set<std::uint64_t> reference;
+    const std::uint64_t inserts = prf.at_below(hash_combine(trial, 2), 64);
+    for (std::uint64_t i = 0; i < inserts; ++i) {
+      const std::uint64_t c =
+          prf.at_below(hash_combine(trial, 100 + i), universe + 10);
+      const std::uint64_t g = prf.at_below(hash_combine(trial, 200 + i), 4);
+      packed.insert_window(c, g);
+      for (std::uint64_t y = (c > g ? c - g : 0);
+           y <= c + g && y < universe; ++y) {
+        reference.insert(y);
+      }
+    }
+    // Membership agrees everywhere.
+    for (std::uint64_t c = 0; c < universe; ++c) {
+      ASSERT_EQ(packed.contains(c), reference.count(c) != 0)
+          << "trial " << trial << " color " << c;
+    }
+    // first_absent over a sorted candidate list agrees with the reference.
+    std::vector<Color> cand;
+    for (std::uint64_t c = prf.at_below(hash_combine(trial, 3), 7);
+         c < universe; c += 1 + prf.at_below(hash_combine(trial, 4), 5)) {
+      cand.push_back(static_cast<Color>(c));
+    }
+    std::uint64_t want = PackedPalette::npos;
+    for (Color c : cand) {
+      if (reference.count(c) == 0) {
+        want = c;
+        break;
+      }
+    }
+    ASSERT_EQ(packed.first_absent(std::span<const Color>(cand)), want)
+        << "trial " << trial;
+  }
+}
+
+// Word-parallel scan vs. the element-wise scan: filling the candidate
+// palette with ascending inserts (its documented precondition) must give
+// the same smallest-absent answer.
+TEST(PackedPalette, WordParallelMatchesElementScan) {
+  const Prf prf(0xc0ffeeULL);
+  for (std::uint64_t trial = 0; trial < 100; ++trial) {
+    const std::uint64_t universe =
+        65 + prf.at_below(hash_combine(trial, 1), 200);
+    PackedPalette forbid;
+    forbid.reset(universe);
+    const std::uint64_t inserts = prf.at_below(hash_combine(trial, 2), 96);
+    for (std::uint64_t i = 0; i < inserts; ++i) {
+      forbid.insert(prf.at_below(hash_combine(trial, 10 + i), universe));
+    }
+    std::vector<Color> cand;
+    for (std::uint64_t c = prf.at_below(hash_combine(trial, 3), 9);
+         c < universe; c += 1 + prf.at_below(hash_combine(trial, 4), 3)) {
+      cand.push_back(static_cast<Color>(c));
+    }
+    PackedPalette cand_set;
+    cand_set.reset(universe);
+    for (Color c : cand) cand_set.insert(c);  // ascending inserts
+    ASSERT_EQ(forbid.first_absent(cand_set),
+              forbid.first_absent(std::span<const Color>(cand)))
+        << "trial " << trial;
+  }
+}
+
+TEST(PackedPalette, ResetGrowsAndShrinksUniverse) {
+  PackedPalette p;
+  p.reset(10);
+  p.insert(5);
+  p.reset(500);  // grow: old marks gone
+  EXPECT_FALSE(p.contains(5));
+  p.insert(499);
+  EXPECT_TRUE(p.contains(499));
+  p.reset(10);  // shrink: 499 now out of universe
+  EXPECT_FALSE(p.contains(499));
+  EXPECT_FALSE(p.contains(5));
+}
+
+}  // namespace
+}  // namespace ldc

@@ -474,6 +474,121 @@ TEST(ParallelEquivalence, BroadcastFastPathMatchesExplicitOutboxes) {
   }
 }
 
+// The fused word-broadcast path (one bounded word per sender, no per-edge
+// mail) must be observably identical to BOTH the generic broadcast fast
+// path carrying the same write_bounded payload AND fully materialized
+// outboxes: same decoded values per (receiver, sender), same accounting,
+// same trace digest — with and without an active mask, with and without
+// faults, across engines. write_bounded lays the value out LSB-first, so
+// payload bit k is value bit k and a corrupted word decodes to exactly
+// the corrupted payload's value.
+TEST(ParallelEquivalence, FusedWordBroadcastMatchesBroadcastAndOutboxes) {
+  const Graph g = gen::gnp(48, 0.25, 34);
+  const std::uint64_t bound = 499;
+  std::vector<std::uint64_t> words(g.n());
+  std::vector<Message> msgs(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    words[v] = hash_combine(0xb1, v) % (bound + 1);
+    BitWriter w;
+    w.write_bounded(words[v], bound);
+    msgs[v] = Message::from(w);
+  }
+  std::vector<bool> mask(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) mask[v] = v % 3 != 0;
+  FaultPlan plan;
+  plan.seed = 0xfa08;
+  plan.drop_rate = 0.08;
+  plan.corrupt_rate = 0.12;
+  plan.sleep_rate = 0.05;
+
+  struct Flat {
+    std::vector<std::uint64_t> slots;
+    RunMetrics metrics;
+    std::uint64_t trace_digest = 0;
+  };
+  enum class Path { kOutboxes, kBroadcast, kFusedWord };
+  auto run = [&](std::size_t threads, const std::vector<bool>* active,
+                 const FaultPlan* faults, Path path) {
+    Network net(g);
+    if (threads > 0) net.set_engine(Network::Engine::kParallel, threads);
+    Trace trace;
+    net.attach_trace(&trace);
+    if (faults != nullptr) net.attach_faults(faults);
+    Flat out;
+    for (int round = 0; round < 3; ++round) {
+      if (path == Path::kFusedWord) {
+        const WordMail in = net.exchange_broadcast_word(words, bound, active);
+        for (NodeId v = 0; v < g.n(); ++v) {
+          for (const auto [sender, word] : in[v]) {
+            out.slots.push_back(hash_combine(
+                (static_cast<std::uint64_t>(v) << 32) | sender, word));
+          }
+        }
+        continue;
+      }
+      RoundMail in;
+      if (path == Path::kOutboxes) {
+        std::vector<Network::Outbox> outboxes(g.n());
+        for (NodeId u = 0; u < g.n(); ++u) {
+          if (active != nullptr && !(*active)[u]) continue;
+          for (NodeId v : g.neighbors(u)) outboxes[u].emplace_back(v, msgs[u]);
+        }
+        in = net.exchange(outboxes);
+      } else {
+        in = net.exchange_broadcast(msgs, active);
+      }
+      for (NodeId v = 0; v < g.n(); ++v) {
+        for (const auto& [sender, msg] : in[v]) {
+          auto r = msg.reader();
+          out.slots.push_back(
+              hash_combine((static_cast<std::uint64_t>(v) << 32) | sender,
+                           r.read_bounded(bound)));
+        }
+      }
+    }
+    out.metrics = net.metrics();
+    out.trace_digest = trace.digest();
+    return out;
+  };
+
+  const std::vector<bool>* masks[] = {nullptr, &mask};
+  const FaultPlan* plans[] = {nullptr, &plan};
+  for (const std::vector<bool>* active : masks) {
+    for (const FaultPlan* faults : plans) {
+      const Flat ref = run(0, active, faults, Path::kOutboxes);
+      for (const Path path : {Path::kBroadcast, Path::kFusedWord}) {
+        for (std::size_t threads : {0u, 1u, 7u}) {
+          const Flat got = run(threads, active, faults, path);
+          const std::string label =
+              std::string(path == Path::kFusedWord ? "fused" : "broadcast") +
+              "/" + (active != nullptr ? "masked" : "all") +
+              (faults != nullptr ? "+faults" : "") + " @" +
+              std::to_string(threads) + "t";
+          EXPECT_EQ(ref.slots, got.slots) << label << ": deliveries differ";
+          EXPECT_TRUE(ref.metrics.same_communication(got.metrics))
+              << label << ": metrics differ: ref {" << ref.metrics
+              << "} got {" << got.metrics << "}";
+          EXPECT_EQ(ref.trace_digest, got.trace_digest)
+              << label << ": trace digests differ";
+        }
+      }
+    }
+  }
+}
+
+// A WordMail is a view into the network's round arena; touching it after
+// the next exchange begins must fail loudly instead of silently reading
+// reused storage.
+TEST(ParallelEquivalence, StaleWordMailAccessThrows) {
+  const Graph g = gen::ring(8);
+  Network net(g);
+  const std::vector<std::uint64_t> words(g.n(), 3);
+  const WordMail first = net.exchange_broadcast_word(words, 7);
+  (void)first[0];  // fresh: fine
+  (void)net.exchange_broadcast_word(words, 7);
+  EXPECT_THROW((void)first[0], std::logic_error);
+}
+
 TEST(ParallelEquivalence, CongestAccountingMatchesAcrossEngines) {
   // Non-strict CONGEST budget: violation counts must merge exactly.
   const Graph g = gen::random_regular(50, 6, 17);

@@ -261,6 +261,38 @@ TEST(ServiceMetrics, HistogramPercentiles) {
   EXPECT_GT(j.at("p95_ms").as_double(), 0.5);
 }
 
+TEST(ServiceMetrics, HistogramZeroSampleLandsInBucketZero) {
+  // add(0) must be well-defined: bucket 0 holds [0, 2), reported upper
+  // bound 1 ns — not a shift past the bucket array.
+  LatencyHistogram h;
+  h.add(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile_ns(0.0), 1u);
+  EXPECT_EQ(h.percentile_ns(0.5), 1u);
+  EXPECT_EQ(h.percentile_ns(1.0), 1u);
+}
+
+TEST(ServiceMetrics, HistogramAllEqualSamplesReportTheirBucketBound) {
+  // Every quantile of an all-equal stream is that value's bucket bound:
+  // bucket_of(5000) = 12, upper bound 2^13 - 1 = 8191.
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.add(5'000);
+  for (double q : {0.50, 0.95, 0.99}) {
+    EXPECT_EQ(h.percentile_ns(q), 8191u) << "q=" << q;
+  }
+}
+
+TEST(ServiceMetrics, HistogramTailQuantileOfTwoSamplesIsTheMax) {
+  // Nearest-rank regression: the q-quantile sample has rank ceil(q*count),
+  // so p99 of two samples is rank 2 — the larger one. The previous
+  // floor(q*(count-1))+1 rank picked rank 1 and reported the minimum.
+  LatencyHistogram h;
+  h.add(1);
+  h.add(1'000'000);
+  EXPECT_EQ(h.percentile_ns(0.99), (1u << 20) - 1);  // 1e6's bucket bound
+  EXPECT_EQ(h.percentile_ns(0.50), 1u);              // rank 1: the min
+}
+
 // ---------------------------------------------------------------------------
 // Service end-to-end
 
