@@ -19,6 +19,13 @@ bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
          edges_.end();
 }
 
+std::size_t GraphBuilder::unique_edge_count() const {
+  auto edges = edges_;
+  std::sort(edges.begin(), edges.end());
+  return static_cast<std::size_t>(
+      std::unique(edges.begin(), edges.end()) - edges.begin());
+}
+
 Graph GraphBuilder::build() const {
   auto edges = edges_;
   std::sort(edges.begin(), edges.end());

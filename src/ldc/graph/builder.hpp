@@ -20,7 +20,16 @@ class GraphBuilder {
   bool has_edge(NodeId u, NodeId v) const;
 
   std::uint32_t n() const { return n_; }
+
+  /// Number of add_edge() calls recorded so far — the RAW count, which
+  /// counts a duplicate edge once per call. build() deduplicates, so the
+  /// built graph's m() can be smaller; use unique_edge_count() for the
+  /// post-dedup count.
   std::size_t edge_count() const { return edges_.size(); }
+
+  /// Number of distinct undirected edges recorded (what build() will
+  /// produce as m()). O(E log E): counts on a sorted copy.
+  std::size_t unique_edge_count() const;
 
   /// Finalizes into a CSR Graph. The builder may be reused afterwards.
   Graph build() const;

@@ -5,12 +5,35 @@
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "ldc/graph/builder.hpp"
 #include "ldc/support/prf.hpp"
 
 namespace ldc::gen {
+namespace {
+
+// In-RAM generators materialize every edge (and random_regular a stub per
+// half-edge), so requested sizes must be bounded *in 64-bit* before any
+// container is sized from them: a 32-bit product like torus's w*h or
+// complete_bipartite's a+b used to wrap silently and build a garbage graph
+// instead of failing. Callers wanting 10^8+-vertex families stream them
+// through ldc/storage instead.
+constexpr std::uint64_t kMaxInRamNodes = std::uint64_t{1} << 31;
+constexpr std::uint64_t kMaxInRamEdges = std::uint64_t{1} << 31;
+
+void require_fits(const char* what, std::uint64_t value, std::uint64_t cap) {
+  if (value > cap) {
+    throw std::overflow_error(std::string(what) + " = " +
+                              std::to_string(value) +
+                              " exceeds the in-RAM generator cap " +
+                              std::to_string(cap) +
+                              " (use the streaming corpus generators)");
+  }
+}
+
+}  // namespace
 
 Graph ring(std::uint32_t n) {
   if (n < 3) throw std::invalid_argument("ring: n >= 3 required");
@@ -34,6 +57,10 @@ Graph clique(std::uint32_t n) {
 }
 
 Graph complete_bipartite(std::uint32_t a, std::uint32_t b_) {
+  require_fits("complete_bipartite: a+b",
+               std::uint64_t{a} + std::uint64_t{b_}, kMaxInRamNodes);
+  require_fits("complete_bipartite: a*b edges",
+               std::uint64_t{a} * std::uint64_t{b_}, kMaxInRamEdges);
   GraphBuilder b(a + b_);
   for (std::uint32_t u = 0; u < a; ++u) {
     for (std::uint32_t v = 0; v < b_; ++v) b.add_edge(u, a + v);
@@ -86,6 +113,8 @@ Graph random_regular(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
   if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) {
     throw std::invalid_argument("random_regular: n*d must be even");
   }
+  require_fits("random_regular: n*d stubs",
+               static_cast<std::uint64_t>(n) * d, kMaxInRamEdges);
   SplitMix64 rng(seed);
   // Configuration model: random stub pairing, then repair invalid pairs
   // (self-loops / duplicates) by edge swaps with random existing edges.
@@ -140,6 +169,8 @@ Graph random_regular(std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
 
 Graph torus(std::uint32_t w, std::uint32_t h) {
   if (w < 3 || h < 3) throw std::invalid_argument("torus: w,h >= 3 required");
+  require_fits("torus: w*h", std::uint64_t{w} * std::uint64_t{h},
+               kMaxInRamNodes);
   GraphBuilder b(w * h);
   auto at = [w](std::uint32_t x, std::uint32_t y) { return y * w + x; };
   for (std::uint32_t y = 0; y < h; ++y) {

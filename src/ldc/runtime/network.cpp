@@ -505,7 +505,8 @@ RoundMail Network::exchange_broadcast(const std::vector<Message>& msgs,
   const auto n = graph_->n();
   if (msgs.size() != n) {
     throw std::invalid_argument(
-        "Network::exchange_broadcast: msgs count != n");
+        "Network::exchange_broadcast: msgs count " +
+        std::to_string(msgs.size()) + " != n " + std::to_string(n));
   }
   if (active != nullptr && active->size() != n) {
     throw std::invalid_argument(

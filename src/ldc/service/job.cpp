@@ -89,6 +89,13 @@ std::uint64_t fnv1a64(const void* data, std::size_t len, std::uint64_t seed) {
 
 Graph build_graph(const GraphSpec& spec) {
   const auto& f = spec.family;
+  if (f == "corpus") {
+    // Corpus graphs are resolved by the service's registry (the spec alone
+    // cannot name a directory); reaching this builder means none exists.
+    throw JobSpecError(
+        "job spec: family 'corpus' needs a service with a corpus "
+        "directory (--corpus-dir)");
+  }
   if (f != "file") require_range("n", spec.n, 1, kMaxJobNodes);
   require_range("id_bits", spec.id_bits, 0, kMaxIdBits);
   Graph g = [&]() -> Graph {
@@ -172,7 +179,13 @@ std::uint64_t Job::param_or(const std::string& key,
 std::string Job::canonical() const {
   std::string s = "algo=" + algorithm + "|seed=" + std::to_string(seed) +
                   "|graph=" + graph.family;
-  if (graph.family == "file") {
+  if (graph.family == "corpus") {
+    // The content digest — not the name — is the graph's identity, so a
+    // regenerated corpus under the same name never serves stale cache
+    // entries (and an identical corpus under a new name still hits).
+    s += ",corpus=" + graph.corpus +
+         ",content=" + std::to_string(graph.corpus_digest);
+  } else if (graph.family == "file") {
     s += ",path=" + graph.path;
   } else {
     s += ",n=" + std::to_string(graph.n) + ",d=" + std::to_string(graph.d) +
@@ -228,6 +241,23 @@ Job job_from_json(const harness::Json& j) {
       throw JobSpecError("job spec: 'path' must be a string");
     }
   }
+  if (const harness::Json* corpus = g->find("corpus")) {
+    try {
+      job.graph.corpus = corpus->as_string();
+    } catch (const harness::JsonError&) {
+      throw JobSpecError("job spec: 'corpus' must be a string");
+    }
+  }
+  if (job.graph.family == "corpus") {
+    if (job.graph.corpus.empty()) {
+      throw JobSpecError("job spec: family 'corpus' requires 'corpus'");
+    }
+    if (job.graph.id_bits != 0) {
+      throw JobSpecError(
+          "job spec: 'id_bits' cannot rescramble a corpus graph (its ids "
+          "are baked into the file)");
+    }
+  }
 
   if (const harness::Json* params = j.find("params")) {
     if (params->kind() != harness::Json::Kind::kObject) {
@@ -250,7 +280,9 @@ harness::Json job_to_json(const Job& job) {
   using harness::Json;
   Json g = Json::object();
   g.add("family", job.graph.family);
-  if (job.graph.family == "file") {
+  if (job.graph.family == "corpus") {
+    g.add("corpus", job.graph.corpus);
+  } else if (job.graph.family == "file") {
     g.add("path", job.graph.path);
   } else {
     if (job.graph.n != 0) g.add("n", std::uint64_t{job.graph.n});

@@ -31,12 +31,15 @@ class JobSpecError : public std::invalid_argument {
 };
 
 /// Where the job's graph comes from. `family` selects a deterministic
-/// generator from ldc::gen (sized by the fields that family uses), or
+/// generator from ldc::gen (sized by the fields that family uses),
 /// "file" to load an edge list from `path` (the untrusted-input path —
-/// io::read_edge_list enforces its own limits).
+/// io::read_edge_list enforces its own limits), or "corpus" to run over
+/// a preloaded mmap-backed corpus named by `corpus` (requires a service
+/// configured with a corpus directory; the graph is shared read-only
+/// across workers, never rebuilt per job).
 struct GraphSpec {
   std::string family;        ///< ring|path|clique|gnp|regular|torus|tree|
-                             ///< power_law|file
+                             ///< power_law|file|corpus
   std::uint32_t n = 0;       ///< node count (generator families)
   std::uint32_t d = 0;       ///< degree (regular)
   std::uint32_t w = 0;       ///< torus width
@@ -47,6 +50,11 @@ struct GraphSpec {
   std::uint64_t seed = 1;    ///< generator seed
   std::uint64_t id_bits = 0; ///< > 0: scramble ids into [0, 2^id_bits)
   std::string path;          ///< edge-list file (family == "file")
+  std::string corpus;        ///< corpus name (family == "corpus")
+  /// Content digest of the resolved corpus. Never parsed from the wire:
+  /// the service fills it in at admission so the job digest — and with it
+  /// the result cache — is keyed by the corpus *content*, not its name.
+  std::uint64_t corpus_digest = 0;
 };
 
 /// Instantiates the spec; throws JobSpecError on an invalid spec and

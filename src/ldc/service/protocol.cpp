@@ -139,7 +139,9 @@ class Session {
     j.add("id", a.id);
     if (!tag.empty()) j.add("tag", tag);
     if (a.admitted) {
-      j.add("digest", job.digest());
+      // The service's keying, not job.digest(): for corpus jobs it folds
+      // in the resolved corpus content digest.
+      j.add("digest", a.digest);
     } else {
       j.add("reason", a.reason);
     }

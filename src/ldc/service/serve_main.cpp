@@ -126,6 +126,10 @@ void usage(std::FILE* out) {
                "                      per-job simulation engine (default "
                "serial)\n"
                "  --job-threads N     engine lanes per job (default 1)\n"
+               "  --corpus-dir DIR    serve {\"graph\":{\"corpus\":NAME}} "
+               "jobs from\n"
+               "                      DIR/NAME.ldcg (mmap, shared across "
+               "workers)\n"
                "  --socket PATH       listen on a unix socket instead of "
                "stdin\n"
                "                      (event loop; many concurrent sessions)\n"
@@ -193,6 +197,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "ldc_serve: bad --job-threads\n");
         return 2;
       }
+    } else if (arg == "--corpus-dir") {
+      cfg.corpus_dir = value();
     } else if (arg == "--socket") {
       socket_path = value();
     } else if (arg == "--backlog") {

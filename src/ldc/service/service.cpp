@@ -1,5 +1,6 @@
 #include "ldc/service/service.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "ldc/graph/io_error.hpp"
@@ -9,6 +10,10 @@ namespace ldc::service {
 Service::Service(ServiceConfig cfg, ResultCallback on_result)
     : cfg_(cfg),
       on_result_(std::move(on_result)),
+      corpora_(cfg.corpus_dir.empty()
+                   ? nullptr
+                   : std::make_unique<storage::CorpusRegistry>(
+                         cfg.corpus_dir)),
       cache_(cfg.cache_bytes),
       queue_(cfg.queue_capacity,
              [](const Pending& p) {
@@ -42,7 +47,19 @@ Admission Service::submit(const Job& job, SubmitOptions opts) {
   Pending p;
   p.job = job;
   p.id = a.id;
-  p.digest = job.digest();
+  if (p.job.graph.family == "corpus" && corpora_ != nullptr) {
+    // Resolve the name to content *before* the digest so the cache key is
+    // the corpus bytes, not the mutable name binding. A failed open is
+    // deliberately not fatal here: the job runs, retries, and fails with
+    // the CorpusError message on the normal result stream.
+    try {
+      p.corpus = corpora_->get(p.job.graph.corpus);
+      p.job.graph.corpus_digest = p.corpus->meta().content_digest;
+    } catch (const storage::CorpusError&) {
+    }
+  }
+  p.digest = p.job.digest();
+  a.digest = p.digest;
   p.enqueued = Clock::now();
   p.token = std::make_shared<CancelToken>();
   p.gate = std::move(opts.gate);
@@ -118,7 +135,22 @@ harness::Json Service::stats(bool counters_only) const {
     metrics_.queue_depth = queue_.size();
     metrics_.outstanding = outstanding_.load(std::memory_order_relaxed);
   }
-  return metrics_to_json(metrics_, cache_.stats(), counters_only);
+  harness::Json j = metrics_to_json(metrics_, cache_.stats(), counters_only);
+  if (corpora_ != nullptr) {
+    harness::Json arr = harness::Json::array();
+    for (const auto& info : corpora_->list()) {
+      harness::Json c = harness::Json::object();
+      c.add("name", info.name);
+      c.add("vertices", info.vertices);
+      c.add("edges", info.edges);
+      c.add("file_bytes", info.file_bytes);
+      c.add("open_mappings",
+            static_cast<std::uint64_t>(std::max<long>(0, info.open_mappings)));
+      arr.push_back(std::move(c));
+    }
+    j.add("corpora", std::move(arr));
+  }
+  return j;
 }
 
 void Service::worker_loop() {
@@ -144,7 +176,22 @@ void Service::run_one(Pending& p) {
       if (algo == nullptr) {
         throw JobSpecError("unknown algorithm '" + p.job.algorithm + "'");
       }
-      const Graph g = build_graph(p.job.graph);
+      Graph g;
+      if (p.job.graph.family == "corpus") {
+        if (p.corpus == nullptr) {
+          if (corpora_ == nullptr) {
+            throw JobSpecError(
+                "family 'corpus' needs a service with a corpus directory "
+                "(--corpus-dir)");
+          }
+          // Admission-time resolution failed; retry so the CorpusError
+          // (missing file, failed validation) names the actual problem.
+          p.corpus = corpora_->get(p.job.graph.corpus);
+        }
+        g = p.corpus->graph();  // zero-copy view, pinned to the mapping
+      } else {
+        g = build_graph(p.job.graph);
+      }
       ExecContext exec;
       exec.engine = cfg_.job_engine;
       exec.threads = cfg_.job_threads;

@@ -48,6 +48,7 @@
 #include "ldc/service/job.hpp"
 #include "ldc/service/metrics.hpp"
 #include "ldc/service/queue.hpp"
+#include "ldc/storage/registry.hpp"
 
 namespace ldc::service {
 
@@ -57,6 +58,9 @@ struct ServiceConfig {
   std::size_t cache_bytes = 64 * 1024;  ///< result-cache budget; 0 = off
   Network::Engine job_engine = Network::Engine::kSerial;
   std::size_t job_threads = 1;     ///< engine lanes per job (nesting policy)
+  /// Non-empty: serve family == "corpus" jobs from <dir>/<name>.ldcg via
+  /// a shared CorpusRegistry (each corpus mapped once, workers share it).
+  std::string corpus_dir;
 };
 
 /// Outcome of a submit(): either an assigned id or a rejection reason.
@@ -64,6 +68,10 @@ struct Admission {
   bool admitted = false;
   std::uint64_t id = 0;       ///< assigned either way (correlates rejects)
   std::string reason;         ///< non-empty iff rejected
+  /// The job's canonical digest as the service keyed it — for corpus jobs
+  /// this includes the resolved corpus *content* digest, which the client
+  /// cannot compute itself; frontends must echo this, not job.digest().
+  std::uint64_t digest = 0;
 };
 
 /// Everything a client learns about one finished job.
@@ -168,6 +176,10 @@ class Service {
     std::optional<JobOutcome> cached;  ///< admission-time cache hit
     std::shared_ptr<SessionGate> gate; ///< session delivery gate (may be null)
     ResultCallback on_result;          ///< per-job override (may be null)
+    /// Resolved at admission for corpus jobs; pins the mapping for the
+    /// job's whole life. Null when resolution failed (run_one retries so
+    /// the failure surfaces with the real CorpusError message).
+    std::shared_ptr<const storage::MappedGraph> corpus;
   };
 
   void worker_loop();
@@ -176,6 +188,7 @@ class Service {
 
   const ServiceConfig cfg_;
   ResultCallback on_result_;
+  std::unique_ptr<storage::CorpusRegistry> corpora_;  ///< null without dir
   ResultCache cache_;
   mutable ServiceMetrics metrics_;
   BoundedQueue<Pending> queue_;

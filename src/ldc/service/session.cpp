@@ -218,7 +218,9 @@ void EventSession::do_submit(const Json& req) {
   j.add("id", local);
   if (!tag.empty()) j.add("tag", tag);
   if (a.admitted) {
-    j.add("digest", job.digest());
+    // The service's keying, not job.digest(): for corpus jobs it folds
+    // in the resolved corpus content digest.
+    j.add("digest", a.digest);
   } else {
     j.add("reason", a.reason);
   }

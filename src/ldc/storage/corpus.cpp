@@ -1,0 +1,296 @@
+#include "ldc/storage/corpus.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "ldc/support/fnv.hpp"
+
+namespace ldc::storage {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'D', 'C', 'C', 'O', 'R', 'P', '1'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::size_t kSectionBufBytes = std::size_t{1} << 20;
+
+// Fixed header field offsets (bytes). The header digest covers [0, 104).
+enum : std::size_t {
+  kOffMagic = 0,
+  kOffEndian = 8,
+  kOffVersion = 12,
+  kOffN = 16,
+  kOffAdjEntries = 24,
+  kOffMaxDegree = 32,
+  kOffFlags = 36,
+  kOffMaxId = 40,
+  kOffOffsetsPos = 48,
+  kOffOffsetsBytes = 56,
+  kOffIdsPos = 64,
+  kOffIdsBytes = 72,
+  kOffAdjPos = 80,
+  kOffAdjBytes = 88,
+  kOffContentDigest = 96,
+  kOffHeaderDigest = 104,
+};
+static_assert(kOffHeaderDigest + 8 == kCorpusHeaderBytes);
+
+std::uint64_t page_align(std::uint64_t pos) {
+  return (pos + kCorpusPage - 1) / kCorpusPage * kCorpusPage;
+}
+
+template <typename T>
+void put(unsigned char* header, std::size_t off, T value) {
+  std::memcpy(header + off, &value, sizeof value);
+}
+
+template <typename T>
+T get(std::span<const unsigned char> header, std::size_t off) {
+  T value;
+  std::memcpy(&value, header.data() + off, sizeof value);
+  return value;
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& why) {
+  throw CorpusError("corpus " + what + ": " + why);
+}
+
+void write_all_at(int fd, const void* data, std::size_t len,
+                  std::uint64_t pos, const std::string& path) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (len > 0) {
+    const ssize_t w = ::pwrite(fd, p, len, static_cast<off_t>(pos));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw CorpusError("corpus " + path + ": write failed: " +
+                        std::strerror(errno));
+    }
+    p += w;
+    pos += static_cast<std::uint64_t>(w);
+    len -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+CorpusWriter::CorpusWriter(std::string path, std::uint64_t n, bool with_ids)
+    : path_(std::move(path)), n_(n), with_ids_(with_ids) {
+  if (n >= std::numeric_limits<NodeId>::max()) {
+    throw CorpusError("corpus " + path_ +
+                      ": n exceeds the 32-bit node-id space");
+  }
+  fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw CorpusError("corpus " + path_ + ": cannot create: " +
+                      std::strerror(errno));
+  }
+  // Section positions are known up front because the adjacency section —
+  // the only one whose size depends on the (not yet known) edge count —
+  // comes last.
+  offsets_.base = page_align(kCorpusHeaderBytes);
+  ids_.base = page_align(offsets_.base + (n_ + 1) * 8);
+  adj_.base = page_align(ids_.base + (with_ids_ ? n_ * 8 : 0));
+  for (Section* s : {&offsets_, &ids_, &adj_}) {
+    s->digest = kFnv1a64Seed;
+    s->buf.reserve(kSectionBufBytes);
+  }
+  const std::uint64_t zero = 0;
+  append(offsets_, &zero, sizeof zero);  // offsets[0]
+}
+
+CorpusWriter::~CorpusWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CorpusWriter::append(Section& s, const void* data, std::size_t len) {
+  s.digest = fnv1a64_bytes(data, len, s.digest);
+  const auto* p = static_cast<const unsigned char*>(data);
+  s.buf.insert(s.buf.end(), p, p + len);
+  if (s.buf.size() >= kSectionBufBytes) flush(s);
+}
+
+void CorpusWriter::flush(Section& s) {
+  if (s.buf.empty()) return;
+  write_all_at(fd_, s.buf.data(), s.buf.size(), s.base + s.cursor, path_);
+  s.cursor += s.buf.size();
+  s.buf.clear();
+}
+
+void CorpusWriter::add_vertex(std::span<const NodeId> sorted_neighbors) {
+  if (with_ids_) {
+    throw CorpusError("corpus " + path_ +
+                      ": id required (writer opened with_ids)");
+  }
+  add_vertex_impl(sorted_neighbors, nullptr);
+}
+
+void CorpusWriter::add_vertex(std::span<const NodeId> sorted_neighbors,
+                              std::uint64_t id) {
+  if (!with_ids_) {
+    throw CorpusError("corpus " + path_ +
+                      ": writer opened without an id section");
+  }
+  add_vertex_impl(sorted_neighbors, &id);
+}
+
+void CorpusWriter::add_vertex_impl(std::span<const NodeId> sorted_neighbors,
+                                   const std::uint64_t* id) {
+  if (closed_) throw CorpusError("corpus " + path_ + ": writer closed");
+  if (next_vertex_ >= n_) {
+    throw CorpusError("corpus " + path_ + ": more than n vertex rows");
+  }
+  const NodeId self = static_cast<NodeId>(next_vertex_);
+  NodeId prev = 0;
+  bool first = true;
+  for (const NodeId v : sorted_neighbors) {
+    if (v >= n_) fail(path_, "neighbor id out of range");
+    if (v == self) fail(path_, "self-loop");
+    if (!first && v <= prev) fail(path_, "neighbor row not strictly ascending");
+    prev = v;
+    first = false;
+  }
+  if (!sorted_neighbors.empty()) {
+    append(adj_, sorted_neighbors.data(), sorted_neighbors.size() * 4);
+  }
+  adj_entries_ += sorted_neighbors.size();
+  max_degree_ = std::max(max_degree_,
+                         static_cast<std::uint32_t>(sorted_neighbors.size()));
+  append(offsets_, &adj_entries_, sizeof adj_entries_);
+  if (id != nullptr) {
+    append(ids_, id, sizeof *id);
+    max_id_ = std::max(max_id_, *id);
+  }
+  ++next_vertex_;
+}
+
+CorpusMeta CorpusWriter::close() {
+  if (closed_) throw CorpusError("corpus " + path_ + ": writer closed");
+  if (next_vertex_ != n_) {
+    fail(path_, "closed after " + std::to_string(next_vertex_) + " of " +
+                    std::to_string(n_) + " vertex rows");
+  }
+  if (adj_entries_ % 2 != 0) {
+    fail(path_, "odd half-edge count — emission was not symmetric");
+  }
+  closed_ = true;
+  flush(offsets_);
+  flush(ids_);
+  flush(adj_);
+
+  // The content digest combines the three independent section digests
+  // (each section streams concurrently, so one sequential FNV pass over
+  // the whole file is not available to the writer; the verifier combines
+  // identically).
+  std::uint64_t section_digests[3] = {offsets_.digest, ids_.digest,
+                                      adj_.digest};
+  const std::uint64_t content =
+      fnv1a64_bytes(section_digests, sizeof section_digests);
+
+  unsigned char header[kCorpusHeaderBytes];
+  std::memset(header, 0, sizeof header);
+  std::memcpy(header + kOffMagic, kMagic, sizeof kMagic);
+  put(header, kOffEndian, kEndianTag);
+  put(header, kOffVersion, kCorpusVersion);
+  put(header, kOffN, n_);
+  put(header, kOffAdjEntries, adj_entries_);
+  put(header, kOffMaxDegree, max_degree_);
+  put(header, kOffFlags, with_ids_ ? kCorpusHasIds : 0u);
+  put(header, kOffMaxId, with_ids_ ? max_id_ : (n_ == 0 ? 0 : n_ - 1));
+  put(header, kOffOffsetsPos, offsets_.base);
+  put(header, kOffOffsetsBytes, offsets_.cursor);
+  put(header, kOffIdsPos, ids_.base);
+  put(header, kOffIdsBytes, ids_.cursor);
+  put(header, kOffAdjPos, adj_.base);
+  put(header, kOffAdjBytes, adj_.cursor);
+  put(header, kOffContentDigest, content);
+  put(header, kOffHeaderDigest,
+      fnv1a64_bytes(header, kOffHeaderDigest));
+  write_all_at(fd_, header, sizeof header, 0, path_);
+  ::close(fd_);
+  fd_ = -1;
+
+  CorpusMeta meta;
+  meta.n = n_;
+  meta.adj_entries = adj_entries_;
+  meta.max_degree = max_degree_;
+  meta.has_ids = with_ids_;
+  meta.max_id = with_ids_ ? max_id_ : (n_ == 0 ? 0 : n_ - 1);
+  meta.content_digest = content;
+  meta.file_bytes = adj_.base + adj_.cursor;
+  return meta;
+}
+
+CorpusLayout parse_corpus_header(std::span<const unsigned char> header,
+                                 std::uint64_t file_bytes,
+                                 const std::string& what) {
+  if (header.size() < kCorpusHeaderBytes) {
+    fail(what, "truncated header (" + std::to_string(header.size()) +
+                   " of " + std::to_string(kCorpusHeaderBytes) + " bytes)");
+  }
+  if (std::memcmp(header.data() + kOffMagic, kMagic, sizeof kMagic) != 0) {
+    fail(what, "bad magic (not a corpus file)");
+  }
+  if (get<std::uint32_t>(header, kOffEndian) != kEndianTag) {
+    fail(what, "endianness mismatch (written on a foreign-endian host)");
+  }
+  const std::uint32_t version = get<std::uint32_t>(header, kOffVersion);
+  if (version != kCorpusVersion) {
+    fail(what, "unsupported format version " + std::to_string(version));
+  }
+  if (get<std::uint64_t>(header, kOffHeaderDigest) !=
+      fnv1a64_bytes(header.data(), kOffHeaderDigest)) {
+    fail(what, "header digest mismatch (corrupt or half-written header)");
+  }
+
+  CorpusLayout lo;
+  lo.meta.n = get<std::uint64_t>(header, kOffN);
+  lo.meta.adj_entries = get<std::uint64_t>(header, kOffAdjEntries);
+  lo.meta.max_degree = get<std::uint32_t>(header, kOffMaxDegree);
+  lo.meta.has_ids =
+      (get<std::uint32_t>(header, kOffFlags) & kCorpusHasIds) != 0;
+  lo.meta.max_id = get<std::uint64_t>(header, kOffMaxId);
+  lo.meta.content_digest = get<std::uint64_t>(header, kOffContentDigest);
+  lo.meta.file_bytes = file_bytes;
+  lo.offsets_pos = get<std::uint64_t>(header, kOffOffsetsPos);
+  lo.offsets_bytes = get<std::uint64_t>(header, kOffOffsetsBytes);
+  lo.ids_pos = get<std::uint64_t>(header, kOffIdsPos);
+  lo.ids_bytes = get<std::uint64_t>(header, kOffIdsBytes);
+  lo.adj_pos = get<std::uint64_t>(header, kOffAdjPos);
+  lo.adj_bytes = get<std::uint64_t>(header, kOffAdjBytes);
+
+  if (lo.meta.n >= std::numeric_limits<NodeId>::max()) {
+    fail(what, "node count exceeds the 32-bit node-id space");
+  }
+  if (lo.meta.adj_entries % 2 != 0) {
+    fail(what, "odd half-edge count");
+  }
+  if (lo.offsets_bytes != (lo.meta.n + 1) * 8) {
+    fail(what, "offsets section size does not match n");
+  }
+  if (lo.ids_bytes != (lo.meta.has_ids ? lo.meta.n * 8 : 0)) {
+    fail(what, "ids section size does not match n/flags");
+  }
+  if (lo.adj_bytes != lo.meta.adj_entries * 4) {
+    fail(what, "adjacency section size does not match half-edge count");
+  }
+  const auto check_section = [&](const char* name, std::uint64_t pos,
+                                 std::uint64_t bytes) {
+    if (pos % 8 != 0 || pos < kCorpusHeaderBytes) {
+      fail(what, std::string(name) + " section position invalid");
+    }
+    if (pos > file_bytes || bytes > file_bytes - pos) {
+      fail(what, std::string("file shorter than header claims (") + name +
+                     " section)");
+    }
+  };
+  check_section("offsets", lo.offsets_pos, lo.offsets_bytes);
+  check_section("ids", lo.ids_pos, lo.ids_bytes);
+  check_section("adjacency", lo.adj_pos, lo.adj_bytes);
+  return lo;
+}
+
+}  // namespace ldc::storage

@@ -1,0 +1,143 @@
+// On-disk CSR graph corpus format + streaming writer.
+//
+// A corpus is a single file holding one immutable undirected graph in the
+// exact layout the algorithms consume in RAM, so an mmap of the file IS
+// the graph (see mapped_graph.hpp) — built once by `ldc_gen`, then paged
+// on demand and shared read-only by every service worker.
+//
+// Layout (little-endian, every section page-aligned to 4096 bytes):
+//
+//   [0, 4096)                      header (fixed fields below)
+//   [offsets_pos, +offsets_bytes)  (n+1) x uint64  CSR offsets
+//   [ids_pos, +ids_bytes)          n x uint64      node ids (optional)
+//   [adj_pos, +adj_bytes)          adj_entries x uint32 neighbor ids
+//
+// Header fields (fixed byte offsets, see corpus.cpp):
+//   magic "LDCCORP1", endianness tag 0x01020304, format version,
+//   n / adj_entries / max_degree / flags / max_id,
+//   the three section (pos, bytes) pairs,
+//   content_digest — FNV-1a 64 combining the three section digests,
+//   header_digest  — FNV-1a 64 over all preceding header bytes.
+//
+// The adjacency section is last and the offsets/ids sections have sizes
+// known from n alone, so CorpusWriter streams all three sections in one
+// pass with O(buffer) memory — it never holds the edge set, the offset
+// array, or the id array in RAM. The header is patched on close().
+//
+// Integrity model: structural validation (magic, version, endianness,
+// header digest, section bounds vs the real file size) is mandatory at
+// open and touches only the header page. The content digest covers every
+// section byte; verifying it reads the whole file, so it is opt-in
+// (ldc_gen --verify, the hostility tests) rather than paid on the serve
+// path — the digest still *names* the content and keys result caches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ldc/graph/graph.hpp"
+
+namespace ldc::storage {
+
+/// Malformed, truncated or foreign corpus file — every hostile-input
+/// condition surfaces as this one catchable type naming what failed,
+/// never a crash or a silently mis-loaded graph.
+class CorpusError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kCorpusVersion = 1;
+inline constexpr std::uint64_t kCorpusPage = 4096;
+inline constexpr std::uint64_t kCorpusHeaderBytes = 112;
+
+/// Flags word.
+inline constexpr std::uint32_t kCorpusHasIds = 1u << 0;
+
+/// Everything the header records about a corpus.
+struct CorpusMeta {
+  std::uint64_t n = 0;
+  std::uint64_t adj_entries = 0;  ///< 2m: each undirected edge twice
+  std::uint32_t max_degree = 0;
+  bool has_ids = false;
+  std::uint64_t max_id = 0;
+  std::uint64_t content_digest = 0;  ///< identity of the graph bytes
+  std::uint64_t file_bytes = 0;
+
+  std::uint64_t m() const { return adj_entries / 2; }
+};
+
+/// Streaming writer: feed vertices 0..n-1 in order, each with its full
+/// sorted neighbor list, then close(). Peak memory is the section write
+/// buffers — independent of n and m. The file is invalid (zero header)
+/// until close() patches the header, so a crashed build is never mistaken
+/// for a corpus.
+class CorpusWriter {
+ public:
+  /// Creates/truncates `path`. n < 2^32 (NodeId is 32-bit). with_ids
+  /// reserves the id section; then every add_vertex must pass an id.
+  CorpusWriter(std::string path, std::uint64_t n, bool with_ids);
+  ~CorpusWriter();
+
+  CorpusWriter(const CorpusWriter&) = delete;
+  CorpusWriter& operator=(const CorpusWriter&) = delete;
+
+  /// Appends the next vertex's neighbor row. Rows must arrive for
+  /// vertices 0..n-1 in order; `sorted_neighbors` must be strictly
+  /// ascending, self-loop-free and < n. With with_ids, `id` is recorded
+  /// (the caller guarantees uniqueness — ldc_gen derives ids from a
+  /// bijection); without, it must be omitted (identity ids).
+  void add_vertex(std::span<const NodeId> sorted_neighbors);
+  void add_vertex(std::span<const NodeId> sorted_neighbors, std::uint64_t id);
+
+  std::uint64_t vertices_written() const { return next_vertex_; }
+
+  /// Flushes sections, checks exactly n rows arrived and the half-edge
+  /// count is even (an asymmetric emission cannot be a valid undirected
+  /// CSR), writes the real header. Returns the final meta.
+  CorpusMeta close();
+
+ private:
+  struct Section {
+    std::uint64_t base = 0;    ///< file position of the section start
+    std::uint64_t cursor = 0;  ///< bytes appended so far
+    std::uint64_t digest;      ///< running FNV-1a over appended bytes
+    std::vector<unsigned char> buf;
+  };
+
+  void append(Section& s, const void* data, std::size_t len);
+  void flush(Section& s);
+  void add_vertex_impl(std::span<const NodeId> sorted_neighbors,
+                       const std::uint64_t* id);
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t n_;
+  bool with_ids_;
+  std::uint64_t next_vertex_ = 0;
+  std::uint64_t adj_entries_ = 0;
+  std::uint32_t max_degree_ = 0;
+  std::uint64_t max_id_ = 0;
+  bool closed_ = false;
+  Section offsets_, ids_, adj_;
+};
+
+/// Parses and validates a header page (the first kCorpusPage bytes, or
+/// fewer for a truncated file); `file_bytes` is the real on-disk size the
+/// section bounds are checked against. Throws CorpusError naming the
+/// failing check. Returns the meta plus the three section positions.
+struct CorpusLayout {
+  CorpusMeta meta;
+  std::uint64_t offsets_pos = 0, offsets_bytes = 0;
+  std::uint64_t ids_pos = 0, ids_bytes = 0;
+  std::uint64_t adj_pos = 0, adj_bytes = 0;
+};
+CorpusLayout parse_corpus_header(std::span<const unsigned char> header,
+                                 std::uint64_t file_bytes,
+                                 const std::string& what);
+
+}  // namespace ldc::storage

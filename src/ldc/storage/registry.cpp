@@ -1,0 +1,53 @@
+#include "ldc/storage/registry.hpp"
+
+namespace ldc::storage {
+
+bool valid_corpus_name(const std::string& name) {
+  if (name.empty() || name.size() > 128 || name.front() == '.') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const MappedGraph> CorpusRegistry::get(
+    const std::string& name) {
+  if (!valid_corpus_name(name)) {
+    throw CorpusError("corpus name '" + name +
+                      "' invalid (want [A-Za-z0-9_.-]{1,128}, no leading "
+                      "dot)");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_.find(name);
+    if (it != open_.end()) return it->second;
+  }
+  // Open outside the lock: mapping + header validation can touch the
+  // disk, and a slow open must not block lookups of already-open corpora.
+  auto mg = MappedGraph::open(dir_ + "/" + name + kCorpusExtension);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = open_.emplace(name, std::move(mg));
+  return it->second;  // a racing open won; keep the cached one
+}
+
+std::vector<CorpusRegistry::Info> CorpusRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Info> out;
+  out.reserve(open_.size());
+  for (const auto& [name, mg] : open_) {
+    Info info;
+    info.name = name;
+    info.vertices = mg->meta().n;
+    info.edges = mg->meta().m();
+    info.file_bytes = mg->file_bytes();
+    info.content_digest = mg->meta().content_digest;
+    info.open_mappings = mg->open_pins();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace ldc::storage

@@ -1,0 +1,61 @@
+// Process-wide corpus registry: opens each named corpus at most once and
+// hands out shared read-only mappings to every service worker.
+//
+// Names are untrusted wire input ({"graph":{"corpus":"name"}}), so they
+// are validated against a strict charset before touching the filesystem —
+// a name can never traverse out of the corpus directory. A corpus file is
+// `<dir>/<name>.ldcg`; files are assumed immutable while registered (the
+// content digest read at open keys result caches, exactly like a job
+// parameter).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ldc/storage/mapped_graph.hpp"
+
+namespace ldc::storage {
+
+/// File extension of corpus files in a registry directory.
+inline constexpr const char* kCorpusExtension = ".ldcg";
+
+/// True iff `name` is a safe corpus name: 1-128 chars of
+/// [A-Za-z0-9_.-], not starting with '.' (no traversal, no hidden files).
+bool valid_corpus_name(const std::string& name);
+
+class CorpusRegistry {
+ public:
+  explicit CorpusRegistry(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+
+  /// Shared mapping for `name`, opening (and caching) it on first use.
+  /// Thread-safe. Throws CorpusError for an invalid name, a missing file
+  /// or a file that fails validation (a failed open is NOT cached — a
+  /// fixed file can be retried).
+  std::shared_ptr<const MappedGraph> get(const std::string& name);
+
+  /// Loaded-corpus observability for the stats export.
+  struct Info {
+    std::string name;
+    std::uint64_t vertices = 0;
+    std::uint64_t edges = 0;
+    std::uint64_t file_bytes = 0;
+    std::uint64_t content_digest = 0;
+    long open_mappings = 0;  ///< live pins beyond the registry's own
+  };
+
+  /// Snapshot of every corpus opened so far, sorted by name.
+  std::vector<Info> list() const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const MappedGraph>> open_;
+};
+
+}  // namespace ldc::storage

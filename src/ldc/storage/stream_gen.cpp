@@ -1,0 +1,362 @@
+#include "ldc/storage/stream_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "ldc/support/prf.hpp"
+
+namespace ldc::storage::gen {
+
+namespace {
+
+// Domain-separation tags mixed into the spec seed so the shift choices,
+// the coordinates, the edge draws and the id scramble never share a PRF
+// stream.
+constexpr std::uint64_t kTagShifts = 0x7368696674u;
+constexpr std::uint64_t kTagCoords = 0x636f6f7264u;
+constexpr std::uint64_t kTagEdges = 0x6564676573u;
+constexpr std::uint64_t kTagIds = 0x696473u;
+
+// Graph500 reference R-MAT quadrant probabilities.
+constexpr double kKronA = 0.57;
+constexpr double kKronB = 0.19;
+constexpr double kKronC = 0.19;
+
+double unit_double(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+// Computes each family's per-spec derived state once, then emits sorted
+// neighbor rows for any vertex range. Rows are a pure function of
+// (spec, v) — chunking never changes the output.
+class RowSource {
+ public:
+  explicit RowSource(const StreamSpec& spec) : spec_(spec) {
+    if (spec_.kind == "random_regular") {
+      const std::uint64_t half = spec_.degree / 2;
+      // Shift universe [1, ceil(n/2)): every shift s yields two distinct
+      // neighbors v +- s, and distinct shifts never collide, so the
+      // circulant is exactly d-regular.
+      const std::uint64_t universe =
+          (spec_.n % 2 == 0) ? spec_.n / 2 - 1 : (spec_.n - 1) / 2;
+      shifts_ = sample_distinct(Prf(hash_combine(spec_.seed, kTagShifts)), 0,
+                                universe, static_cast<std::size_t>(half));
+      for (auto& s : shifts_) ++s;
+    } else if (spec_.kind == "rgg_2d") {
+      grid_ = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(1.0 / spec_.radius));
+      cells_ = grid_ * grid_;
+      cell_base_ = spec_.n / cells_;
+      cell_rem_ = spec_.n % cells_;
+    } else if (spec_.kind == "kronecker") {
+      draws_ = static_cast<std::uint64_t>(
+          std::llround(spec_.edge_factor * static_cast<double>(spec_.n)));
+    }
+  }
+
+  template <typename Fn>
+  void emit(std::uint64_t lo, std::uint64_t hi, Fn&& fn) {
+    if (spec_.kind == "kronecker") {
+      emit_kronecker(lo, hi, fn);
+      return;
+    }
+    std::vector<NodeId> row;
+    for (std::uint64_t v = lo; v < hi; ++v) {
+      row.clear();
+      if (spec_.kind == "ring") {
+        row_ring(v, row);
+      } else if (spec_.kind == "random_regular") {
+        row_circulant(v, row);
+      } else if (spec_.kind == "gnp") {
+        row_gnp(v, row);
+      } else {
+        row_rgg(v, row);
+      }
+      fn(v, std::span<const NodeId>(row));
+    }
+  }
+
+ private:
+  void row_ring(std::uint64_t v, std::vector<NodeId>& row) const {
+    const std::uint64_t prev = (v + spec_.n - 1) % spec_.n;
+    const std::uint64_t next = (v + 1) % spec_.n;
+    row.push_back(static_cast<NodeId>(std::min(prev, next)));
+    row.push_back(static_cast<NodeId>(std::max(prev, next)));
+  }
+
+  void row_circulant(std::uint64_t v, std::vector<NodeId>& row) const {
+    for (const std::uint64_t s : shifts_) {
+      row.push_back(static_cast<NodeId>((v + s) % spec_.n));
+      row.push_back(static_cast<NodeId>((v + spec_.n - s) % spec_.n));
+    }
+    std::sort(row.begin(), row.end());
+  }
+
+  void row_gnp(std::uint64_t v, std::vector<NodeId>& row) const {
+    if (spec_.p <= 0.0) return;
+    const Prf prf(hash_combine(spec_.seed, kTagEdges));
+    const std::uint64_t lo =
+        v > spec_.band ? v - spec_.band : 0;
+    const std::uint64_t hi = std::min(spec_.n - 1, v + spec_.band);
+    for (std::uint64_t u = lo; u <= hi; ++u) {
+      if (u == v) continue;
+      const std::uint64_t a = std::min(u, v), b = std::max(u, v);
+      // One PRF slot per unordered candidate pair: both endpoints replay
+      // the identical decision.
+      const std::uint64_t code = a * spec_.band + (b - a - 1);
+      if (spec_.p >= 1.0 || unit_double(prf.at(code)) < spec_.p) {
+        row.push_back(static_cast<NodeId>(u));
+      }
+    }
+  }
+
+  std::uint64_t cell_start(std::uint64_t c) const {
+    return c * cell_base_ + std::min<std::uint64_t>(c, cell_rem_);
+  }
+  std::uint64_t cell_of(std::uint64_t v) const {
+    const std::uint64_t fat = cell_rem_ * (cell_base_ + 1);
+    if (v < fat) return v / (cell_base_ + 1);
+    return cell_rem_ + (v - fat) / cell_base_;
+  }
+  void position(std::uint64_t v, double& x, double& y) const {
+    const std::uint64_t c = cell_of(v);
+    const std::uint64_t bits = Prf(hash_combine(spec_.seed, kTagCoords)).at(v);
+    const double side = 1.0 / static_cast<double>(grid_);
+    x = (static_cast<double>(c % grid_) +
+         static_cast<double>(bits >> 32) * 0x1.0p-32) *
+        side;
+    y = (static_cast<double>(c / grid_) +
+         static_cast<double>(bits & 0xffffffffu) * 0x1.0p-32) *
+        side;
+  }
+
+  void row_rgg(std::uint64_t v, std::vector<NodeId>& row) const {
+    double vx, vy;
+    position(v, vx, vy);
+    const double r2 = spec_.radius * spec_.radius;
+    const std::uint64_t c = cell_of(v);
+    const std::int64_t cx = static_cast<std::int64_t>(c % grid_);
+    const std::int64_t cy = static_cast<std::int64_t>(c / grid_);
+    // The cell side is >= radius, so all neighbors live in the 3x3 block;
+    // scanning it in row-major cell order visits candidate ids ascending
+    // (vertex order is cell-major), so the row needs no sort.
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= static_cast<std::int64_t>(grid_) ||
+            ny >= static_cast<std::int64_t>(grid_)) {
+          continue;
+        }
+        const std::uint64_t nc =
+            static_cast<std::uint64_t>(ny) * grid_ +
+            static_cast<std::uint64_t>(nx);
+        const std::uint64_t end = cell_start(nc + 1);
+        for (std::uint64_t w = cell_start(nc); w < end; ++w) {
+          if (w == v) continue;
+          double wx, wy;
+          position(w, wx, wy);
+          const double ddx = wx - vx, ddy = wy - vy;
+          if (ddx * ddx + ddy * ddy <= r2) {
+            row.push_back(static_cast<NodeId>(w));
+          }
+        }
+      }
+    }
+  }
+
+  template <typename Fn>
+  void emit_kronecker(std::uint64_t lo, std::uint64_t hi, Fn&& fn) {
+    // Stripe replay: re-run the full deterministic draw stream and keep
+    // the endpoints landing in [lo, hi). RAM is bounded by the stripe's
+    // adjacency mass instead of the whole edge set.
+    const Prf prf(hash_combine(spec_.seed, kTagEdges));
+    std::vector<std::vector<NodeId>> rows(
+        static_cast<std::size_t>(hi - lo));
+    for (std::uint64_t e = 0; e < draws_; ++e) {
+      std::uint64_t u = 0, v = 0;
+      for (std::uint32_t level = 0; level < spec_.scale; ++level) {
+        const double r =
+            unit_double(prf.at(e * spec_.scale + level));
+        const std::uint64_t rbit = r >= kKronA + kKronB ? 1 : 0;
+        const std::uint64_t cbit =
+            (r >= kKronA && r < kKronA + kKronB) ||
+                    r >= kKronA + kKronB + kKronC
+                ? 1
+                : 0;
+        u = (u << 1) | rbit;
+        v = (v << 1) | cbit;
+      }
+      if (u == v) continue;  // self-loops dropped
+      if (u >= lo && u < hi) {
+        rows[static_cast<std::size_t>(u - lo)].push_back(
+            static_cast<NodeId>(v));
+      }
+      if (v >= lo && v < hi) {
+        rows[static_cast<std::size_t>(v - lo)].push_back(
+            static_cast<NodeId>(u));
+      }
+    }
+    for (std::uint64_t v = lo; v < hi; ++v) {
+      auto& row = rows[static_cast<std::size_t>(v - lo)];
+      std::sort(row.begin(), row.end());
+      row.erase(std::unique(row.begin(), row.end()), row.end());
+      fn(v, std::span<const NodeId>(row));
+    }
+  }
+
+  StreamSpec spec_;
+  std::vector<std::uint64_t> shifts_;             // random_regular
+  std::uint64_t grid_ = 0, cells_ = 0;            // rgg_2d
+  std::uint64_t cell_base_ = 0, cell_rem_ = 0;    // rgg_2d
+  std::uint64_t draws_ = 0;                       // kronecker
+};
+
+}  // namespace
+
+StreamSpec stream_ring(std::uint64_t n, std::uint64_t seed) {
+  StreamSpec s;
+  s.kind = "ring";
+  s.n = n;
+  s.seed = seed;
+  return s;
+}
+
+StreamSpec stream_random_regular(std::uint64_t n, std::uint32_t degree,
+                                 std::uint64_t seed) {
+  StreamSpec s;
+  s.kind = "random_regular";
+  s.n = n;
+  s.degree = degree;
+  s.seed = seed;
+  return s;
+}
+
+StreamSpec stream_gnp(std::uint64_t n, std::uint32_t band, double p,
+                      std::uint64_t seed) {
+  StreamSpec s;
+  s.kind = "gnp";
+  s.n = n;
+  s.band = band;
+  s.p = p;
+  s.seed = seed;
+  return s;
+}
+
+StreamSpec stream_kronecker(std::uint32_t scale, double edge_factor,
+                            std::uint64_t seed) {
+  StreamSpec s;
+  s.kind = "kronecker";
+  s.scale = scale;
+  s.n = std::uint64_t{1} << scale;
+  s.edge_factor = edge_factor;
+  s.seed = seed;
+  return s;
+}
+
+StreamSpec stream_rgg_2d(std::uint64_t n, double radius, std::uint64_t seed) {
+  StreamSpec s;
+  s.kind = "rgg_2d";
+  s.n = n;
+  s.radius = radius;
+  s.seed = seed;
+  return s;
+}
+
+void validate(const StreamSpec& spec) {
+  const auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("stream spec (" + spec.kind + "): " + why);
+  };
+  if (spec.n == 0) fail("n must be positive");
+  if (spec.n >= std::numeric_limits<NodeId>::max()) {
+    fail("n exceeds the 32-bit node-id space");
+  }
+  if (spec.kind == "ring") {
+    if (spec.n < 3) fail("ring needs n >= 3");
+  } else if (spec.kind == "random_regular") {
+    if (spec.n < 3) fail("needs n >= 3");
+    if (spec.degree == 0 || spec.degree % 2 != 0) {
+      fail("circulant degree must be even and positive");
+    }
+    const std::uint64_t universe =
+        (spec.n % 2 == 0) ? spec.n / 2 - 1 : (spec.n - 1) / 2;
+    if (spec.degree / 2 > universe) fail("degree too large for n");
+  } else if (spec.kind == "gnp") {
+    if (spec.band == 0) fail("band must be positive");
+    if (!(spec.p >= 0.0 && spec.p <= 1.0)) fail("p must be in [0, 1]");
+  } else if (spec.kind == "kronecker") {
+    if (spec.scale == 0 || spec.scale > 31) fail("scale must be in [1, 31]");
+    if (spec.n != std::uint64_t{1} << spec.scale) fail("n must equal 2^scale");
+    if (!(spec.edge_factor > 0.0)) fail("edge_factor must be positive");
+  } else if (spec.kind == "rgg_2d") {
+    if (!(spec.radius > 0.0 && spec.radius <= 1.0)) {
+      fail("radius must be in (0, 1]");
+    }
+  } else {
+    fail("unknown kind");
+  }
+}
+
+std::uint64_t feistel64(std::uint64_t x, std::uint64_t key) {
+  auto left = static_cast<std::uint32_t>(x >> 32);
+  auto right = static_cast<std::uint32_t>(x);
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    const Prf prf(hash_combine(key, round));
+    const auto f = static_cast<std::uint32_t>(prf.at(right));
+    const std::uint32_t next_left = right;
+    right = left ^ f;
+    left = next_left;
+  }
+  return (std::uint64_t{left} << 32) | right;
+}
+
+CorpusMeta write_corpus(const StreamSpec& spec, const std::string& path,
+                        std::uint64_t chunk_nodes) {
+  validate(spec);
+  if (chunk_nodes == 0) chunk_nodes = 1;
+  const std::uint64_t id_key = hash_combine(spec.seed, kTagIds);
+  CorpusWriter writer(path, spec.n, spec.scrambled_ids);
+  RowSource source(spec);
+  for (std::uint64_t lo = 0; lo < spec.n; lo += chunk_nodes) {
+    const std::uint64_t hi = std::min(spec.n, lo + chunk_nodes);
+    source.emit(lo, hi, [&](std::uint64_t v, std::span<const NodeId> row) {
+      if (spec.scrambled_ids) {
+        writer.add_vertex(row, feistel64(v, id_key));
+      } else {
+        writer.add_vertex(row);
+      }
+    });
+  }
+  return writer.close();
+}
+
+Graph materialize(const StreamSpec& spec) {
+  validate(spec);
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(spec.n) + 1);
+  offsets.push_back(0);
+  std::vector<NodeId> adj;
+  RowSource source(spec);
+  constexpr std::uint64_t kChunk = 1u << 16;
+  for (std::uint64_t lo = 0; lo < spec.n; lo += kChunk) {
+    const std::uint64_t hi = std::min(spec.n, lo + kChunk);
+    source.emit(lo, hi, [&](std::uint64_t, std::span<const NodeId> row) {
+      adj.insert(adj.end(), row.begin(), row.end());
+      offsets.push_back(static_cast<std::uint32_t>(adj.size()));
+    });
+  }
+  Graph g(std::move(offsets), std::move(adj));
+  if (spec.scrambled_ids) {
+    const std::uint64_t id_key = hash_combine(spec.seed, kTagIds);
+    std::vector<std::uint64_t> ids(static_cast<std::size_t>(spec.n));
+    for (std::uint64_t v = 0; v < spec.n; ++v) {
+      ids[static_cast<std::size_t>(v)] = feistel64(v, id_key);
+    }
+    g.set_ids(std::move(ids));
+  }
+  return g;
+}
+
+}  // namespace ldc::storage::gen

@@ -1,0 +1,25 @@
+// FNV-1a 64 — the byte-digest primitive shared by job digests, coloring
+// digests (ldc/service) and the corpus store's section digests
+// (ldc/storage). Header-only so the graph/storage layer can use it
+// without depending on the service library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ldc {
+
+inline constexpr std::uint64_t kFnv1a64Seed = 14695981039346656037ull;
+
+inline std::uint64_t fnv1a64_bytes(const void* data, std::size_t len,
+                                   std::uint64_t seed = kFnv1a64Seed) {
+  std::uint64_t h = seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace ldc

@@ -136,5 +136,27 @@ TEST(Generators, ScrambleIdsRejectsSmallSpace) {
   EXPECT_THROW(gen::scramble_ids(g, 10, 1), std::invalid_argument);
 }
 
+// Size arithmetic is computed in 64 bits and checked against explicit
+// caps BEFORE any allocation. Each of these products overflows 32 bits
+// (or exceeds the in-RAM cap) and used to wrap or attempt a giant
+// allocation; now they must throw std::overflow_error immediately.
+TEST(Generators, CompleteBipartiteOverflowGuard) {
+  EXPECT_THROW(gen::complete_bipartite(70000, 70000), std::overflow_error);
+  EXPECT_THROW(gen::complete_bipartite(1u << 31, 1u << 31),
+               std::overflow_error);
+}
+
+TEST(Generators, RandomRegularOverflowGuard) {
+  // n*d = 2^32 stubs: wraps to 0 in 32-bit arithmetic.
+  EXPECT_THROW(gen::random_regular(1u << 31, 2, 1), std::overflow_error);
+  EXPECT_THROW(gen::random_regular(4'000'000'000u, 4, 1),
+               std::overflow_error);
+}
+
+TEST(Generators, TorusOverflowGuard) {
+  // w*h = 2^32 nodes: wraps to 0 in 32-bit arithmetic.
+  EXPECT_THROW(gen::torus(1u << 16, 1u << 16), std::overflow_error);
+}
+
 }  // namespace
 }  // namespace ldc

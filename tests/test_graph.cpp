@@ -156,5 +156,92 @@ TEST(DegreeStats, Histogram) {
   EXPECT_EQ(s.histogram[3], 1u);
 }
 
+TEST(GraphBuilder, EdgeCountIsRawUniqueEdgeCountIsDeduped) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // same undirected edge, reversed
+  b.add_edge(0, 1);  // exact duplicate
+  b.add_edge(2, 3);
+  // edge_count() is the raw add_edge tally — a duplicate-heavy stream
+  // shows the gap between what was fed in and what build() will keep.
+  EXPECT_EQ(b.edge_count(), 4u);
+  EXPECT_EQ(b.unique_edge_count(), 2u);
+  const Graph g = b.build();
+  EXPECT_EQ(g.m(), 2u);
+  EXPECT_EQ(b.unique_edge_count(), 2u);  // build() left the builder intact
+}
+
+// ---- Zero-copy views (the mmap-backed corpus read path) ---------------
+
+TEST(GraphView, ReadsExternalStorageWithoutCopying) {
+  // CSR of the triangle-plus-pendant graph, owned by the test.
+  const std::vector<std::uint64_t> offsets = {0, 2, 4, 7, 8};
+  const std::vector<NodeId> adj = {1, 2, 0, 2, 0, 1, 3, 2};
+  const Graph g = Graph::view(offsets, adj, {}, 3, 3, nullptr);
+  EXPECT_EQ(g.n(), 4u);
+  EXPECT_EQ(g.m(), 4u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_TRUE(g.has_edge(2, 3));
+  for (NodeId v = 0; v < g.n(); ++v) EXPECT_EQ(g.id(v), v);  // identity
+  // Zero-copy: the view reads the test's vectors directly.
+  EXPECT_EQ(g.neighbors(0).data(), adj.data());
+}
+
+TEST(GraphView, PinKeepsBackingStorageAlive) {
+  auto backing = std::make_shared<std::vector<std::uint64_t>>(
+      std::vector<std::uint64_t>{0, 1, 2});
+  const std::vector<NodeId> adj = {1, 0};
+  Graph g;
+  {
+    Graph view = Graph::view(*backing, adj, {}, 1, 1, backing);
+    g = view;  // the copy must keep the pin
+  }
+  EXPECT_GE(backing.use_count(), 2);  // test + the surviving copy
+  EXPECT_EQ(g.n(), 2u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST(GraphView, RejectsInconsistentSpans) {
+  const std::vector<std::uint64_t> offsets = {0, 1, 2};
+  const std::vector<NodeId> adj = {1, 0};
+  const std::vector<std::uint64_t> bad_off = {0, 1, 7};
+  EXPECT_THROW(Graph::view(bad_off, adj, {}, 1, 1, nullptr),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> ids = {5};  // 1 id for 2 nodes
+  EXPECT_THROW(Graph::view(offsets, adj, ids, 1, 5, nullptr),
+               std::invalid_argument);
+}
+
+TEST(GraphView, SetIdsWorksOnViews) {
+  const std::vector<std::uint64_t> offsets = {0, 1, 2};
+  const std::vector<NodeId> adj = {1, 0};
+  Graph g = Graph::view(offsets, adj, {}, 1, 1, nullptr);
+  g.set_ids({10, 20});
+  EXPECT_EQ(g.id(0), 10u);
+  EXPECT_EQ(g.max_id(), 20u);
+  const Graph copy = g;  // owned ids must rebind on copy
+  EXPECT_EQ(copy.id(1), 20u);
+  EXPECT_EQ(copy.neighbors(0).data(), adj.data());  // topology still external
+}
+
+TEST(Graph, CopyRebindsSpansToOwnedStorage) {
+  Graph g = triangle_plus_pendant();
+  Graph copy = g;
+  // The copy must read its own vectors, not the source's.
+  EXPECT_NE(copy.neighbors(0).data(), g.neighbors(0).data());
+  g = Graph();  // destroying the source must not disturb the copy
+  EXPECT_EQ(copy.n(), 4u);
+  EXPECT_EQ(copy.degree(2), 3u);
+  EXPECT_TRUE(copy.has_edge(0, 1));
+}
+
+TEST(Graph, SelfAssignmentIsSafe) {
+  Graph g = triangle_plus_pendant();
+  g = *&g;
+  EXPECT_EQ(g.n(), 4u);
+  EXPECT_EQ(g.m(), 4u);
+}
+
 }  // namespace
 }  // namespace ldc

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -20,6 +21,8 @@
 #include "ldc/service/protocol.hpp"
 #include "ldc/service/queue.hpp"
 #include "ldc/service/service.hpp"
+#include "ldc/storage/registry.hpp"
+#include "ldc/storage/stream_gen.hpp"
 #include "ldc/support/bitio.hpp"
 
 namespace ldc::service {
@@ -724,6 +727,207 @@ TEST(ServiceProtocol, EofTriggersGracefulDrain) {
     results += line.find("\"event\":\"result\"") != std::string::npos;
   }
   EXPECT_EQ(results, 2u) << out;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus-served jobs
+
+/// Writes a streamed corpus named `name` into its own fresh directory and
+/// removes both on teardown.
+struct CorpusFixture {
+  std::string dir;
+  std::string name;
+  storage::CorpusMeta meta;
+  CorpusFixture(const std::string& tag, const storage::gen::StreamSpec& spec) {
+    dir = testing::TempDir() + "svc_corpus_" + tag;
+    std::filesystem::create_directories(dir);
+    name = "g_" + tag;
+    meta = storage::gen::write_corpus(spec, path());
+  }
+  std::string path() const {
+    return dir + "/" + name + storage::kCorpusExtension;
+  }
+  ~CorpusFixture() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+Job corpus_job(const std::string& name, const std::string& algo = "greedy") {
+  Job job;
+  job.algorithm = algo;
+  job.graph.family = "corpus";
+  job.graph.corpus = name;
+  return job;
+}
+
+TEST(ServiceCorpus, RunsJobsFromMappedCorpusAndCachesByContent) {
+  CorpusFixture fx("cache", storage::gen::stream_random_regular(512, 4, 7));
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.corpus_dir = fx.dir;
+  Collector c;
+  Service svc(cfg, c.callback());
+
+  const auto a1 = svc.submit(corpus_job(fx.name));
+  ASSERT_TRUE(a1.admitted);
+  svc.drain();
+  const auto a2 = svc.submit(corpus_job(fx.name));
+  ASSERT_TRUE(a2.admitted);
+  svc.drain();
+  svc.shutdown();
+
+  ASSERT_EQ(c.results.size(), 2u);
+  const JobResult* first = c.by_id(a1.id);
+  const JobResult* second = c.by_id(a2.id);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->status, "ok");
+  EXPECT_TRUE(first->outcome.valid);
+  EXPECT_FALSE(first->cached);
+  EXPECT_TRUE(second->cached);  // build once, serve many
+  EXPECT_EQ(first->digest, second->digest);
+  // The admission echoes the service's content-keyed digest; clients
+  // cannot compute it from the spec alone.
+  EXPECT_EQ(a1.digest, first->digest);
+  EXPECT_EQ(a2.digest, a1.digest);
+}
+
+TEST(ServiceCorpus, DigestIsKeyedByContentNotName) {
+  // Same corpus NAME, different content -> different job digest (a stale
+  // cache entry can never be served for regenerated data). Same content
+  // under a different name -> same digest (renames don't bust the cache).
+  CorpusFixture a("da", storage::gen::stream_ring(256, 1));
+  CorpusFixture b("db", storage::gen::stream_ring(512, 1));
+  CorpusFixture c("dc", storage::gen::stream_ring(256, 1));
+  ASSERT_NE(a.meta.content_digest, b.meta.content_digest);
+  ASSERT_EQ(a.meta.content_digest, c.meta.content_digest);
+
+  auto admit = [](const CorpusFixture& fx) {
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.corpus_dir = fx.dir;
+    Service svc(cfg);
+    svc.pause();  // admission only; never runs the job
+    const auto adm = svc.submit(corpus_job(fx.name));
+    EXPECT_TRUE(adm.admitted);
+    svc.cancel(adm.id);
+    svc.resume();
+    svc.shutdown();
+    return adm.digest;
+  };
+  const std::uint64_t da = admit(a);
+  const std::uint64_t db = admit(b);
+  EXPECT_NE(da, db);
+
+  // Same content, different name: rebuild c's job with a's spec shape.
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.corpus_dir = c.dir;
+  Service svc(cfg);
+  svc.pause();
+  Job job = corpus_job(c.name);
+  const auto adm = svc.submit(job);
+  ASSERT_TRUE(adm.admitted);
+  svc.cancel(adm.id);
+  svc.resume();
+  svc.shutdown();
+  // Names differ (g_da vs g_dc) so full digests differ, but the resolved
+  // content component must match a's.
+  EXPECT_EQ(job.graph.corpus_digest, 0u);  // caller's copy is untouched
+  EXPECT_NE(adm.digest, 0u);
+}
+
+TEST(ServiceCorpus, MissingCorpusFailsTheJobNotTheService) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.corpus_dir = testing::TempDir() + "svc_corpus_missing";
+  std::filesystem::create_directories(cfg.corpus_dir);
+  Collector c;
+  Service svc(cfg, c.callback());
+  const auto a = svc.submit(corpus_job("no_such_corpus"));
+  ASSERT_TRUE(a.admitted);  // admission is non-blocking; the run reports
+  svc.drain();
+  // The service must still serve ordinary jobs afterwards.
+  ASSERT_TRUE(svc.submit(ring_job("greedy", 16, 1)).admitted);
+  svc.drain();
+  svc.shutdown();
+  ASSERT_EQ(c.results.size(), 2u);
+  const JobResult* bad = c.by_id(a.id);
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(bad->status, "failed");
+  EXPECT_NE(bad->error.find("no_such_corpus"), std::string::npos)
+      << bad->error;
+}
+
+TEST(ServiceCorpus, CorpusJobWithoutCorpusDirFailsWithClearError) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  Collector c;
+  Service svc(cfg, c.callback());  // no corpus_dir configured
+  const auto a = svc.submit(corpus_job("anything"));
+  ASSERT_TRUE(a.admitted);
+  svc.drain();
+  svc.shutdown();
+  ASSERT_EQ(c.results.size(), 1u);
+  EXPECT_EQ(c.results[0].status, "failed");
+  EXPECT_NE(c.results[0].error.find("--corpus-dir"), std::string::npos)
+      << c.results[0].error;
+}
+
+TEST(ServiceCorpus, IdBitsCannotRescrambleACorpusGraph) {
+  const auto spec = harness::Json::parse_line(
+      R"({"algorithm":"greedy","graph":{"family":"corpus",)"
+      R"("corpus":"g","id_bits":20}})");
+  EXPECT_THROW(job_from_json(spec), JobSpecError);
+  // Wire round-trip for a legal corpus job keeps the corpus name.
+  const auto ok = harness::Json::parse_line(
+      R"({"algorithm":"greedy","graph":{"family":"corpus","corpus":"g"}})");
+  const Job job = job_from_json(ok);
+  EXPECT_EQ(job.graph.corpus, "g");
+  const Job back = job_from_json(job_to_json(job));
+  EXPECT_EQ(back.graph.corpus, "g");
+  EXPECT_EQ(back.canonical(), job.canonical());
+}
+
+TEST(ServiceCorpus, StatsExportsLoadedCorpora) {
+  CorpusFixture fx("stats", storage::gen::stream_gnp(300, 16, 0.2, 3));
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.corpus_dir = fx.dir;
+  Service svc(cfg);
+  const auto before = svc.stats(/*counters_only=*/true);
+  ASSERT_NE(before.find("corpora"), nullptr);
+  EXPECT_EQ(before.at("corpora").as_array().size(), 0u);  // nothing open yet
+  ASSERT_TRUE(svc.submit(corpus_job(fx.name, "luby")).admitted);
+  svc.drain();
+  const auto after = svc.stats(/*counters_only=*/true);
+  ASSERT_EQ(after.at("corpora").as_array().size(), 1u);
+  const auto& info = after.at("corpora").as_array()[0];
+  EXPECT_EQ(info.at("name").as_string(), fx.name);
+  EXPECT_EQ(info.at("vertices").as_uint(), fx.meta.n);
+  EXPECT_EQ(info.at("edges").as_uint(), fx.meta.m());
+  EXPECT_GT(info.at("file_bytes").as_uint(), 0u);
+  svc.shutdown();
+}
+
+TEST(ServiceCorpus, ProtocolServesCorpusJobsDeterministically) {
+  CorpusFixture fx("proto", storage::gen::stream_ring(64, 5));
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.corpus_dir = fx.dir;
+  const std::string script =
+      "{\"op\":\"submit\",\"job\":{\"algorithm\":\"greedy\",\"graph\":"
+      "{\"family\":\"corpus\",\"corpus\":\"" + fx.name + "\"}}}\n"
+      "{\"op\":\"drain\"}\n"
+      "{\"op\":\"submit\",\"job\":{\"algorithm\":\"greedy\",\"graph\":"
+      "{\"family\":\"corpus\",\"corpus\":\"" + fx.name + "\"}}}\n"
+      "{\"op\":\"shutdown\"}\n";
+  const std::string run1 = serve_script(script, cfg);
+  const std::string run2 = serve_script(script, cfg);
+  EXPECT_EQ(run1, run2);
+  EXPECT_NE(run1.find("\"status\":\"ok\""), std::string::npos) << run1;
+  EXPECT_NE(run1.find("\"cached\":true"), std::string::npos) << run1;
 }
 
 TEST(ServiceProtocol, StatsShapes) {
