@@ -1,0 +1,120 @@
+#include "ldc/graph/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ldc {
+namespace {
+
+std::size_t clamp_shards(NodeId n, std::size_t shards) {
+  if (shards == 0) shards = 1;
+  if (n > 0 && shards > n) shards = n;
+  return shards;
+}
+
+}  // namespace
+
+Partition Partition::contiguous(NodeId n, std::size_t shards) {
+  const std::size_t k = clamp_shards(n, shards);
+  std::vector<NodeId> starts(k + 1, 0);
+  const NodeId width = n / static_cast<NodeId>(k);
+  const NodeId extra = n % static_cast<NodeId>(k);
+  NodeId at = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    starts[i] = at;
+    at += width + (i < extra ? 1 : 0);
+  }
+  starts[k] = n;
+  return Partition(std::move(starts));
+}
+
+Partition Partition::degree_balanced(const Graph& g, std::size_t shards) {
+  const NodeId n = g.n();
+  const std::size_t k = clamp_shards(n, shards);
+  const std::uint64_t total = 2 * g.m();  // adjacency entries
+  if (total == 0 || k <= 1) return contiguous(n, k);
+
+  // Prefix sums of degree, then for each boundary the smallest cut point
+  // whose prefix reaches the ideal i*total/k target.
+  std::vector<std::uint64_t> prefix(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) prefix[v + 1] = prefix[v] + g.degree(v);
+
+  std::vector<NodeId> starts(k + 1, 0);
+  starts[k] = n;
+  for (std::size_t i = 1; i < k; ++i) {
+    const std::uint64_t target = total * i / k;
+    const auto it =
+        std::lower_bound(prefix.begin(), prefix.end(), target);
+    starts[i] = static_cast<NodeId>(it - prefix.begin());
+  }
+  // Non-empty ranges: push boundaries apart (n >= k guarantees room).
+  for (std::size_t i = 1; i < k; ++i) {
+    starts[i] = std::max<NodeId>(starts[i], starts[i - 1] + 1);
+  }
+  for (std::size_t i = k; i-- > 1;) {
+    starts[i] = std::min<NodeId>(starts[i], starts[i + 1] - 1);
+  }
+  return Partition(std::move(starts));
+}
+
+std::size_t Partition::shard_of(NodeId v) const {
+  assert(!starts_.empty() && v < starts_.back());
+  const auto it =
+      std::upper_bound(starts_.begin() + 1, starts_.end(), v);
+  return static_cast<std::size_t>(it - starts_.begin()) - 1;
+}
+
+void ShardTopology::build(const Graph& g, NodeId b, NodeId e) {
+  vbegin = b;
+  vend = e;
+  ghost_edges = 0;
+  const NodeId width = e - b;
+
+  // Collect the halo via a bitmap over [0, n): deterministic, sorted
+  // output without sorting a per-edge worklist.
+  const NodeId n = g.n();
+  std::vector<std::uint64_t> seen((static_cast<std::size_t>(n) + 63) / 64,
+                                  0);
+  std::uint64_t entries = 0;
+  for (NodeId v = b; v < e; ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      ++entries;
+      if (u < b || u >= e) {
+        seen[u >> 6] |= std::uint64_t{1} << (u & 63);
+      }
+    }
+  }
+  ghosts.clear();
+  for (std::size_t w = 0; w < seen.size(); ++w) {
+    std::uint64_t bits = seen[w];
+    while (bits != 0) {
+      const unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+      ghosts.push_back(static_cast<NodeId>((w << 6) + tz));
+      bits &= bits - 1;
+    }
+  }
+
+  // Local CSR: owned neighbours map by offset, ghosts by rank lookup.
+  xadj.assign(static_cast<std::size_t>(width) + 1, 0);
+  adj.clear();
+  adj.reserve(entries);
+  std::uint64_t at = 0;
+  for (NodeId v = b; v < e; ++v) {
+    xadj[v - b] = at;
+    for (const NodeId u : g.neighbors(v)) {
+      std::uint32_t lid;
+      if (u >= b && u < e) {
+        lid = u - b;
+      } else {
+        const auto it = std::lower_bound(ghosts.begin(), ghosts.end(), u);
+        lid = width + static_cast<std::uint32_t>(it - ghosts.begin());
+        ++ghost_edges;
+      }
+      adj.push_back(lid);
+      ++at;
+    }
+  }
+  xadj[width] = at;
+}
+
+}  // namespace ldc

@@ -1,0 +1,85 @@
+// Contiguous vertex-range partitions of a CSR graph for sharded execution.
+//
+// A Partition splits [0, n) into K contiguous ascending ranges; shard k
+// owns [begin(k), end(k)). Contiguity is the determinism lever: the
+// concatenation of the shards' sender ranges in shard order *is* the
+// serial sender order, so a sharded engine that merges per-shard results
+// ascending reproduces the serial delivery order byte for byte (the same
+// argument Network::kParallel already relies on, see DESIGN.md §11).
+//
+// A ShardTopology is one shard's local view: the owned range, the sorted
+// ghost list (out-of-range neighbours of owned vertices, read-only halo),
+// and a local-id CSR whose rows preserve the global adjacency order. It is
+// built by the shard's own worker thread so the pages land on that
+// worker's NUMA node under first-touch placement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ldc/graph/graph.hpp"
+
+namespace ldc {
+
+/// A partition of [0, n) into K contiguous, ascending, non-empty vertex
+/// ranges (empty ranges only when n < K forces fewer real shards; callers
+/// clamp K to n first). starts()[0] == 0 and starts()[K] == n.
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Equal-width ranges; the first n % K shards take one extra vertex.
+  static Partition contiguous(NodeId n, std::size_t shards);
+
+  /// Ranges balanced by degree sum: boundaries sit as close to the ideal
+  /// i*(2m)/K adjacency-prefix targets as contiguity and non-emptiness
+  /// allow. Falls back to contiguous() on an edgeless graph.
+  static Partition degree_balanced(const Graph& g, std::size_t shards);
+
+  std::size_t shards() const {
+    return starts_.empty() ? 0 : starts_.size() - 1;
+  }
+  NodeId begin(std::size_t k) const { return starts_[k]; }
+  NodeId end(std::size_t k) const { return starts_[k + 1]; }
+  NodeId n() const { return starts_.empty() ? 0 : starts_.back(); }
+
+  /// Index of the shard owning vertex v (v must be < n()).
+  std::size_t shard_of(NodeId v) const;
+
+  const std::vector<NodeId>& starts() const { return starts_; }
+
+ private:
+  explicit Partition(std::vector<NodeId> starts)
+      : starts_(std::move(starts)) {}
+
+  std::vector<NodeId> starts_;  ///< K+1 range boundaries
+};
+
+/// One shard's local graph view. Local ids: owned vertex v maps to
+/// v - vbegin; ghost g maps to owned() + (rank of g in the sorted ghosts).
+/// adj rows keep the global rows' ascending-neighbour order, so walking a
+/// local row and translating ids back yields exactly the global row.
+struct ShardTopology {
+  NodeId vbegin = 0;
+  NodeId vend = 0;
+  std::vector<NodeId> ghosts;       ///< sorted global ids of halo vertices
+  std::vector<std::uint64_t> xadj;  ///< owned()+1 local row offsets
+  std::vector<std::uint32_t> adj;   ///< local ids, global row order
+  std::uint64_t ghost_edges = 0;    ///< adjacency entries that are ghosts
+
+  NodeId owned() const { return vend - vbegin; }
+
+  /// True iff local id refers to a ghost rather than an owned vertex.
+  bool is_ghost(std::uint32_t lid) const { return lid >= owned(); }
+
+  /// Global id of a local id.
+  NodeId global_id(std::uint32_t lid) const {
+    return lid < owned() ? vbegin + lid : ghosts[lid - owned()];
+  }
+
+  /// Builds the local CSR for [vbegin, vend) of g. Call from the shard's
+  /// owning worker thread for first-touch NUMA placement.
+  void build(const Graph& g, NodeId vbegin, NodeId vend);
+};
+
+}  // namespace ldc

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -25,22 +26,50 @@ const char* kind_name(Json::Kind k) {
 
 void escape_into(const std::string& s, std::string& out) {
   out.push_back('"');
-  for (char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
     }
+    if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      ++i;
+      continue;
+    }
+    // Non-BMP codepoints (4-byte UTF-8) must be escaped as a UTF-16
+    // surrogate pair — raw astral-plane bytes survive a round trip, but a
+    // \uXXXX-only consumer (or a CESU-8 producer on the other side) would
+    // disagree; BMP multi-byte UTF-8 passes through raw, which every JSON
+    // parser accepts. Invalid UTF-8 also passes through raw, unchanged
+    // from the previous behaviour.
+    if ((c & 0xF8) == 0xF0 && i + 3 < s.size() &&
+        (static_cast<unsigned char>(s[i + 1]) & 0xC0) == 0x80 &&
+        (static_cast<unsigned char>(s[i + 2]) & 0xC0) == 0x80 &&
+        (static_cast<unsigned char>(s[i + 3]) & 0xC0) == 0x80) {
+      const std::uint32_t cp =
+          (static_cast<std::uint32_t>(c & 0x07) << 18) |
+          (static_cast<std::uint32_t>(s[i + 1] & 0x3F) << 12) |
+          (static_cast<std::uint32_t>(s[i + 2] & 0x3F) << 6) |
+          static_cast<std::uint32_t>(s[i + 3] & 0x3F);
+      if (cp >= 0x10000 && cp <= 0x10FFFF) {
+        const std::uint32_t off = cp - 0x10000;
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "\\u%04x\\u%04x",
+                      0xD800 + (off >> 10), 0xDC00 + (off & 0x3FF));
+        out += buf;
+        i += 4;
+        continue;
+      }
+    }
+    out.push_back(static_cast<char>(c));
+    ++i;
   }
   out.push_back('"');
 }
@@ -163,6 +192,21 @@ class Parser {
     }
   }
 
+  /// Four hex digits of a \uXXXX escape (the "\u" is already consumed).
+  unsigned hex4() {
+    if (pos_ + 4 > text_.size()) fail("short \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return code;
+  }
+
   std::string string() {
     expect('"');
     std::string out;
@@ -183,18 +227,32 @@ class Parser {
         case 'b': out.push_back('\b'); break;
         case 'f': out.push_back('\f'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("short \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
+          unsigned code = hex4();
+          // UTF-16 surrogate halves are not codepoints: a high surrogate
+          // must be followed by "\uDC00".."\uDFFF", and the pair decodes
+          // to one astral-plane codepoint (4-byte UTF-8). Lone halves in
+          // either order are malformed input, rejected loudly.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            const unsigned low = hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("unpaired high surrogate in \\u escape");
+            }
+            const std::uint32_t cp =
+                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            break;
           }
-          // The sink only escapes control characters, so decoding ASCII is
-          // enough; other code points are encoded as UTF-8.
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
+          }
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {

@@ -3,8 +3,10 @@
 // them back. Deliberately tiny — objects preserve insertion order (so
 // emitted files diff cleanly in git), integers round-trip exactly through
 // int64/uint64 (bit counters must not pass through a double), and parse
-// errors carry byte offsets. Not a general-purpose JSON library: no
-// \uXXXX escape synthesis beyond the BMP, no streaming.
+// errors carry byte offsets. Non-BMP codepoints round-trip as \uXXXX
+// surrogate pairs (the writer synthesizes them for 4-byte UTF-8, the
+// parser recombines them; lone surrogate halves are rejected). Not a
+// general-purpose JSON library: no streaming.
 #pragma once
 
 #include <cstdint>

@@ -23,8 +23,9 @@ selection
 
 execution
   --smoke                shrunk parameter sweeps (CI scale)
-  --engine serial|parallel
+  --engine serial|parallel|sharded
   --threads N            parallel-engine lanes (implies --engine parallel)
+  --shards N             shard count (implies --engine sharded)
 
 output
   --out DIR              write results.jsonl, csv/, tables/ under DIR
@@ -70,9 +71,23 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       o.smoke = true;
     } else if (arg == "--engine") {
       const std::string v = require_value(argc, argv, i, arg);
-      if (v == "parallel") o.parallel = true;
-      else if (v == "serial") o.parallel = false;
-      else throw std::invalid_argument("--engine must be serial or parallel");
+      if (v == "parallel") { o.parallel = true; o.sharded = false; }
+      else if (v == "sharded") { o.sharded = true; o.parallel = false; }
+      else if (v == "serial") { o.parallel = false; o.sharded = false; }
+      else {
+        throw std::invalid_argument(
+            "--engine must be serial, parallel, or sharded");
+      }
+    } else if (arg == "--shards") {
+      const std::string v = require_value(argc, argv, i, arg);
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || n == 0 || n > 1024) {
+        throw std::invalid_argument("--shards expects an integer in [1, 1024]");
+      }
+      o.shards = n;
+      o.sharded = true;
+      o.parallel = false;
     } else if (arg == "--threads") {
       const std::string v = require_value(argc, argv, i, arg);
       char* end = nullptr;
@@ -149,9 +164,12 @@ int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err) {
 
   RunConfig config;
   config.smoke = options.smoke;
-  config.engine = options.parallel ? Network::Engine::kParallel
-                                   : Network::Engine::kSerial;
-  config.threads = options.threads;
+  config.engine = options.sharded    ? Network::Engine::kSharded
+                  : options.parallel ? Network::Engine::kParallel
+                                     : Network::Engine::kSerial;
+  // Under kSharded the count parameter is the shard count; set_engine
+  // resolves 0 via LDC_SHARDS (strict parse) / hardware concurrency.
+  config.threads = options.sharded ? options.shards : options.threads;
   const Provenance provenance = make_provenance(config);
 
   std::unique_ptr<Sink> sink;

@@ -20,7 +20,12 @@ namespace ldc::harness {
 namespace {
 
 const char* engine_name(Network::Engine e) {
-  return e == Network::Engine::kParallel ? "parallel" : "serial";
+  switch (e) {
+    case Network::Engine::kParallel: return "parallel";
+    case Network::Engine::kSharded: return "sharded";
+    case Network::Engine::kSerial: break;
+  }
+  return "serial";
 }
 
 std::string csv_escape(const std::string& s) {

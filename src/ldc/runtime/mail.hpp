@@ -15,11 +15,19 @@
 //
 // Delivery order contract: within one inbox, slots are in strictly
 // ascending sender order (each sender may send at most one message per
-// destination per round). Both engines produce this order by construction —
-// the serial engine walks senders ascending, the parallel engine's shards
-// are contiguous ascending sender ranges written in shard order — which is
-// what lets the plane skip the per-inbox sort entirely (a debug-build
-// assertion in network.cpp keeps the invariant honest).
+// destination per round). All engines produce this order by construction —
+// the serial engine walks senders ascending, the parallel engine's chunks
+// are contiguous ascending sender ranges written in chunk order, and the
+// sharded engine fills each destination by walking source shards in
+// ascending shard order (shards own contiguous ascending vertex ranges) —
+// which is what lets the plane skip the per-inbox sort entirely (a
+// debug-build assertion keeps the invariant honest).
+//
+// Under Engine::kSharded there is one MailArena per shard, indexed by
+// *local* destination id, and the views carry a ShardMap that routes a
+// global destination to its shard's arena. Freshness is still checked
+// against the master (Network-owned) arena's epoch, which keeps advancing
+// once per round regardless of engine.
 #pragma once
 
 #include <cstdint>
@@ -101,12 +109,51 @@ class MailArena {
   std::vector<MailSlot> slots_;         ///< flat (sender, message) slots
   std::vector<std::uint64_t> words_;    ///< fused dense mode: word per sender
   std::vector<WordSlot> word_slots_;    ///< fused sparse mode: CSR slots
+  std::vector<std::uint64_t> ghost_words_;  ///< sharded dense: halo snapshot
   std::uint64_t epoch_ = 0;
-  std::vector<Lane> lanes_;             ///< lane 0: serial; else per shard
+  std::vector<Lane> lanes_;             ///< lane 0: serial; else per chunk
   std::vector<char> transmits_;         ///< broadcast: sender is live
   std::vector<std::size_t> sender_bits_;    ///< broadcast: payload size
   std::vector<NodeId> scratch_;             ///< duplicate-destination check
   std::vector<std::uint32_t> chunk_total_;  ///< parallel prefix partials
+};
+
+/// Internal routing tables for Engine::kSharded views (built by the
+/// engine, owned by the Network's shard set; treat as opaque elsewhere).
+/// One ShardView per shard: the shard's delivery arena (indexed by local
+/// destination id) plus its local CSR so dense word lanes can be
+/// synthesized entirely from shard-owned pages. Word/ghost storage is
+/// always dereferenced through `arena` at access time — those vectors are
+/// resized between rounds, so the view must not cache their data pointers.
+struct ShardView {
+  const MailArena* arena = nullptr;
+  const std::uint64_t* xadj = nullptr;  ///< local row offsets (owned()+1)
+  const std::uint32_t* adj = nullptr;   ///< local ids, global row order
+  const NodeId* ghost_ids = nullptr;    ///< sorted global ids of the halo
+  NodeId vbegin = 0;
+  std::uint32_t owned = 0;
+};
+
+/// Maps a global vertex to its owning shard (contiguous ranges, so a
+/// binary search over the K+1 boundaries).
+struct ShardMap {
+  const ShardView* shards = nullptr;
+  const NodeId* starts = nullptr;  ///< K+1 ascending range boundaries
+  std::size_t count = 0;
+
+  std::size_t shard_of(NodeId v) const {
+    std::size_t lo = 0;
+    std::size_t hi = count - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo + 1) / 2;
+      if (starts[mid] <= v) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  }
 };
 
 /// Read-only view of one round's inboxes (see the file comment for the
@@ -173,6 +220,13 @@ class RoundMail {
     if (v >= n_) {
       throw std::out_of_range("RoundMail: destination out of range");
     }
+    if (smap_ != nullptr) {
+      const ShardView& sv = smap_->shards[smap_->shard_of(v)];
+      const NodeId lv = v - sv.vbegin;
+      const MailSlot* base = sv.arena->slots_.data();
+      return InboxSpan(base + sv.arena->offsets_[lv],
+                       base + sv.arena->offsets_[lv + 1]);
+    }
     const MailSlot* base = arena_->slots_.data();
     return InboxSpan(base + arena_->offsets_[v],
                      base + arena_->offsets_[v + 1]);
@@ -200,6 +254,10 @@ class RoundMail {
   friend class Network;
   RoundMail(const MailArena* arena, std::uint32_t n)
       : arena_(arena), n_(n), epoch_(arena->epoch_) {}
+  /// Sharded view: `arena` is the master arena (epoch source only);
+  /// deliveries live in the per-shard arenas behind `smap`.
+  RoundMail(const MailArena* arena, const ShardMap* smap, std::uint32_t n)
+      : arena_(arena), smap_(smap), n_(n), epoch_(arena->epoch_) {}
 
   void check_fresh() const {
     if (arena_ == nullptr || arena_->epoch_ != epoch_) {
@@ -210,6 +268,7 @@ class RoundMail {
   }
 
   const MailArena* arena_ = nullptr;
+  const ShardMap* smap_ = nullptr;
   std::uint32_t n_ = 0;
   std::uint64_t epoch_ = 0;
 };
@@ -261,6 +320,14 @@ class WordMail {
     bool empty() const { return n_ == 0; }
     WordSlot operator[](std::size_t i) const {
       if (slots_ != nullptr) return slots_[i];
+      if (lids_ != nullptr) {
+        // Sharded dense mode: translate the local id, reading the owned
+        // word or the shard's halo snapshot — both shard-local pages.
+        const std::uint32_t lid = lids_[i];
+        if (lid < owned_) return WordSlot{vbegin_ + lid, dense_[lid]};
+        return WordSlot{ghost_ids_[lid - owned_],
+                        ghost_words_[lid - owned_]};
+      }
       const NodeId u = nbrs_[i];
       return WordSlot{u, dense_[u]};
     }
@@ -273,10 +340,20 @@ class WordMail {
     Lane(const WordSlot* slots, std::size_t n) : slots_(slots), n_(n) {}
     Lane(const NodeId* nbrs, const std::uint64_t* dense, std::size_t n)
         : nbrs_(nbrs), dense_(dense), n_(n) {}
+    Lane(const std::uint32_t* lids, const std::uint64_t* owned_words,
+         const std::uint64_t* ghost_words, const NodeId* ghost_ids,
+         NodeId vbegin, std::uint32_t owned, std::size_t n)
+        : dense_(owned_words), lids_(lids), ghost_words_(ghost_words),
+          ghost_ids_(ghost_ids), vbegin_(vbegin), owned_(owned), n_(n) {}
 
     const WordSlot* slots_ = nullptr;       ///< sparse mode
     const NodeId* nbrs_ = nullptr;          ///< dense mode: adjacency
-    const std::uint64_t* dense_ = nullptr;  ///< dense mode: word per sender
+    const std::uint64_t* dense_ = nullptr;  ///< dense: word per sender/lid
+    const std::uint32_t* lids_ = nullptr;   ///< sharded dense: local row
+    const std::uint64_t* ghost_words_ = nullptr;  ///< sharded dense: halo
+    const NodeId* ghost_ids_ = nullptr;     ///< sharded dense: halo ids
+    NodeId vbegin_ = 0;                     ///< sharded dense: range base
+    std::uint32_t owned_ = 0;               ///< sharded dense: range width
     std::size_t n_ = 0;
   };
 
@@ -293,6 +370,19 @@ class WordMail {
     if (v >= n_) {
       throw std::out_of_range("WordMail: destination out of range");
     }
+    if (smap_ != nullptr) {
+      const ShardView& sv = smap_->shards[smap_->shard_of(v)];
+      const NodeId lv = v - sv.vbegin;
+      if (dense_) {
+        const std::uint64_t i0 = sv.xadj[lv];
+        return Lane(sv.adj + i0, sv.arena->words_.data(),
+                    sv.arena->ghost_words_.data(), sv.ghost_ids,
+                    sv.vbegin, sv.owned,
+                    static_cast<std::size_t>(sv.xadj[lv + 1] - i0));
+      }
+      return Lane(sv.arena->word_slots_.data() + sv.arena->offsets_[lv],
+                  sv.arena->offsets_[lv + 1] - sv.arena->offsets_[lv]);
+    }
     if (dense_) {
       const auto nb = graph_->neighbors(v);
       return Lane(nb.data(), arena_->words_.data(), nb.size());
@@ -307,6 +397,11 @@ class WordMail {
            std::uint32_t n)
       : arena_(arena), graph_(graph), dense_(dense), n_(n),
         epoch_(arena->epoch_) {}
+  /// Sharded view: `arena` is the master arena (epoch source only).
+  WordMail(const MailArena* arena, const ShardMap* smap, bool dense,
+           std::uint32_t n)
+      : arena_(arena), smap_(smap), dense_(dense), n_(n),
+        epoch_(arena->epoch_) {}
 
   void check_fresh() const {
     if (arena_ == nullptr || arena_->epoch_ != epoch_) {
@@ -318,6 +413,7 @@ class WordMail {
 
   const MailArena* arena_ = nullptr;
   const Graph* graph_ = nullptr;
+  const ShardMap* smap_ = nullptr;
   bool dense_ = false;
   std::uint32_t n_ = 0;
   std::uint64_t epoch_ = 0;

@@ -39,8 +39,26 @@ void Network::set_engine(Engine engine, std::size_t threads) {
   engine_ = engine;
   if (engine == Engine::kSerial) {
     pool_.reset();
+    shards_.reset();
     return;
   }
+  if (engine == Engine::kSharded) {
+    pool_.reset();
+    std::size_t k =
+        threads == 0 ? ShardCrew::default_shard_count() : threads;
+    k = std::min(k, ShardCrew::kMaxShards);
+    k = std::min<std::size_t>(k, std::max<NodeId>(graph_->n(), 1));
+    if (k <= 1) {
+      shards_.reset();  // one shard: run the exact serial code path
+      return;
+    }
+    if (shards_ == nullptr || shards_->size() != k) {
+      shards_ = std::make_unique<ShardSet>(*graph_, k,
+                                           ShardCrew::pin_from_env());
+    }
+    return;
+  }
+  shards_.reset();
   const std::size_t t =
       threads == 0 ? ThreadPool::default_thread_count() : threads;
   if (t <= 1) {
@@ -320,9 +338,23 @@ void Network::exchange_parallel(const std::vector<Outbox>& outboxes,
 void Network::debug_check_sorted() const {
 #ifndef NDEBUG
   // The ascending-sender invariant that replaced the per-inbox sort: the
-  // serial engine walks senders in order, the parallel engine's shards are
-  // contiguous ascending ranges merged in shard order, and the broadcast
+  // serial engine walks senders in order, the parallel engine's chunks are
+  // contiguous ascending ranges merged in chunk order, the sharded engine
+  // fills each inbox walking source shards ascending, and the broadcast
   // fill follows the graph's sorted adjacency.
+  if (shards_ != nullptr) {
+    for (const auto& st : shards_->states_) {
+      const MailArena& a = st->arena;
+      for (NodeId lv = 0; lv < st->topo.owned(); ++lv) {
+        for (std::uint32_t i = a.offsets_[lv] + 1; i < a.offsets_[lv + 1];
+             ++i) {
+          assert(a.slots_[i - 1].first < a.slots_[i].first &&
+                 "sharded inbox not in ascending sender order");
+        }
+      }
+    }
+    return;
+  }
   for (NodeId v = 0; v < graph_->n(); ++v) {
     for (std::uint32_t i = arena_.offsets_[v] + 1; i < arena_.offsets_[v + 1];
          ++i) {
@@ -355,6 +387,9 @@ RoundMail Network::seal_round(std::uint64_t msgs_before,
                               const RoundFaults& rf) {
   debug_check_sorted();
   finish_round(msgs_before, bits_before, round_max_bits, t0, rf);
+  if (shards_ != nullptr) {
+    return RoundMail(&arena_, &shards_->map_, graph_->n());
+  }
   return RoundMail(&arena_, graph_->n());
 }
 
@@ -379,7 +414,9 @@ RoundMail Network::exchange(const std::vector<Outbox>& outboxes) {
   const std::uint64_t bits_before = metrics_.total_bits;
   std::size_t round_max_bits = 0;
   const std::uint64_t t0 = now_ns();
-  if (pool_ != nullptr && pool_->size() > 1) {
+  if (shards_ != nullptr) {
+    exchange_sharded(outboxes, round, rf, round_max_bits);
+  } else if (pool_ != nullptr && pool_->size() > 1) {
     exchange_parallel(outboxes, round, rf, round_max_bits);
   } else {
     exchange_serial(outboxes, round, rf, round_max_bits);
@@ -434,6 +471,13 @@ void Network::broadcast_fill(const std::vector<Message>& msgs,
     metrics_.total_bits += static_cast<std::uint64_t>(deg) * bits;
     metrics_.max_message_bits = std::max(metrics_.max_message_bits, bits);
     round_max_bits = std::max(round_max_bits, bits);
+  }
+
+  // Sharded engine: sender-side accounting above ran on the coordinator
+  // (identical to serial); the per-shard receiver-driven fill takes over.
+  if (shards_ != nullptr) {
+    broadcast_fill_sharded(msgs, active, round, rf, all_live);
+    return;
   }
 
   // Receiver-side offsets. In the masked/faulty case this is also where
@@ -597,6 +641,14 @@ WordMail Network::exchange_broadcast_word(
     round_max_bits = std::max(round_max_bits, bits);
   }
 
+  if (shards_ != nullptr) {
+    // Per-shard fill: dense rounds snapshot owned + halo words into the
+    // shard's arena; masked/faulty rounds build per-shard word CSRs.
+    word_fill_sharded(words, bits, round, rf, all_live);
+    finish_round(msgs_before, bits_before, round_max_bits, t0, rf);
+    return WordMail(&arena_, &shards_->map_, all_live, n);
+  }
+
   if (all_live) {
     // Dense mode: one word per sender; lanes are synthesized from the
     // graph CSR at read time. O(n) work for an O(m) logical round.
@@ -652,6 +704,18 @@ WordMail Network::exchange_broadcast_word(
 void Network::run_node_programs(const std::function<void(NodeId)>& fn) {
   const auto n = graph_->n();
   const std::uint64_t t0 = now_ns();
+  if (shards_ != nullptr) {
+    // Each shard's worker runs its own range — node state written by fn
+    // stays on the pages that worker first-touched. Lowest-shard
+    // exceptions win, matching a serial loop's error order.
+    ShardSet& S = *shards_;
+    S.crew_.run([&](std::size_t k) {
+      const ShardState& st = *S.states_[k];
+      for (NodeId v = st.topo.vbegin; v < st.topo.vend; ++v) fn(v);
+    });
+    pending_compute_ns_ += now_ns() - t0;
+    return;
+  }
   if (pool_ != nullptr && pool_->size() > 1) {
     pool_->parallel_for(n,
                         [&](std::size_t b, std::size_t e, std::size_t) {

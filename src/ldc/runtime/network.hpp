@@ -11,26 +11,38 @@
 // as a violation (and optionally throws in strict mode). Budget 0 means the
 // LOCAL model (unbounded messages).
 //
-// Execution engines. The simulator has two engines producing byte-identical
-// results (colors, metrics, trace digests) — the cross-engine equivalence
-// suite in tests/test_parallel_equivalence.cpp locks this down:
+// Execution engines. The simulator has three engines producing
+// byte-identical results (colors, metrics, trace digests) — the
+// cross-engine equivalence suites in tests/test_parallel_equivalence.cpp
+// and tests/test_sharded.cpp lock this down:
 //
 //  * kSerial (default): one thread walks all senders in node order.
-//  * kParallel: senders are sharded across a ThreadPool in contiguous
-//    node-order ranges; each shard validates and accounts its messages into
-//    per-shard staging (counts + RunMetrics), and the shards are merged in
-//    shard order. Because shards are contiguous and ascending, the merged
-//    inbox order equals the serial sender order exactly, so the final
-//    per-inbox sort sees the same input permutation and determinism is
+//  * kParallel: senders are chunked across a ThreadPool in contiguous
+//    node-order ranges; each chunk validates and accounts its messages into
+//    per-chunk staging (counts + RunMetrics), and the chunks are merged in
+//    chunk order. Because chunks are contiguous and ascending, the merged
+//    inbox order equals the serial sender order exactly, so determinism is
 //    independent of thread count and schedule. Per-node compute runs
 //    through run_node_programs(), which fans node callbacks out over the
 //    same pool (callbacks must only write state owned by their node).
+//  * kSharded: the graph is partitioned into K contiguous vertex ranges;
+//    each shard owns its range plus a read-only ghost halo, holds its own
+//    MailArena, and runs on its own dedicated worker (fixed worker↔shard
+//    binding, first-touch NUMA placement, optional LDC_PIN=1 core
+//    pinning). Cross-shard messages are staged in per-(src, dst) batch
+//    buffers and flushed once per round at the barrier; destination
+//    shards fill inboxes walking source shards in ascending order, which
+//    reproduces the serial sender order exactly (see DESIGN.md §11 and
+//    shard.hpp). Cross-shard traffic is observable via
+//    cross_shard_traffic(); it is deliberately NOT part of RunMetrics, so
+//    metrics and digests stay engine-independent.
 //
 // Thread count: an explicit set_engine() parameter, else the LDC_THREADS
-// environment variable, else hardware concurrency. One thread reproduces
-// the exact serial code path. The only engine-visible difference is wall
-// time, which is recorded (metrics().wall_ns, Trace::Round::wall_ns) but
-// excluded from digests and equivalence.
+// environment variable (or LDC_SHARDS for kSharded, strictly parsed), else
+// hardware concurrency. One thread/shard reproduces the exact serial code
+// path. The only engine-visible difference is wall time, which is recorded
+// (metrics().wall_ns, Trace::Round::wall_ns) but excluded from digests and
+// equivalence.
 //
 // Fault injection: an attached FaultPlan (attach_faults, mirroring
 // attach_trace) makes rounds adversarial — seeded message drops and
@@ -59,6 +71,7 @@
 #include "ldc/runtime/mail.hpp"
 #include "ldc/runtime/message.hpp"
 #include "ldc/runtime/metrics.hpp"
+#include "ldc/runtime/shard.hpp"
 #include "ldc/runtime/thread_pool.hpp"
 #include "ldc/runtime/trace.hpp"
 
@@ -77,7 +90,7 @@ class Network {
   /// deliveries themselves are returned as arena-backed RoundMail views.
   using Inbox = std::vector<MailSlot>;
 
-  enum class Engine { kSerial, kParallel };
+  enum class Engine { kSerial, kParallel, kSharded };
 
   /// budget_bits == 0 => LOCAL model. strict => throw on budget violation.
   explicit Network(const Graph& g, std::size_t budget_bits = 0,
@@ -86,16 +99,28 @@ class Network {
 
   const Graph& graph() const { return *graph_; }
 
-  /// Selects the execution engine. threads == 0 resolves via LDC_THREADS /
-  /// hardware concurrency (ThreadPool::default_thread_count()); a resolved
-  /// count of 1 runs the serial code path. Results are engine-independent.
+  /// Selects the execution engine. For kParallel, threads == 0 resolves
+  /// via LDC_THREADS / hardware concurrency
+  /// (ThreadPool::default_thread_count()); for kSharded it is the shard
+  /// count and resolves via LDC_SHARDS (strictly parsed — garbage throws
+  /// std::invalid_argument) with the same fallback, clamped to n. A
+  /// resolved count of 1 runs the serial code path. Results are
+  /// engine-independent.
   void set_engine(Engine engine, std::size_t threads = 0);
 
   Engine engine() const { return engine_; }
 
-  /// Lanes the parallel engine uses (1 under kSerial).
+  /// Lanes the engine uses: the pool size under kParallel, the shard
+  /// count under kSharded, 1 under kSerial.
   std::size_t threads() const {
+    if (shards_ != nullptr) return shards_->size();
     return pool_ == nullptr ? 1 : pool_->size();
+  }
+
+  /// Cumulative cross-shard traffic under kSharded (zeros otherwise).
+  /// Engine-private observability: not in RunMetrics, not digested.
+  ShardTraffic cross_shard_traffic() const {
+    return shards_ == nullptr ? ShardTraffic{} : shards_->traffic();
   }
 
   /// One synchronous round: delivers outboxes[u] (messages from u) and
@@ -252,6 +277,7 @@ class Network {
   std::function<void(std::uint64_t)> round_cb_;  ///< round-boundary hook
   Engine engine_ = Engine::kSerial;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ShardSet> shards_;  ///< non-null only under kSharded, K>1
   std::uint64_t pending_compute_ns_ = 0;  ///< run_node_programs time since
                                           ///< the last recorded round
   const FaultPlan* faults_ = nullptr;
@@ -277,6 +303,18 @@ class Network {
   void exchange_parallel(const std::vector<Outbox>& outboxes,
                          std::uint64_t round, RoundFaults& rf,
                          std::size_t& round_max_bits);
+  /// Sharded engine bodies (defined in shard.cpp): two-phase exchange with
+  /// batched cross-shard delivery, and the per-shard broadcast/word fills.
+  void exchange_sharded(const std::vector<Outbox>& outboxes,
+                        std::uint64_t round, RoundFaults& rf,
+                        std::size_t& round_max_bits);
+  void broadcast_fill_sharded(const std::vector<Message>& msgs,
+                              const std::vector<bool>* active,
+                              std::uint64_t round, RoundFaults& rf,
+                              bool all_live);
+  void word_fill_sharded(const std::vector<std::uint64_t>& words,
+                         std::size_t bits, std::uint64_t round,
+                         RoundFaults& rf, bool all_live);
   /// Broadcast fast path body (both engines): bulk sender-side accounting,
   /// then receiver-driven arena fill over the graph CSR.
   void broadcast_fill(const std::vector<Message>& msgs,

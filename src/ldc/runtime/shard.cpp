@@ -1,0 +1,480 @@
+// ShardCrew / ShardSet and the Engine::kSharded round bodies.
+//
+// The Network methods defined here mirror the serial engine's two-pass
+// structure per shard: phase A (by source shard) validates, accounts, and
+// counts, staging cross-shard survivors in (src, dst) batches; phase B (by
+// destination shard, after the crew barrier) folds the batches in and
+// fills each inbox walking source shards in ascending order. Because
+// shards own contiguous ascending vertex ranges, that walk IS the serial
+// sender order, so inbox bytes, metrics, trace rows, and fault decisions
+// are byte-identical to kSerial/kParallel (the PRF fault decisions are
+// pure in (seed, round, edge) and are simply re-resolved where needed).
+#include "ldc/runtime/shard.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "ldc/runtime/network.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ldc {
+namespace {
+
+/// Same contract (and exception) as the serial/parallel engines: checked
+/// per sender before any of that sender's messages are validated.
+void check_unique_destinations_sharded(const Network::Outbox& outbox,
+                                       std::vector<NodeId>& scratch) {
+  if (outbox.size() < 2) return;
+  scratch.clear();
+  for (const auto& [dest, msg] : outbox) scratch.push_back(dest);
+  std::sort(scratch.begin(), scratch.end());
+  if (std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end()) {
+    throw std::invalid_argument(
+        "Network::exchange: duplicate destination in a sender's outbox");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- crew --
+
+ShardCrew::ShardCrew(std::size_t shards, bool pin) : pin_(pin) {
+  errors_.resize(shards);
+  workers_.reserve(shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    workers_.emplace_back([this, k] { worker_loop(k); });
+  }
+}
+
+ShardCrew::~ShardCrew() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ShardCrew::worker_loop(std::size_t k) {
+#if defined(__linux__)
+  if (pin_) {
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(k % hw), &set);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof set, &set);
+  }
+#endif
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(k);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      errors_[k] = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--unfinished_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ShardCrew::run(const std::function<void(std::size_t)>& job) {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
+    unfinished_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+    job_ = nullptr;
+  }
+  // Lowest shard = lowest sender range: matches the error order the other
+  // engines guarantee.
+  for (const auto& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::size_t ShardCrew::default_shard_count() {
+  const char* env = std::getenv("LDC_SHARDS");
+  if (env == nullptr || *env == '\0') {
+    return ThreadPool::default_thread_count();
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || v < 1 ||
+      v > static_cast<long long>(kMaxShards)) {
+    throw std::invalid_argument(
+        "LDC_SHARDS must be an integer in [1, " +
+        std::to_string(kMaxShards) + "]; got \"" + env + "\"");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+bool ShardCrew::pin_from_env() {
+  const char* env = std::getenv("LDC_PIN");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+// ----------------------------------------------------------- shard set --
+
+ShardSet::ShardSet(const Graph& g, std::size_t shards, bool pin)
+    : part_(Partition::degree_balanced(g, shards)),
+      states_(part_.shards()),
+      crew_(part_.shards(), pin) {
+  const std::size_t k = states_.size();
+  // Build each shard's state on its own worker so the topology, arena,
+  // and batch buffers are allocated and touched by the thread that owns
+  // them (first-touch NUMA placement).
+  crew_.run([&](std::size_t i) {
+    auto st = std::make_unique<ShardState>();
+    st->topo.build(g, part_.begin(i), part_.end(i));
+    st->outgoing.resize(k);
+    states_[i] = std::move(st);
+  });
+  views_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ShardState& st = *states_[i];
+    views_[i] = ShardView{&st.arena,          st.topo.xadj.data(),
+                          st.topo.adj.data(), st.topo.ghosts.data(),
+                          st.topo.vbegin,     st.topo.owned()};
+  }
+  map_ = ShardMap{views_.data(), part_.starts().data(), k};
+}
+
+// -------------------------------------------------- Network round bodies --
+
+void Network::exchange_sharded(const std::vector<Outbox>& outboxes,
+                               std::uint64_t round, RoundFaults& rf,
+                               std::size_t& round_max_bits) {
+  ShardSet& S = *shards_;
+  const std::size_t K = S.size();
+  const bool faulty = faults_ != nullptr && faults_->any();
+  const std::uint64_t ep = arena_.epoch_;
+
+  // Drop decision shared by both phases (down receiver first, exactly as
+  // in the other engines).
+  auto lost = [&](NodeId u, NodeId dest) {
+    return down_[dest] != 0 || faults_->drops_message(round, u, dest);
+  };
+
+  // Phase A (by source shard): validate, account into the shard's staging
+  // metrics, count locally-delivered survivors per local destination, and
+  // stage each cross-shard survivor in the (src, dst) batch — nothing
+  // touches another shard's arena before the barrier. Error and
+  // strict-CONGEST throws surface from the lowest shard = lowest sender.
+  S.crew_.run([&](std::size_t k) {
+    ShardState& st = *S.states_[k];
+    const NodeId b = st.topo.vbegin;
+    const NodeId e = st.topo.vend;
+    st.metrics = RunMetrics{};
+    st.round_max_bits = 0;
+    st.dropped = 0;
+    st.corrupted = 0;
+    st.traffic = ShardTraffic{};
+    for (auto& batch : st.outgoing) batch.clear();
+    MailArena::Lane& lane = st.arena.lane(0, st.topo.owned());
+    for (NodeId u = b; u < e; ++u) {
+      check_unique_destinations_sharded(outboxes[u], st.scratch);
+      const bool sender_down = faulty && down_[u] != 0;
+      for (const auto& [dest, msg] : outboxes[u]) {
+        if (!graph_->has_edge(u, dest)) {
+          throw std::invalid_argument(
+              "Network::exchange: message to non-neighbor");
+        }
+        if (sender_down) continue;
+        ++st.metrics.messages;
+        st.metrics.total_bits += msg.bit_count();
+        st.metrics.max_message_bits =
+            std::max(st.metrics.max_message_bits, msg.bit_count());
+        if (budget_bits_ != 0 && msg.bit_count() > budget_bits_) {
+          ++st.metrics.congest_violations;
+          check_budget(msg);
+        }
+        st.round_max_bits = std::max(st.round_max_bits, msg.bit_count());
+        const bool remote = dest < b || dest >= e;
+        if (remote) {
+          ++st.traffic.messages;
+          st.traffic.bits += msg.bit_count();
+        }
+        if (faulty && lost(u, dest)) {
+          ++st.dropped;
+          continue;
+        }
+        if (faulty && faults_->corrupts_message(round, u, dest)) {
+          ++st.corrupted;
+        }
+        if (!remote) {
+          lane.add_one(dest - b, ep);
+        } else {
+          st.outgoing[S.part_.shard_of(dest)].push_back(
+              ShardBatchEntry{u, dest, msg});
+        }
+      }
+    }
+  });
+
+  // Phase B (by destination shard): fold the staged batch counts into the
+  // local lane, lay out the shard's CSR offsets, then fill walking source
+  // shards in ascending order (own range inline at j == k) — contiguous
+  // ascending shard ranges make that the serial sender order per inbox.
+  // Corruption is applied here on the destination's own slot copy (CoW),
+  // re-resolving the pure PRF decision counted in phase A.
+  S.crew_.run([&](std::size_t k) {
+    ShardState& st = *S.states_[k];
+    MailArena& a = st.arena;
+    const NodeId b = st.topo.vbegin;
+    const NodeId e = st.topo.vend;
+    const NodeId owned = st.topo.owned();
+    MailArena::Lane& lane = a.lanes_[0];
+    for (std::size_t j = 0; j < K; ++j) {
+      if (j == k) continue;
+      for (const ShardBatchEntry& s : S.states_[j]->outgoing[k]) {
+        lane.add_one(s.dest - b, ep);
+      }
+    }
+    if (a.offsets_.size() < static_cast<std::size_t>(owned) + 1) {
+      a.offsets_.resize(static_cast<std::size_t>(owned) + 1);
+    }
+    std::uint32_t total = 0;
+    for (NodeId lv = 0; lv < owned; ++lv) {
+      a.offsets_[lv] = total;
+      const std::uint32_t c = lane.at(lv, ep);
+      lane.set(lv, ep, total);
+      total += c;
+    }
+    a.offsets_[owned] = total;
+    if (a.slots_.size() != total) a.slots_.resize(total);
+    for (std::size_t j = 0; j < K; ++j) {
+      if (j == k) {
+        for (NodeId u = b; u < e; ++u) {
+          if (faulty && down_[u] != 0) continue;
+          for (const auto& [dest, msg] : outboxes[u]) {
+            if (dest < b || dest >= e) continue;
+            if (faulty && lost(u, dest)) continue;
+            MailSlot& slot = a.slots_[lane.counts[dest - b]++];
+            slot.first = u;
+            slot.second = msg;
+            if (faulty && faults_->corrupts_message(round, u, dest)) {
+              faults_->corrupt_payload(round, u, dest, slot.second);
+            }
+          }
+        }
+        continue;
+      }
+      for (const ShardBatchEntry& s : S.states_[j]->outgoing[k]) {
+        MailSlot& slot = a.slots_[lane.counts[s.dest - b]++];
+        slot.first = s.sender;
+        slot.second = s.msg;
+        if (faulty && faults_->corrupts_message(round, s.sender, s.dest)) {
+          faults_->corrupt_payload(round, s.sender, s.dest, slot.second);
+        }
+      }
+    }
+  });
+
+  // Deterministic merge in ascending shard order: sums and maxes only, so
+  // the totals equal the serial accounting regardless of boundaries.
+  for (std::size_t k = 0; k < K; ++k) {
+    const ShardState& st = *S.states_[k];
+    metrics_.messages += st.metrics.messages;
+    metrics_.total_bits += st.metrics.total_bits;
+    metrics_.max_message_bits =
+        std::max(metrics_.max_message_bits, st.metrics.max_message_bits);
+    metrics_.congest_violations += st.metrics.congest_violations;
+    round_max_bits = std::max(round_max_bits, st.round_max_bits);
+    rf.dropped += st.dropped;
+    rf.corrupted += st.corrupted;
+    S.total_traffic_.messages += st.traffic.messages;
+    S.total_traffic_.bits += st.traffic.bits;
+  }
+}
+
+void Network::broadcast_fill_sharded(const std::vector<Message>& msgs,
+                                     const std::vector<bool>* /*active*/,
+                                     std::uint64_t round, RoundFaults& rf,
+                                     bool all_live) {
+  ShardSet& S = *shards_;
+  const bool faulty = faults_ != nullptr && faults_->any();
+  // Sender-side transmit flags were filled by the coordinator into the
+  // master arena (read-only here); the per-shard fill below is
+  // receiver-driven and writes only shard-owned pages.
+  const MailArena& master = arena_;
+  S.crew_.run([&](std::size_t k) {
+    ShardState& st = *S.states_[k];
+    MailArena& a = st.arena;
+    const NodeId b = st.topo.vbegin;
+    const NodeId e = st.topo.vend;
+    const NodeId owned = st.topo.owned();
+    st.dropped = 0;
+    st.corrupted = 0;
+    st.traffic = ShardTraffic{};
+    if (a.offsets_.size() < static_cast<std::size_t>(owned) + 1) {
+      a.offsets_.resize(static_cast<std::size_t>(owned) + 1);
+    }
+    std::uint32_t total = 0;
+    for (NodeId v = b; v < e; ++v) {
+      a.offsets_[v - b] = total;
+      if (all_live) {
+        total += static_cast<std::uint32_t>(graph_->degree(v));
+        continue;
+      }
+      const bool receiver_down = faulty && down_[v] != 0;
+      for (NodeId u : graph_->neighbors(v)) {
+        if (master.transmits_[u] == 0) continue;
+        if (faulty &&
+            (receiver_down || faults_->drops_message(round, u, v))) {
+          ++st.dropped;
+          continue;
+        }
+        if (faulty && faults_->corrupts_message(round, u, v)) {
+          ++st.corrupted;
+        }
+        ++total;
+      }
+    }
+    a.offsets_[owned] = total;
+    if (a.slots_.size() != total) a.slots_.resize(total);
+    for (NodeId v = b; v < e; ++v) {
+      std::uint32_t cur = a.offsets_[v - b];
+      const bool receiver_down = !all_live && faulty && down_[v] != 0;
+      for (NodeId u : graph_->neighbors(v)) {
+        if (!all_live) {
+          if (master.transmits_[u] == 0) continue;
+          if (faulty &&
+              (receiver_down || faults_->drops_message(round, u, v))) {
+            continue;
+          }
+        }
+        MailSlot& slot = a.slots_[cur++];
+        slot.first = u;
+        slot.second = msgs[u];
+        if (u < b || u >= e) {
+          ++st.traffic.messages;
+          st.traffic.bits += msgs[u].bit_count();
+        }
+        if (!all_live && faulty && faults_->corrupts_message(round, u, v)) {
+          faults_->corrupt_payload(round, u, v, slot.second);
+        }
+      }
+    }
+  });
+  for (std::size_t k = 0; k < S.size(); ++k) {
+    const ShardState& st = *S.states_[k];
+    rf.dropped += st.dropped;
+    rf.corrupted += st.corrupted;
+    S.total_traffic_.messages += st.traffic.messages;
+    S.total_traffic_.bits += st.traffic.bits;
+  }
+}
+
+void Network::word_fill_sharded(const std::vector<std::uint64_t>& words,
+                                std::size_t bits, std::uint64_t round,
+                                RoundFaults& rf, bool all_live) {
+  ShardSet& S = *shards_;
+  const bool faulty = faults_ != nullptr && faults_->any();
+  const MailArena& master = arena_;
+  S.crew_.run([&](std::size_t k) {
+    ShardState& st = *S.states_[k];
+    MailArena& a = st.arena;
+    const NodeId b = st.topo.vbegin;
+    const NodeId e = st.topo.vend;
+    const NodeId owned = st.topo.owned();
+    st.dropped = 0;
+    st.corrupted = 0;
+    st.traffic = ShardTraffic{};
+    if (all_live) {
+      // Dense mode, shard-local: owned words indexed by local id plus a
+      // snapshot of the halo words. Lanes read ONLY shard-owned pages
+      // (words, halo, local CSR), and the snapshot is what pins the
+      // ghost-staleness semantics: mutating the caller's words after the
+      // exchange cannot leak into this round's view.
+      if (a.words_.size() < owned) a.words_.resize(owned);
+      std::copy(words.begin() + b, words.begin() + e, a.words_.begin());
+      const std::size_t ng = st.topo.ghosts.size();
+      if (a.ghost_words_.size() < ng) a.ghost_words_.resize(ng);
+      for (std::size_t i = 0; i < ng; ++i) {
+        a.ghost_words_[i] = words[st.topo.ghosts[i]];
+      }
+      st.traffic.messages = st.topo.ghost_edges;
+      st.traffic.bits = st.topo.ghost_edges * bits;
+      return;
+    }
+    // Sparse mode: the shard's own CSR of (sender, word) slots over local
+    // destinations, mirroring the serial masked/faulty path.
+    if (a.offsets_.size() < static_cast<std::size_t>(owned) + 1) {
+      a.offsets_.resize(static_cast<std::size_t>(owned) + 1);
+    }
+    std::uint32_t total = 0;
+    for (NodeId v = b; v < e; ++v) {
+      a.offsets_[v - b] = total;
+      const bool receiver_down = faulty && down_[v] != 0;
+      for (NodeId u : graph_->neighbors(v)) {
+        if (master.transmits_[u] == 0) continue;
+        if (faulty &&
+            (receiver_down || faults_->drops_message(round, u, v))) {
+          ++st.dropped;
+          continue;
+        }
+        if (faulty && faults_->corrupts_message(round, u, v)) {
+          ++st.corrupted;
+        }
+        ++total;
+      }
+    }
+    a.offsets_[owned] = total;
+    if (a.word_slots_.size() != total) a.word_slots_.resize(total);
+    for (NodeId v = b; v < e; ++v) {
+      std::uint32_t cur = a.offsets_[v - b];
+      const bool receiver_down = faulty && down_[v] != 0;
+      for (NodeId u : graph_->neighbors(v)) {
+        if (master.transmits_[u] == 0) continue;
+        if (faulty &&
+            (receiver_down || faults_->drops_message(round, u, v))) {
+          continue;
+        }
+        WordSlot& slot = a.word_slots_[cur++];
+        slot.sender = u;
+        slot.value = words[u];
+        if (u < b || u >= e) {
+          ++st.traffic.messages;
+          st.traffic.bits += bits;
+        }
+        if (faulty && faults_->corrupts_message(round, u, v)) {
+          faults_->corrupt_word(round, u, v, slot.value, bits);
+        }
+      }
+    }
+  });
+  for (std::size_t k = 0; k < S.size(); ++k) {
+    const ShardState& st = *S.states_[k];
+    rf.dropped += st.dropped;
+    rf.corrupted += st.corrupted;
+    S.total_traffic_.messages += st.traffic.messages;
+    S.total_traffic_.bits += st.traffic.bits;
+  }
+}
+
+}  // namespace ldc

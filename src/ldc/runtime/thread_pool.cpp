@@ -23,8 +23,14 @@ std::size_t ThreadPool::default_thread_count() {
       return static_cast<std::size_t>(v);
     }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  // hardware_concurrency() can cost a syscall (sysconf / sched_getaffinity)
+  // on some libstdc++ builds; the topology does not change mid-process, so
+  // probe once. The env parse above stays per-call: tests flip LDC_THREADS.
+  static const unsigned hw = [] {
+    const unsigned probed = std::thread::hardware_concurrency();
+    return probed == 0 ? 1u : probed;
+  }();
+  return hw;
 }
 
 ThreadPool::ThreadPool(std::size_t threads)

@@ -122,10 +122,12 @@ void usage(std::FILE* out) {
                "(default 64)\n"
                "  --cache-bytes N     result-cache budget, 0 disables "
                "(default 65536)\n"
-               "  --engine serial|parallel\n"
+               "  --engine serial|parallel|sharded\n"
                "                      per-job simulation engine (default "
                "serial)\n"
                "  --job-threads N     engine lanes per job (default 1)\n"
+               "  --shards N          shard count per job (implies\n"
+               "                      --engine sharded; 0 = LDC_SHARDS)\n"
                "  --corpus-dir DIR    serve {\"graph\":{\"corpus\":NAME}} "
                "jobs from\n"
                "                      DIR/NAME.ldcg (mmap, shared across "
@@ -188,10 +190,22 @@ int main(int argc, char** argv) {
         cfg.job_engine = ldc::Network::Engine::kSerial;
       } else if (v == "parallel") {
         cfg.job_engine = ldc::Network::Engine::kParallel;
+      } else if (v == "sharded") {
+        cfg.job_engine = ldc::Network::Engine::kSharded;
       } else {
-        std::fprintf(stderr, "ldc_serve: --engine serial|parallel\n");
+        std::fprintf(stderr,
+                     "ldc_serve: --engine serial|parallel|sharded\n");
         return 2;
       }
+    } else if (arg == "--shards") {
+      // The shard count rides in job_threads: under kSharded, set_engine
+      // interprets the count parameter as the number of shards.
+      if (!parse_size(value(), cfg.job_threads) || cfg.job_threads == 0 ||
+          cfg.job_threads > 1024) {
+        std::fprintf(stderr, "ldc_serve: bad --shards\n");
+        return 2;
+      }
+      cfg.job_engine = ldc::Network::Engine::kSharded;
     } else if (arg == "--job-threads") {
       if (!parse_size(value(), cfg.job_threads) || cfg.job_threads == 0) {
         std::fprintf(stderr, "ldc_serve: bad --job-threads\n");

@@ -72,6 +72,35 @@ TEST(HarnessJson, RejectsMalformedNumberTokens) {
   EXPECT_EQ(Json::parse("-3").as_int(), -3);
 }
 
+TEST(HarnessJson, AstralPlaneRoundTripsAsSurrogatePairs) {
+  // Non-BMP codepoints must survive dump/parse: the writer synthesizes a
+  // \uXXXX surrogate pair from the 4-byte UTF-8 sequence, the parser
+  // recombines it. U+1F600 GRINNING FACE = 😀.
+  const std::string emoji = "\xF0\x9F\x98\x80";
+  Json obj = Json::object();
+  obj.add("s", emoji);
+  const std::string dumped = obj.dump();
+  EXPECT_NE(dumped.find("\\ud83d\\ude00"), std::string::npos) << dumped;
+  EXPECT_EQ(dumped.find('\xF0'), std::string::npos)
+      << "raw non-BMP bytes leaked into the escaped output";
+  EXPECT_EQ(Json::parse(dumped).at("s").as_string(), emoji);
+  // Escaped input decodes to the same UTF-8 bytes directly.
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(), emoji);
+  // BMP codepoints keep passing through as raw UTF-8 (no escaping).
+  const std::string bmp = "gr\xC3\xBC n";  // ü
+  EXPECT_EQ(Json::parse(Json(bmp).dump()).as_string(), bmp);
+  EXPECT_EQ(Json(bmp).dump().find("\\u"), std::string::npos);
+}
+
+TEST(HarnessJson, LoneSurrogateEscapesAreRejected) {
+  EXPECT_THROW(Json::parse(R"("\uD83D")"), JsonError);        // high, no low
+  EXPECT_THROW(Json::parse(R"("\uD83Dx")"), JsonError);       // high + text
+  // High surrogate followed by a \u escape that is not a low surrogate.
+  EXPECT_THROW(Json::parse(R"("\uD83D\u0041")"), JsonError);
+  EXPECT_THROW(Json::parse(R"("\uDE00")"), JsonError);        // bare low
+  EXPECT_THROW(Json::parse(R"("\uD8")"), JsonError);          // short hex
+}
+
 TEST(HarnessJson, MissingKeyLookup) {
   const Json j = Json::parse(R"({"a":1})");
   EXPECT_EQ(j.find("b"), nullptr);

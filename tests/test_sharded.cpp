@@ -1,0 +1,748 @@
+// Sharded-engine equivalence and shard-boundary correctness.
+//
+// Engine::kSharded must be bit-for-bit equivalent to kSerial (and
+// kParallel): same colors, same model-exact RunMetrics, same trace
+// transcript, same fault decisions — for every registered colorer, across
+// shard counts {1, 2, 7}, with and without masks and fault plans. On top
+// of the cross-engine sweeps this file pins the shard-specific contracts:
+// ghost-halo reads are snapshots of the round just exchanged (mutating
+// the caller's words afterwards must not leak in), cross-shard duplicate
+// destinations are rejected with the same error as the other engines,
+// LDC_SHARDS is parsed strictly (garbage throws instead of silently
+// reshaping the run), and cross_shard_traffic() counts exactly the
+// messages that crossed a partition boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "ldc/arb/beg_arbdefective.hpp"
+#include "ldc/baselines/kw_reduction.hpp"
+#include "ldc/baselines/luby.hpp"
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/graph/partition.hpp"
+#include "ldc/linial/defective_linial.hpp"
+#include "ldc/linial/linial.hpp"
+#include "ldc/oldc/single_defect.hpp"
+#include "ldc/resilient/drivers.hpp"
+#include "ldc/runtime/network.hpp"
+#include "ldc/support/prf.hpp"
+
+namespace ldc {
+namespace {
+
+// An engine selection applied to a fresh Network. "serial" is the
+// reference; the sweeps compare every other variant against it.
+struct EngineSel {
+  std::string name;
+  std::function<void(Network&)> apply;
+};
+
+std::vector<EngineSel> engine_mix() {
+  std::vector<EngineSel> es;
+  es.push_back({"serial", [](Network&) {}});
+  for (std::size_t t : {2u, 7u}) {
+    es.push_back({"parallel@" + std::to_string(t), [t](Network& net) {
+                    net.set_engine(Network::Engine::kParallel, t);
+                  }});
+  }
+  for (std::size_t k : {1u, 2u, 7u}) {
+    es.push_back({"sharded@" + std::to_string(k), [k](Network& net) {
+                    net.set_engine(Network::Engine::kSharded, k);
+                  }});
+  }
+  return es;
+}
+
+struct EngineRun {
+  Coloring phi;
+  RunMetrics metrics;
+  std::uint64_t trace_digest = 0;
+  std::vector<Trace::Round> rounds;
+};
+
+using Colorer = std::function<Coloring(Network&)>;
+
+struct NamedColorer {
+  std::string name;
+  Colorer run;
+};
+
+struct NamedGraph {
+  std::string name;
+  Graph g;
+};
+
+EngineRun run_with_engine(const Graph& g, const EngineSel& sel,
+                          const Colorer& algo) {
+  Network net(g);
+  sel.apply(net);
+  Trace trace;
+  net.attach_trace(&trace);
+  EngineRun out;
+  out.phi = algo(net);
+  out.metrics = net.metrics();
+  out.trace_digest = trace.digest();
+  out.rounds = trace.rounds();
+  return out;
+}
+
+void expect_equivalent(const EngineRun& serial, const EngineRun& other,
+                       const std::string& label) {
+  EXPECT_EQ(serial.phi, other.phi) << label << ": colors differ";
+  EXPECT_TRUE(serial.metrics.same_communication(other.metrics))
+      << label << ": metrics differ: serial {" << serial.metrics
+      << "} other {" << other.metrics << "}";
+  EXPECT_EQ(serial.trace_digest, other.trace_digest)
+      << label << ": trace digests differ";
+  ASSERT_EQ(serial.rounds.size(), other.rounds.size())
+      << label << ": transcript length differs";
+  for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
+    const auto& a = serial.rounds[i];
+    const auto& b = other.rounds[i];
+    EXPECT_EQ(a.messages, b.messages) << label << " round " << i;
+    EXPECT_EQ(a.bits, b.bits) << label << " round " << i;
+    EXPECT_EQ(a.max_message_bits, b.max_message_bits)
+        << label << " round " << i;
+    EXPECT_EQ(a.mark, b.mark) << label << " round " << i;
+    EXPECT_EQ(a.faults.dropped, b.faults.dropped)
+        << label << " round " << i;
+    EXPECT_EQ(a.faults.corrupted, b.faults.corrupted)
+        << label << " round " << i;
+    EXPECT_EQ(a.faults.crashes, b.faults.crashes)
+        << label << " round " << i;
+    EXPECT_EQ(a.faults.sleeps, b.faults.sleeps) << label << " round " << i;
+  }
+}
+
+std::vector<NamedGraph> graph_mix() {
+  std::vector<NamedGraph> graphs;
+  {
+    Graph g = gen::gnp(60, 0.2, 11);
+    gen::scramble_ids(g, 1 << 20, 3);
+    graphs.push_back({"gnp60", std::move(g)});
+  }
+  {
+    Graph g = gen::random_regular(72, 8, 7);
+    gen::scramble_ids(g, 1 << 16, 5);
+    graphs.push_back({"reg72", std::move(g)});
+  }
+  graphs.push_back({"ring49", gen::ring(49)});
+  {
+    Graph g = gen::random_tree(64, 13);
+    gen::scramble_ids(g, 1 << 18, 9);
+    graphs.push_back({"tree64", std::move(g)});
+  }
+  graphs.push_back({"clique12", gen::clique(12)});
+  return graphs;
+}
+
+// Every registered colorer, deterministic given (graph, fixed seeds);
+// mirrors tests/test_parallel_equivalence.cpp so the sharded engine gets
+// the same algorithm coverage the parallel one has.
+std::vector<NamedColorer> colorer_mix(const Graph& g) {
+  std::vector<NamedColorer> cs;
+  cs.push_back({"linial", [](Network& net) {
+                  return linial::color(net).phi;
+                }});
+  cs.push_back({"defective-linial-d2", [](Network& net) {
+                  return linial::defective_color(net, 2).phi;
+                }});
+  cs.push_back({"luby", [&g](Network& net) {
+                  const LdcInstance inst = delta_plus_one_instance(g);
+                  baselines::LubyOptions opt;
+                  opt.seed = 42;
+                  return baselines::luby_list_coloring(net, inst, opt).phi;
+                }});
+  cs.push_back({"linial+kw", [](Network& net) {
+                  return baselines::linial_then_kw(net).phi;
+                }});
+  cs.push_back({"oldc-single-defect", [&g](Network& net) {
+                  const Orientation orient = Orientation::by_decreasing_id(g);
+                  const std::uint64_t space = 512;
+                  const Prf prf(99);
+                  oldc::SingleDefectInput in;
+                  std::vector<std::vector<Color>> lists(g.n());
+                  for (NodeId v = 0; v < g.n(); ++v) {
+                    auto picks = sample_distinct(
+                        prf, static_cast<std::uint64_t>(v) << 40, space, 48);
+                    lists[v].assign(picks.begin(), picks.end());
+                  }
+                  const auto lin = linial::color(net);
+                  in.graph = &net.graph();
+                  in.orientation = &orient;
+                  in.color_space = space;
+                  in.lists = std::move(lists);
+                  in.defects.assign(g.n(), 2);
+                  in.initial = &lin.phi;
+                  in.m = lin.palette;
+                  in.params.kprime = 12;
+                  in.params.tau_cap = 6;
+                  return oldc::solve_single_defect(net, in).phi;
+                }});
+  cs.push_back({"beg-arbdefective", [&g](Network& net) {
+                  arb::ArbdefectiveOptions opt;
+                  opt.defect = 2;
+                  opt.colors = g.max_degree() / 3 + 1;  // q(d+1) > Delta
+                  return arb::arbdefective_color(net, opt).phi;
+                }});
+  return cs;
+}
+
+TEST(Sharded, EveryColorerEveryGraphEveryShardCount) {
+  const EngineSel serial{"serial", [](Network&) {}};
+  for (const auto& ng : graph_mix()) {
+    for (const auto& colorer : colorer_mix(ng.g)) {
+      const EngineRun ref = run_with_engine(ng.g, serial, colorer.run);
+      for (std::size_t shards : {1u, 2u, 7u}) {
+        const EngineSel sel{
+            "sharded@" + std::to_string(shards), [shards](Network& net) {
+              net.set_engine(Network::Engine::kSharded, shards);
+            }};
+        const EngineRun got = run_with_engine(ng.g, sel, colorer.run);
+        expect_equivalent(ref, got, colorer.name + " on " + ng.name +
+                                        " @" + sel.name);
+      }
+    }
+  }
+}
+
+// Named fault plans; rates aggressive enough that every fault process
+// fires on the small test graphs.
+std::vector<std::pair<std::string, FaultPlan>> fault_plan_mix() {
+  std::vector<std::pair<std::string, FaultPlan>> plans;
+  {
+    FaultPlan p;
+    p.seed = 0xfa01;
+    p.drop_rate = 0.15;
+    plans.push_back({"drop15", p});
+  }
+  {
+    FaultPlan p;
+    p.seed = 0xfa02;
+    p.corrupt_rate = 0.20;
+    plans.push_back({"corrupt20", p});
+  }
+  {
+    FaultPlan p;
+    p.seed = 0xfa03;
+    p.crash_rate = 0.03;
+    p.sleep_rate = 0.10;
+    p.max_crashes = 5;
+    plans.push_back({"crash-sleep", p});
+  }
+  {
+    FaultPlan p;
+    p.seed = 0xfa04;
+    p.drop_rate = 0.05;
+    p.corrupt_rate = 0.05;
+    p.crash_rate = 0.01;
+    p.sleep_rate = 0.05;
+    p.max_crashes = 4;
+    plans.push_back({"mixed", p});
+  }
+  return plans;
+}
+
+struct FaultyRun {
+  std::vector<std::uint64_t> inbox_flat;  ///< (receiver, sender, payload)
+  RunMetrics metrics;
+  std::uint64_t trace_digest = 0;
+};
+
+// Raw multi-round exchange under a fault plan, flattening every delivered
+// payload so drop/corrupt/crash/sleep effects are byte-observable.
+FaultyRun run_faulty_exchange(const Graph& g, const EngineSel& sel,
+                              const FaultPlan& plan) {
+  Network net(g);
+  sel.apply(net);
+  Trace trace;
+  net.attach_trace(&trace);
+  net.attach_faults(&plan);
+  FaultyRun out;
+  for (std::uint64_t r = 0; r < 6; ++r) {
+    std::vector<Network::Outbox> outboxes(g.n());
+    for (NodeId u = 0; u < g.n(); ++u) {
+      for (NodeId v : g.neighbors(u)) {
+        BitWriter w;
+        w.write(hash_combine(r, (static_cast<std::uint64_t>(u) << 20) | v),
+                40);
+        outboxes[u].emplace_back(v, Message::from(w));
+      }
+    }
+    const auto in = net.exchange(outboxes);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      for (const auto& [sender, msg] : in[v]) {
+        auto rd = msg.reader();
+        out.inbox_flat.push_back(hash_combine(
+            (static_cast<std::uint64_t>(v) << 32) | sender, rd.read(40)));
+      }
+    }
+  }
+  out.metrics = net.metrics();
+  out.trace_digest = trace.digest();
+  return out;
+}
+
+// The PR 2 satellite contract, extended to three engines: every
+// drop/corrupt/crash/sleep PRF decision must pick identical bits under
+// kSerial, kParallel, and kSharded — delivered payloads, fault counters,
+// and trace digests all byte-equal.
+TEST(Sharded, FaultPlansMatchAcrossAllThreeEngines) {
+  const auto engines = engine_mix();
+  for (const auto& ng : graph_mix()) {
+    for (const auto& [plan_name, plan] : fault_plan_mix()) {
+      const FaultyRun ref = run_faulty_exchange(ng.g, engines[0], plan);
+      EXPECT_GT(ref.metrics.messages_dropped +
+                    ref.metrics.messages_corrupted + ref.metrics.node_crashes +
+                    ref.metrics.node_sleeps,
+                0u)
+          << plan_name << " on " << ng.name;
+      for (std::size_t i = 1; i < engines.size(); ++i) {
+        const FaultyRun got = run_faulty_exchange(ng.g, engines[i], plan);
+        const std::string label =
+            plan_name + " on " + ng.name + " @" + engines[i].name;
+        EXPECT_EQ(ref.inbox_flat, got.inbox_flat)
+            << label << ": delivered payloads differ";
+        EXPECT_TRUE(ref.metrics.same_communication(got.metrics))
+            << label << ": metrics differ: ref {" << ref.metrics << "} got {"
+            << got.metrics << "}";
+        EXPECT_EQ(ref.trace_digest, got.trace_digest)
+            << label << ": trace digests differ";
+      }
+    }
+  }
+}
+
+// Broadcast fast path and the fused word path under kSharded must match
+// the serial engine's materialized-outbox reference — with and without an
+// active mask, with and without faults, across shard counts.
+TEST(Sharded, BroadcastAndWordPathsMatchSerialReference) {
+  const Graph g = gen::gnp(48, 0.25, 34);
+  const std::uint64_t bound = 499;
+  std::vector<std::uint64_t> words(g.n());
+  std::vector<Message> msgs(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    words[v] = hash_combine(0xb1, v) % (bound + 1);
+    BitWriter w;
+    w.write_bounded(words[v], bound);
+    msgs[v] = Message::from(w);
+  }
+  std::vector<bool> mask(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) mask[v] = v % 3 != 0;
+  FaultPlan plan;
+  plan.seed = 0xfa08;
+  plan.drop_rate = 0.08;
+  plan.corrupt_rate = 0.12;
+  plan.sleep_rate = 0.05;
+
+  struct Flat {
+    std::vector<std::uint64_t> slots;
+    RunMetrics metrics;
+    std::uint64_t trace_digest = 0;
+  };
+  enum class Path { kOutboxes, kBroadcast, kFusedWord };
+  auto run = [&](std::size_t shards, const std::vector<bool>* active,
+                 const FaultPlan* faults, Path path) {
+    Network net(g);
+    if (shards > 0) net.set_engine(Network::Engine::kSharded, shards);
+    Trace trace;
+    net.attach_trace(&trace);
+    if (faults != nullptr) net.attach_faults(faults);
+    Flat out;
+    for (int round = 0; round < 3; ++round) {
+      if (path == Path::kFusedWord) {
+        const WordMail in = net.exchange_broadcast_word(words, bound, active);
+        for (NodeId v = 0; v < g.n(); ++v) {
+          for (const auto [sender, word] : in[v]) {
+            out.slots.push_back(hash_combine(
+                (static_cast<std::uint64_t>(v) << 32) | sender, word));
+          }
+        }
+        continue;
+      }
+      RoundMail in;
+      if (path == Path::kOutboxes) {
+        std::vector<Network::Outbox> outboxes(g.n());
+        for (NodeId u = 0; u < g.n(); ++u) {
+          if (active != nullptr && !(*active)[u]) continue;
+          for (NodeId v : g.neighbors(u)) outboxes[u].emplace_back(v, msgs[u]);
+        }
+        in = net.exchange(outboxes);
+      } else {
+        in = net.exchange_broadcast(msgs, active);
+      }
+      for (NodeId v = 0; v < g.n(); ++v) {
+        for (const auto& [sender, msg] : in[v]) {
+          auto r = msg.reader();
+          out.slots.push_back(
+              hash_combine((static_cast<std::uint64_t>(v) << 32) | sender,
+                           r.read_bounded(bound)));
+        }
+      }
+    }
+    out.metrics = net.metrics();
+    out.trace_digest = trace.digest();
+    return out;
+  };
+
+  const std::vector<bool>* masks[] = {nullptr, &mask};
+  const FaultPlan* plans[] = {nullptr, &plan};
+  for (const std::vector<bool>* active : masks) {
+    for (const FaultPlan* faults : plans) {
+      const Flat ref = run(0, active, faults, Path::kOutboxes);
+      for (const Path path :
+           {Path::kOutboxes, Path::kBroadcast, Path::kFusedWord}) {
+        for (std::size_t shards : {1u, 2u, 7u}) {
+          const Flat got = run(shards, active, faults, path);
+          const std::string label =
+              std::string(path == Path::kFusedWord  ? "fused"
+                          : path == Path::kOutboxes ? "outboxes"
+                                                    : "broadcast") +
+              "/" + (active != nullptr ? "masked" : "all") +
+              (faults != nullptr ? "+faults" : "") + " @" +
+              std::to_string(shards) + "s";
+          EXPECT_EQ(ref.slots, got.slots) << label << ": deliveries differ";
+          EXPECT_TRUE(ref.metrics.same_communication(got.metrics))
+              << label << ": metrics differ: ref {" << ref.metrics
+              << "} got {" << got.metrics << "}";
+          EXPECT_EQ(ref.trace_digest, got.trace_digest)
+              << label << ": trace digests differ";
+        }
+      }
+    }
+  }
+}
+
+// End-to-end resilient run (colorer + validation + repair under faults):
+// the recovery cost report must be shard-count independent too.
+TEST(Sharded, ResilientRecoveryMatchesSerial) {
+  Graph g = gen::gnp(48, 0.15, 33);
+  gen::scramble_ids(g, 1 << 18, 3);
+  repair::ResilientOptions opt;
+  opt.plan.seed = 0xabcd;
+  opt.plan.drop_rate = 0.10;
+  opt.plan.corrupt_rate = 0.10;
+  opt.plan.sleep_rate = 0.05;
+  auto run = [&](std::size_t shards) {
+    Network net(g);
+    if (shards > 0) net.set_engine(Network::Engine::kSharded, shards);
+    Trace trace;
+    net.attach_trace(&trace);
+    const auto res = resilient::resilient_linial(net, opt);
+    return std::make_tuple(res.run.phi, res.run.valid,
+                           res.run.recovery_rounds, res.run.moved_nodes,
+                           res.run.metrics, trace.digest());
+  };
+  const auto ref = run(0);
+  EXPECT_TRUE(std::get<1>(ref));
+  for (std::size_t shards : {2u, 7u}) {
+    const auto got = run(shards);
+    EXPECT_EQ(std::get<0>(ref), std::get<0>(got)) << shards;
+    EXPECT_EQ(std::get<1>(ref), std::get<1>(got)) << shards;
+    EXPECT_EQ(std::get<2>(ref), std::get<2>(got)) << shards;
+    EXPECT_EQ(std::get<3>(ref), std::get<3>(got)) << shards;
+    EXPECT_TRUE(std::get<4>(ref).same_communication(std::get<4>(got)))
+        << shards;
+    EXPECT_EQ(std::get<5>(ref), std::get<5>(got)) << shards;
+  }
+}
+
+// A dense WordMail lane under kSharded reads the shard's snapshot of the
+// round just exchanged — owned words AND the ghost halo. Mutating the
+// caller's word vector after the exchange must not leak into the view
+// (a ghost read reflects the previous round only), and the next exchange
+// invalidates the view entirely.
+TEST(Sharded, GhostHaloReadsAreRoundSnapshots) {
+  const Graph g = gen::ring(16);  // degree-balanced split: [0,8) | [8,16)
+  Network net(g);
+  net.set_engine(Network::Engine::kSharded, 2);
+  std::vector<std::uint64_t> words(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) words[v] = 100 + v;
+  const WordMail in = net.exchange_broadcast_word(words, 255);
+
+  // Boundary inboxes before mutation: each sees one owned neighbor and
+  // one cross-shard ghost neighbor.
+  auto expect_lane = [&](NodeId v, NodeId s0, std::uint64_t w0, NodeId s1,
+                         std::uint64_t w1) {
+    const auto lane = in[v];
+    ASSERT_EQ(lane.size(), 2u) << "receiver " << v;
+    EXPECT_EQ(lane[0].sender, s0) << "receiver " << v;
+    EXPECT_EQ(lane[0].value, w0) << "receiver " << v;
+    EXPECT_EQ(lane[1].sender, s1) << "receiver " << v;
+    EXPECT_EQ(lane[1].value, w1) << "receiver " << v;
+  };
+  expect_lane(7, 6, 106, 8, 108);    // 8 is a ghost of shard 0
+  expect_lane(8, 7, 107, 9, 109);    // 7 is a ghost of shard 1
+  expect_lane(0, 1, 101, 15, 115);   // 15 is a ghost of shard 0
+
+  // Mutate every word the boundary lanes touch: the snapshot must hold.
+  for (NodeId v : {6u, 7u, 8u, 9u, 1u, 15u}) words[v] = 0;
+  expect_lane(7, 6, 106, 8, 108);
+  expect_lane(8, 7, 107, 9, 109);
+  expect_lane(0, 1, 101, 15, 115);
+
+  // The next round sees the new words; the old view dies loudly.
+  const WordMail next = net.exchange_broadcast_word(words, 255);
+  EXPECT_THROW((void)in[7], std::logic_error);
+  const auto lane = next[7];
+  ASSERT_EQ(lane.size(), 2u);
+  EXPECT_EQ(lane[0].value, 0u);
+  EXPECT_EQ(lane[1].value, 0u);
+}
+
+TEST(Sharded, DuplicateCrossShardDestinationThrows) {
+  const Graph g = gen::ring(8);  // split [0,4) | [4,8): edge 3-4 crosses
+  for (std::size_t shards : {2u, 7u}) {
+    Network net(g);
+    net.set_engine(Network::Engine::kSharded, shards);
+    std::vector<Network::Outbox> out(8);
+    BitWriter w;
+    w.write(1, 1);
+    out[3].emplace_back(4, Message::from(w));
+    out[3].emplace_back(4, Message::from(w));  // duplicate, other shard
+    try {
+      net.exchange(out);
+      FAIL() << shards << " shards: expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("duplicate destination"),
+                std::string::npos)
+          << shards << " shards";
+    }
+  }
+}
+
+TEST(Sharded, NonNeighborThrows) {
+  const Graph g = gen::path(8);
+  Network net(g);
+  net.set_engine(Network::Engine::kSharded, 2);
+  std::vector<Network::Outbox> out(8);
+  BitWriter w;
+  w.write(1, 1);
+  out[0].emplace_back(5, Message::from(w));  // 0 and 5 not adjacent
+  EXPECT_THROW(net.exchange(out), std::invalid_argument);
+}
+
+TEST(Sharded, CongestAccountingMatchesSerial) {
+  const Graph g = gen::random_regular(50, 6, 17);
+  auto run = [&](std::size_t shards) {
+    Network net(g, /*budget_bits=*/10);
+    if (shards > 0) net.set_engine(Network::Engine::kSharded, shards);
+    std::vector<Message> msgs(g.n());
+    for (NodeId v = 0; v < g.n(); ++v) {
+      BitWriter w;
+      w.write(v, v % 2 == 0 ? 8 : 16);  // odd nodes violate the budget
+      msgs[v] = Message::from(w);
+    }
+    net.exchange_broadcast(msgs);
+    return net.metrics();
+  };
+  const RunMetrics m0 = run(0);
+  EXPECT_GT(m0.congest_violations, 0u);
+  for (std::size_t shards : {2u, 4u, 7u}) {
+    EXPECT_TRUE(m0.same_communication(run(shards))) << shards << " shards";
+  }
+}
+
+TEST(Sharded, StrictViolationThrows) {
+  const Graph g = gen::path(4);
+  for (std::size_t shards : {2u, 4u}) {
+    Network net(g, /*budget_bits=*/4, /*strict=*/true);
+    net.set_engine(Network::Engine::kSharded, shards);
+    BitWriter w;
+    w.write(0, 9);
+    EXPECT_THROW(
+        net.exchange_broadcast(std::vector<Message>(4, Message::from(w))),
+        CongestViolation)
+        << shards << " shards";
+  }
+}
+
+TEST(Sharded, RunNodeProgramsComputesEveryNodeOnce) {
+  const Graph g = gen::ring(101);
+  for (std::size_t shards : {1u, 2u, 7u}) {
+    Network net(g);
+    net.set_engine(Network::Engine::kSharded, shards);
+    std::vector<std::uint32_t> hits(g.n(), 0);
+    net.run_node_programs([&](NodeId v) { ++hits[v]; });
+    for (NodeId v = 0; v < g.n(); ++v) {
+      ASSERT_EQ(hits[v], 1u) << "node " << v << " @" << shards;
+    }
+  }
+}
+
+// Cross-shard traffic counters are engine-private observability: they
+// must count exactly the boundary-crossing deliveries, stay out of
+// RunMetrics, and read as zero under the other engines.
+TEST(Sharded, CrossShardTrafficCountsTheCut) {
+  const Graph g = gen::ring(16);  // split [0,8) | [8,16): cut edges 7-8, 15-0
+  {
+    // Explicit exchange, full broadcast of 40-bit messages: 4 directed
+    // messages cross the cut per round.
+    Network net(g);
+    net.set_engine(Network::Engine::kSharded, 2);
+    std::vector<Network::Outbox> out(g.n());
+    for (NodeId u = 0; u < g.n(); ++u) {
+      for (NodeId v : g.neighbors(u)) {
+        BitWriter w;
+        w.write(u, 40);
+        out[u].emplace_back(v, Message::from(w));
+      }
+    }
+    net.exchange(out);
+    EXPECT_EQ(net.cross_shard_traffic().messages, 4u);
+    EXPECT_EQ(net.cross_shard_traffic().bits, 4u * 40u);
+    net.exchange(out);  // cumulative
+    EXPECT_EQ(net.cross_shard_traffic().messages, 8u);
+  }
+  {
+    // Fused all-live word round: traffic is the halo refresh — ghost
+    // adjacency entries times the word width (bound 7 -> 3 bits).
+    Network net(g);
+    net.set_engine(Network::Engine::kSharded, 2);
+    const std::vector<std::uint64_t> words(g.n(), 5);
+    net.exchange_broadcast_word(words, 7);
+    EXPECT_EQ(net.cross_shard_traffic().messages, 4u);
+    EXPECT_EQ(net.cross_shard_traffic().bits, 4u * 3u);
+  }
+  {
+    // Broadcast fast path, all live: same four boundary deliveries.
+    Network net(g);
+    net.set_engine(Network::Engine::kSharded, 2);
+    std::vector<Message> msgs(g.n());
+    for (NodeId v = 0; v < g.n(); ++v) {
+      BitWriter w;
+      w.write(v, 10);
+      msgs[v] = Message::from(w);
+    }
+    net.exchange_broadcast(msgs);
+    EXPECT_EQ(net.cross_shard_traffic().messages, 4u);
+    EXPECT_EQ(net.cross_shard_traffic().bits, 4u * 10u);
+    // RunMetrics must not know about any of this.
+    EXPECT_EQ(net.metrics().messages, 32u);
+  }
+  {
+    Network serial(g);
+    EXPECT_EQ(serial.cross_shard_traffic().messages, 0u);
+    EXPECT_EQ(serial.cross_shard_traffic().bits, 0u);
+  }
+}
+
+TEST(Sharded, EngineSelectionAndClamping) {
+  const Graph g = gen::ring(8);
+  Network net(g);
+  net.set_engine(Network::Engine::kSharded, 3);
+  EXPECT_EQ(net.engine(), Network::Engine::kSharded);
+  EXPECT_EQ(net.threads(), 3u);
+  net.set_engine(Network::Engine::kSharded, 100);  // clamped to n
+  EXPECT_EQ(net.threads(), 8u);
+  net.set_engine(Network::Engine::kSharded, 1);  // serial code path
+  EXPECT_EQ(net.threads(), 1u);
+  net.set_engine(Network::Engine::kSerial);
+  EXPECT_EQ(net.threads(), 1u);
+}
+
+// LDC_SHARDS is parsed strictly, unlike LDC_THREADS' silent fallback: a
+// typo must fail loudly instead of silently reshaping the execution.
+TEST(Sharded, LdcShardsEnvStrictParsing) {
+  const Graph g = gen::ring(12);
+  auto resolve = [&]() {
+    Network net(g);
+    net.set_engine(Network::Engine::kSharded, 0);
+    return net.threads();
+  };
+  for (const char* bad :
+       {"banana", "0", "-3", "3x", "1025", "99999999999999999999"}) {
+    ASSERT_EQ(setenv("LDC_SHARDS", bad, 1), 0);
+    try {
+      resolve();
+      ADD_FAILURE() << "LDC_SHARDS=" << bad
+                    << ": expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("LDC_SHARDS"), std::string::npos)
+          << bad;
+    }
+  }
+  ASSERT_EQ(setenv("LDC_SHARDS", "3", 1), 0);
+  EXPECT_EQ(resolve(), 3u);
+  ASSERT_EQ(setenv("LDC_SHARDS", "", 1), 0);
+  EXPECT_NO_THROW(resolve());  // empty == unset: hardware fallback
+  unsetenv("LDC_SHARDS");
+}
+
+// ------------------------------------------------- partition topology --
+
+TEST(Sharded, PartitionContiguousCoversAndLocates) {
+  const Partition p = Partition::contiguous(10, 3);
+  ASSERT_EQ(p.shards(), 3u);
+  EXPECT_EQ(p.n(), 10u);
+  const std::vector<NodeId> want = {0, 4, 7, 10};
+  EXPECT_EQ(p.starts(), want);
+  for (NodeId v = 0; v < 10; ++v) {
+    const std::size_t k = p.shard_of(v);
+    EXPECT_GE(v, p.begin(k)) << v;
+    EXPECT_LT(v, p.end(k)) << v;
+  }
+  // More shards than vertices: clamped to one vertex per shard.
+  const Partition q = Partition::contiguous(3, 7);
+  EXPECT_EQ(q.shards(), 3u);
+  for (std::size_t k = 0; k < q.shards(); ++k) {
+    EXPECT_EQ(q.end(k) - q.begin(k), 1u) << k;
+  }
+}
+
+TEST(Sharded, PartitionDegreeBalancedInvariants) {
+  const Graph g = gen::gnp(64, 0.1, 3);
+  const std::size_t k = 4;
+  const Partition p = Partition::degree_balanced(g, k);
+  ASSERT_EQ(p.shards(), k);
+  EXPECT_EQ(p.starts().front(), 0u);
+  EXPECT_EQ(p.starts().back(), g.n());
+  std::vector<std::uint64_t> prefix(g.n() + 1, 0);
+  for (NodeId v = 0; v < g.n(); ++v) prefix[v + 1] = prefix[v] + g.degree(v);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_LT(p.begin(i), p.end(i)) << "shard " << i << " empty";
+    if (i > 0) {
+      // Boundary sits at the first prefix reaching the ideal target.
+      const std::uint64_t target = prefix.back() * i / k;
+      EXPECT_GE(prefix[p.begin(i)], target) << i;
+      EXPECT_LT(prefix[p.begin(i)] - target, g.max_degree()) << i;
+    }
+  }
+}
+
+TEST(Sharded, ShardTopologyLocalViewMatchesGlobalRows) {
+  const Graph g = gen::gnp(30, 0.2, 9);
+  ShardTopology t;
+  t.build(g, 10, 20);
+  EXPECT_EQ(t.owned(), 10u);
+  for (std::size_t i = 1; i < t.ghosts.size(); ++i) {
+    EXPECT_LT(t.ghosts[i - 1], t.ghosts[i]) << "ghosts not sorted/unique";
+  }
+  for (const NodeId u : t.ghosts) {
+    EXPECT_TRUE(u < 10 || u >= 20) << "owned vertex in the halo: " << u;
+  }
+  std::uint64_t ghost_edges = 0;
+  for (NodeId v = 10; v < 20; ++v) {
+    const auto nb = g.neighbors(v);
+    const std::uint64_t row = t.xadj[v - 10];
+    ASSERT_EQ(t.xadj[v - 10 + 1] - row, nb.size()) << v;
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const std::uint32_t lid = t.adj[row + i];
+      const NodeId u = nb.data()[i];
+      EXPECT_EQ(t.global_id(lid), u) << v;
+      EXPECT_EQ(t.is_ghost(lid), u < 10 || u >= 20) << v;
+      if (t.is_ghost(lid)) ++ghost_edges;
+    }
+  }
+  EXPECT_EQ(t.ghost_edges, ghost_edges);
+}
+
+}  // namespace
+}  // namespace ldc
