@@ -44,6 +44,12 @@ void usage(std::FILE* out) {
                "  --deadline-ms N     deadline budget (default 5)\n"
                "  --graph-n N         ring size of hot-set jobs "
                "(default 48)\n"
+               "  --engine E          shape jobs for the server's engine:\n"
+               "                      serial|parallel|sharded|dist; dist\n"
+               "                      makes the hot set corpus jobs "
+               "(default serial)\n"
+               "  --corpus NAME       hot-set corpus (required with "
+               "--engine dist)\n"
                "  --seed N            workload seed (default 1)\n"
                "  --json              one JSON object instead of text\n"
                "  --help              this text\n");
@@ -131,6 +137,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.graph_n = static_cast<std::uint32_t>(u);
+    } else if (arg == "--engine") {
+      opt.engine = value();
+      if (opt.engine != "serial" && opt.engine != "parallel" &&
+          opt.engine != "sharded" && opt.engine != "dist") {
+        std::fprintf(stderr,
+                     "ldc_load: --engine serial|parallel|sharded|dist; "
+                     "got \"%s\"\n",
+                     opt.engine.c_str());
+        return 2;
+      }
+    } else if (arg == "--corpus") {
+      opt.corpus = value();
     } else if (arg == "--seed") {
       need_u64(opt.seed);
     } else if (arg == "--json") {
@@ -144,6 +162,12 @@ int main(int argc, char** argv) {
   if (opt.socket_path.empty()) {
     std::fprintf(stderr, "ldc_load: --socket is required\n");
     usage(stderr);
+    return 2;
+  }
+  if (opt.engine == "dist" && opt.corpus.empty()) {
+    std::fprintf(stderr,
+                 "ldc_load: --engine dist needs --corpus NAME (the dist "
+                 "engine serves only corpus jobs)\n");
     return 2;
   }
 
@@ -174,6 +198,17 @@ int main(int argc, char** argv) {
     j.add("p50_us", rep.p50_us);
     j.add("p99_us", rep.p99_us);
     j.add("p999_us", rep.p999_us);
+    j.add("engine", opt.engine);
+    ldc::harness::Json per = ldc::harness::Json::array();
+    for (std::size_t c = 0; c < rep.per_conn.size(); ++c) {
+      ldc::harness::Json pc = ldc::harness::Json::object();
+      pc.add("connection", std::uint64_t{c});
+      pc.add("sent", rep.per_conn[c].sent);
+      pc.add("ok", rep.per_conn[c].ok);
+      pc.add("goodput_per_s", rep.per_conn[c].goodput);
+      per.push_back(std::move(pc));
+    }
+    j.add("per_connection", std::move(per));
     std::printf("%s\n", j.dump().c_str());
     return 0;
   }
@@ -199,5 +234,12 @@ int main(int argc, char** argv) {
               rep.wall_ms);
   std::printf("latency     p50 %.0f us, p99 %.0f us, p99.9 %.0f us\n",
               rep.p50_us, rep.p99_us, rep.p999_us);
+  std::printf("conn        sent        ok   goodput/s\n");
+  for (std::size_t c = 0; c < rep.per_conn.size(); ++c) {
+    std::printf("%4zu  %10llu  %8llu  %10.1f\n", c,
+                static_cast<unsigned long long>(rep.per_conn[c].sent),
+                static_cast<unsigned long long>(rep.per_conn[c].ok),
+                rep.per_conn[c].goodput);
+  }
   return 0;
 }

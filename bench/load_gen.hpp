@@ -54,6 +54,12 @@ struct LoadOptions {
   std::uint64_t deadline_ms = 5;
   std::uint32_t graph_n = 48;    ///< ring size of the hot-set jobs
   std::uint64_t seed = 1;
+  /// Which server engine the workload is shaped for. "dist" switches the
+  /// hot set to family == "corpus" jobs over `corpus` (the only family
+  /// the dist engine serves); the other engines keep the generator jobs.
+  /// The server's engine is its own flag — this only shapes the jobs.
+  std::string engine = "serial";
+  std::string corpus;            ///< hot-set corpus name (engine "dist")
 };
 
 struct LoadReport {
@@ -73,6 +79,14 @@ struct LoadReport {
   /// arrival of its result line (NOT admission — the admitted event is not
   /// timestamped, so queueing delay ahead of admission is included).
   double p50_us = 0, p99_us = 0, p999_us = 0;
+  /// Per-connection breakdown (index = connection), for spotting a lane
+  /// that starved while the aggregate looked healthy.
+  struct PerConn {
+    std::uint64_t sent = 0;
+    std::uint64_t ok = 0;
+    double goodput = 0;  ///< ok results per second of wall time
+  };
+  std::vector<PerConn> per_conn;
 };
 
 namespace loadgen_detail {
@@ -104,16 +118,23 @@ inline std::size_t sample(const std::vector<double>& cdf,
   return static_cast<std::size_t>(it - cdf.begin());
 }
 
-/// The rank-r member of the hot set: a ring job with rank-determined
-/// algorithm and seed, so distinct ranks have distinct digests and
-/// repeats of a rank are exact cache hits.
+/// The rank-r member of the hot set: a rank-determined algorithm and
+/// seed, so distinct ranks have distinct digests and repeats of a rank
+/// are exact cache hits. Under --engine dist the hot set runs over the
+/// named corpus (the dist engine serves only corpus jobs); otherwise it
+/// is a generated ring.
 inline service::Job hot_job(const LoadOptions& opt, std::size_t rank) {
   static const char* kAlgos[] = {"greedy", "luby", "linial", "kw"};
   service::Job job;
   job.algorithm = kAlgos[rank % 4];
   job.seed = 1000 + rank;
-  job.graph.family = "ring";
-  job.graph.n = opt.graph_n;
+  if (opt.engine == "dist") {
+    job.graph.family = "corpus";
+    job.graph.corpus = opt.corpus;
+  } else {
+    job.graph.family = "ring";
+    job.graph.n = opt.graph_n;
+  }
   return job;
 }
 
@@ -334,6 +355,14 @@ inline LoadReport run_open_loop(const LoadOptions& opt) {
   }
   rep.wall_ms = wall_ms;
   rep.goodput = wall_ms > 0 ? 1000.0 * double(rep.ok) / wall_ms : 0.0;
+  rep.per_conn.reserve(stats.size());
+  for (const auto& st : stats) {
+    LoadReport::PerConn pc;
+    pc.sent = st.sent;
+    pc.ok = st.ok;
+    pc.goodput = wall_ms > 0 ? 1000.0 * double(st.ok) / wall_ms : 0.0;
+    rep.per_conn.push_back(pc);
+  }
   std::sort(latencies.begin(), latencies.end());
   rep.p50_us = loadgen_detail::percentile_sorted(latencies, 0.50);
   rep.p99_us = loadgen_detail::percentile_sorted(latencies, 0.99);

@@ -1,0 +1,919 @@
+// Coordinator: process management, the non-blocking socket pump, the
+// K² batch barrier, and the master-arena splice (DESIGN.md §12).
+//
+// Deadlock freedom: workers use plain blocking I/O, so the coordinator
+// must never block on a write — all sends go through per-worker
+// out-queues flushed by poll(2), and every wait is a poll with a
+// deadline. Because the coordinator always drains its sockets while
+// waiting, a worker's blocking writes always complete.
+#include "ldc/dist/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace ldc::dist {
+namespace {
+
+std::uint64_t mono_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Locates the worker binary for spawn mode: explicit option, then
+/// LDC_SHARD_BIN, then next to the running executable (build trees put
+/// ldc_coord, the tests, and ldc_shard under sibling directories).
+std::string find_shard_binary(const std::string& override_path) {
+  if (!override_path.empty()) return override_path;
+  if (const char* env = std::getenv("LDC_SHARD_BIN");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (len > 0) {
+    buf[len] = '\0';
+    std::string dir(buf);
+    const std::size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+    for (const std::string& cand :
+         {dir + "/ldc_shard", dir + "/../src/ldc_shard"}) {
+      if (::access(cand.c_str(), X_OK) == 0) return cand;
+    }
+  }
+  throw AttachError(
+      "ldc_shard binary not found: set LDC_SHARD_BIN or pass "
+      "CoordinatorOptions::shard_binary");
+}
+
+std::string pack_bitmap(const std::vector<char>& flags, std::size_t n) {
+  std::string bits((n + 7) / 8, '\0');
+  for (std::size_t v = 0; v < n; ++v) {
+    if (flags[v] != 0) bits[v >> 3] |= static_cast<char>(1u << (v & 7));
+  }
+  return bits;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(const std::string& corpus_path,
+                         CoordinatorOptions opt)
+    : mg_(storage::MappedGraph::open(corpus_path, /*verify_content=*/true)),
+      graph_(mg_->graph()),
+      opt_(std::move(opt)) {
+  if (opt_.heartbeat_ms == 0 || opt_.attach_timeout_ms == 0) {
+    throw std::invalid_argument(
+        "Coordinator: heartbeat_ms and attach_timeout_ms must be >= 1");
+  }
+  std::size_t k = opt_.workers == 0 ? default_worker_count() : opt_.workers;
+  if (k > kMaxDistWorkers) {
+    throw std::invalid_argument("Coordinator: workers must be <= " +
+                                std::to_string(kMaxDistWorkers));
+  }
+  k = std::min<std::size_t>(k, std::max<NodeId>(graph_.n(), 1));
+  conns_.resize(k);
+  try {
+    if (!opt_.listen_unix.empty() || opt_.listen_tcp != 0) {
+      accept_workers(k);
+    } else {
+      spawn_workers(corpus_path, k);
+    }
+    handshake();
+  } catch (...) {
+    // A throwing constructor never reaches the destructor: reap whatever
+    // was already spawned so a failed attach leaves no orphans behind.
+    shutdown_workers();
+    throw;
+  }
+}
+
+Coordinator::~Coordinator() { shutdown_workers(); }
+
+void Coordinator::spawn_workers(const std::string& corpus_path,
+                                std::size_t k) {
+  const std::string bin = find_shard_binary(opt_.shard_binary);
+  for (std::size_t i = 0; i < k; ++i) {
+    int sv[2];
+    // Both ends close-on-exec at creation: a worker spawned later must
+    // not inherit this worker's socket, or its death would never read as
+    // EOF here. The child re-enables inheritance on its own fd only.
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+      throw AttachError(std::string("socketpair failed: ") +
+                        std::strerror(errno));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      throw AttachError(std::string("fork failed: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      (void)::fcntl(sv[1], F_SETFD, 0);  // clear CLOEXEC on our end only
+      const std::string fd_arg = std::to_string(sv[1]);
+      ::execl(bin.c_str(), "ldc_shard", "--corpus", corpus_path.c_str(),
+              "--fd", fd_arg.c_str(), static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed; the parent sees EOF at HELLO
+    }
+    ::close(sv[1]);
+    set_nonblocking(sv[0]);
+    conns_[i].fd = sv[0];
+    conns_[i].pid = pid;
+  }
+}
+
+void Coordinator::accept_workers(std::size_t k) {
+  sockaddr_un ua{};
+  sockaddr_in ia{};
+  const sockaddr* addr;
+  socklen_t alen;
+  int domain;
+  if (!opt_.listen_unix.empty()) {
+    domain = AF_UNIX;
+    if (opt_.listen_unix.size() >= sizeof ua.sun_path) {
+      throw std::invalid_argument("Coordinator: unix socket path too long");
+    }
+    ua.sun_family = AF_UNIX;
+    std::strncpy(ua.sun_path, opt_.listen_unix.c_str(),
+                 sizeof ua.sun_path - 1);
+    ::unlink(opt_.listen_unix.c_str());
+    addr = reinterpret_cast<const sockaddr*>(&ua);
+    alen = sizeof ua;
+  } else {
+    domain = AF_INET;
+    ia.sin_family = AF_INET;
+    ia.sin_addr.s_addr = htonl(INADDR_ANY);
+    ia.sin_port = htons(opt_.listen_tcp);
+    addr = reinterpret_cast<const sockaddr*>(&ia);
+    alen = sizeof ia;
+  }
+  listen_fd_ = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw AttachError(std::string("socket failed: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(listen_fd_, addr, alen) != 0 || ::listen(listen_fd_, 64) != 0) {
+    throw AttachError(std::string("bind/listen failed: ") +
+                      std::strerror(errno));
+  }
+  const std::uint64_t deadline = mono_ms() + opt_.attach_timeout_ms;
+  for (std::size_t i = 0; i < k; ++i) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const std::uint64_t now = mono_ms();
+    if (now >= deadline ||
+        ::poll(&p, 1, static_cast<int>(deadline - now)) <= 0) {
+      throw AttachError("attach timeout: " + std::to_string(i) + " of " +
+                        std::to_string(k) + " workers connected within " +
+                        std::to_string(opt_.attach_timeout_ms) + " ms");
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      throw AttachError(std::string("accept failed: ") +
+                        std::strerror(errno));
+    }
+    set_nonblocking(fd);
+    conns_[i].fd = fd;
+  }
+}
+
+void Coordinator::queue_frame(std::size_t k, FrameKind kind,
+                              std::uint64_t round, std::uint32_t src,
+                              std::uint32_t dst, std::uint32_t count,
+                              std::string_view payload) {
+  const std::string bytes = encode_frame(kind, round, src, dst, count,
+                                         payload);
+  conns_[k].outq.append(bytes);
+  ++wire_.frames_sent;
+  wire_.bytes_sent += bytes.size();
+}
+
+void Coordinator::pump(int timeout_ms) {
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> owner;
+  for (std::size_t k = 0; k < conns_.size(); ++k) {
+    WorkerConn& c = conns_[k];
+    if (c.fd < 0 || c.eof) continue;
+    short events = POLLIN;
+    if (c.outq_off < c.outq.size()) events |= POLLOUT;
+    pfds.push_back(pollfd{c.fd, events, 0});
+    owner.push_back(k);
+  }
+  if (pfds.empty()) return;
+  const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (rc <= 0) return;  // timeout or EINTR; the caller re-checks deadlines
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    WorkerConn& c = conns_[owner[i]];
+    if (pfds[i].revents & POLLOUT) {
+      while (c.outq_off < c.outq.size()) {
+        // MSG_NOSIGNAL: a SIGKILLed worker's socket must yield EPIPE
+        // (mapped to eof below), never a process-fatal SIGPIPE.
+        const ssize_t n = ::send(c.fd, c.outq.data() + c.outq_off,
+                                 c.outq.size() - c.outq_off, MSG_NOSIGNAL);
+        if (n > 0) {
+          c.outq_off += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        c.eof = true;  // EPIPE/ECONNRESET: the read side reports it
+        break;
+      }
+      if (c.outq_off == c.outq.size()) {
+        c.outq.clear();
+        c.outq_off = 0;
+      }
+    }
+    if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+      char buf[1 << 16];
+      for (;;) {
+        const ssize_t n = ::read(c.fd, buf, sizeof buf);
+        if (n > 0) {
+          wire_.bytes_received += static_cast<std::uint64_t>(n);
+          last_rx_ms_ = mono_ms();
+          c.reader.feed(buf, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n == 0) {
+          c.eof = true;
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        c.eof = true;
+        break;
+      }
+      try {
+        while (std::optional<Frame> f = c.reader.next()) {
+          ++wire_.frames_received;
+          c.inq.push_back(std::move(*f));
+        }
+      } catch (const FrameError& e) {
+        throw FrameError("shard " + std::to_string(owner[i]) + ": " +
+                         e.what());
+      }
+      if (c.eof && c.reader.mid_frame()) {
+        throw FrameError("shard " + std::to_string(owner[i]) +
+                         ": torn frame (worker closed mid-frame)");
+      }
+    }
+  }
+}
+
+Coordinator::Incoming Coordinator::await_frame(
+    std::uint64_t round, const char* phase, std::uint64_t window_ms,
+    bool attaching, const std::vector<char>& satisfied) {
+  for (;;) {
+    for (std::size_t k = 0; k < conns_.size(); ++k) {
+      if (!conns_[k].inq.empty()) {
+        Frame f = std::move(conns_[k].inq.front());
+        conns_[k].inq.pop_front();
+        return Incoming{k, std::move(f)};
+      }
+    }
+    for (std::size_t k = 0; k < conns_.size(); ++k) {
+      if (conns_[k].eof && (k >= satisfied.size() || satisfied[k] == 0)) {
+        const std::string what =
+            "worker for shard " + std::to_string(k) +
+            " died (connection closed) during " + phase + " of round " +
+            std::to_string(round);
+        if (attaching) throw AttachError(what);
+        throw WorkerError(what);
+      }
+    }
+    const std::uint64_t now = mono_ms();
+    if (now >= last_rx_ms_ + window_ms) {
+      std::size_t slow = 0;
+      while (slow < satisfied.size() && satisfied[slow] != 0) ++slow;
+      const std::string what =
+          "worker for shard " + std::to_string(slow) + " silent for " +
+          std::to_string(window_ms) + " ms during " + phase + " of round " +
+          std::to_string(round) + " (heartbeat timeout)";
+      if (attaching) throw AttachError(what);
+      throw WorkerError(what);
+    }
+    const std::uint64_t remain = last_rx_ms_ + window_ms - now;
+    pump(static_cast<int>(std::min<std::uint64_t>(remain, 100)));
+  }
+}
+
+void Coordinator::rethrow_worker_error(std::uint32_t shard,
+                                       std::uint32_t code,
+                                       const std::string& what) const {
+  switch (code) {
+    case kErrInvalidArgument:
+      throw std::invalid_argument(what);
+    case kErrCongest:
+      throw CongestViolation(what);
+    default:
+      throw WorkerError("shard " + std::to_string(shard) + ": " + what);
+  }
+}
+
+void Coordinator::handshake() {
+  const std::size_t K = conns_.size();
+  std::vector<char> satisfied(K, 0);
+  last_rx_ms_ = mono_ms();
+  for (std::size_t have = 0; have < K;) {
+    Incoming in = await_frame(0, "hello", opt_.attach_timeout_ms, true,
+                              satisfied);
+    if (in.frame.header.kind != FrameKind::kHello ||
+        satisfied[in.from] != 0) {
+      throw AttachError("worker " + std::to_string(in.from) +
+                        ": expected one hello frame, got " +
+                        frame_kind_name(in.frame.header.kind));
+    }
+    PayloadReader r(in.frame.payload, "hello");
+    const std::uint64_t digest = r.u64();
+    const std::uint32_t n = r.u32();
+    const std::uint64_t adj = r.u64();
+    r.expect_end();
+    const storage::CorpusMeta& meta = mg_->meta();
+    if (digest != meta.content_digest) {
+      throw AttachError(
+          "worker " + std::to_string(in.from) +
+          ": corpus content digest mismatch (worker " +
+          std::to_string(digest) + ", coordinator " +
+          std::to_string(meta.content_digest) +
+          ") — the shard is serving a different graph");
+    }
+    if (n != graph_.n() || adj != meta.adj_entries) {
+      throw AttachError("worker " + std::to_string(in.from) +
+                        ": corpus shape mismatch at attach");
+    }
+    satisfied[in.from] = 1;
+    ++have;
+  }
+}
+
+void Coordinator::bind(Network& net) {
+  const Graph& g = graph_;
+  if (DistBackend::graph(net).n() != g.n()) {
+    throw AttachError(
+        "Coordinator::bind: the Network's graph does not match the corpus "
+        "(construct it over corpus_graph())");
+  }
+  budget_bits_ = DistBackend::budget_bits(net);
+  strict_ = DistBackend::strict(net);
+  const std::size_t K = conns_.size();
+  part_ = Partition::degree_balanced(g, K);
+
+  // Coordinator-side halo facts per shard: the sorted ghost list drives
+  // the word-round halo shipping, and ghost_edges prices dense word
+  // rounds. Workers recompute both from their ShardTopology; the assign
+  // ack cross-checks them, so a topology disagreement can never survive
+  // the attach.
+  for (std::size_t k = 0; k < K; ++k) {
+    WorkerConn& c = conns_[k];
+    c.ghosts.clear();
+    c.ghost_edges = 0;
+    const NodeId b = part_.begin(k);
+    const NodeId e = part_.end(k);
+    for (NodeId v = b; v < e; ++v) {
+      for (NodeId u : g.neighbors(v)) {
+        if (u < b || u >= e) {
+          ++c.ghost_edges;
+          c.ghosts.push_back(u);
+        }
+      }
+    }
+    std::sort(c.ghosts.begin(), c.ghosts.end());
+    c.ghosts.erase(std::unique(c.ghosts.begin(), c.ghosts.end()),
+                   c.ghosts.end());
+  }
+
+  for (std::size_t k = 0; k < K; ++k) {
+    PayloadWriter w;
+    w.u32(static_cast<std::uint32_t>(k));
+    w.u32(static_cast<std::uint32_t>(K));
+    w.u64(budget_bits_);
+    w.u8(strict_ ? 1 : 0);
+    for (NodeId s : part_.starts()) w.u32(s);
+    queue_frame(k, FrameKind::kAssign, 0, 0,
+                static_cast<std::uint32_t>(k), 0, w.take());
+  }
+  std::vector<char> satisfied(K, 0);
+  last_rx_ms_ = mono_ms();
+  for (std::size_t have = 0; have < K;) {
+    Incoming in = await_frame(0, "assign", opt_.attach_timeout_ms, true,
+                              satisfied);
+    const FrameHeader& h = in.frame.header;
+    if (h.kind != FrameKind::kAssignAck || h.src_shard != in.from ||
+        satisfied[in.from] != 0) {
+      throw AttachError("worker " + std::to_string(in.from) +
+                        ": expected one assign ack, got " +
+                        frame_kind_name(h.kind));
+    }
+    PayloadReader r(in.frame.payload, "assign_ack");
+    const std::uint64_t ghost_edges = r.u64();
+    const std::uint64_t ghosts = r.u64();
+    r.expect_end();
+    const WorkerConn& c = conns_[in.from];
+    if (ghost_edges != c.ghost_edges || ghosts != c.ghosts.size()) {
+      throw AttachError("worker " + std::to_string(in.from) +
+                        ": shard topology disagreement at assign (worker "
+                        "halo does not match the coordinator's partition)");
+    }
+    satisfied[in.from] = 1;
+    ++have;
+  }
+  // Logical traffic is a per-run counter (the in-process engine's starts
+  // at zero with each ShardSet); a bind marks the start of a run.
+  traffic_ = ShardTraffic{};
+  bound_ = true;
+}
+
+void Coordinator::exchange_dist(Network& net,
+                                const std::vector<Network::Outbox>& outboxes,
+                                std::uint64_t round, RoundFaults& rf,
+                                std::size_t& round_max_bits) {
+  const Graph& g = graph_;
+  const std::uint32_t n = g.n();
+  const std::size_t K = conns_.size();
+  const FaultPlan* plan = DistBackend::faults(net);
+  const bool faulty = plan != nullptr && plan->any();
+
+  std::string ctx;
+  {
+    PayloadWriter w;
+    encode_fault_ctx(w, plan, DistBackend::down(net), n);
+    ctx = w.take();
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    const NodeId b = part_.begin(k);
+    const NodeId e = part_.end(k);
+    PayloadWriter w;
+    w.raw(ctx.data(), ctx.size());
+    for (NodeId u = b; u < e; ++u) {
+      w.u32(static_cast<std::uint32_t>(outboxes[u].size()));
+      for (const auto& [dest, msg] : outboxes[u]) {
+        w.u32(dest);
+        encode_message(w, msg);
+      }
+    }
+    queue_frame(k, FrameKind::kOutbox, round, 0,
+                static_cast<std::uint32_t>(k), e - b, w.take());
+  }
+
+  // The barrier: the round closes only when all K² batch frames are in
+  // (each acked back to its source, off-diagonal ones relayed to their
+  // destination) and all K inbox frames arrived. On a worker kError the
+  // round flips to aborting: every worker is told to discard the round,
+  // and the coordinator still drains until each shard has concluded
+  // (error, abort ack, or an already-complete inbox) before rethrowing
+  // the lowest shard's error — the error-order contract of the
+  // in-process engines.
+  std::vector<std::vector<char>> batch_seen(K, std::vector<char>(K, 0));
+  std::size_t batches = 0;
+  std::vector<std::optional<Frame>> inbox(K);
+  std::vector<std::optional<std::pair<std::uint32_t, std::string>>> errors(K);
+  std::vector<char> abort_ack(K, 0);
+  std::vector<char> satisfied(K, 0);
+  bool aborting = false;
+  auto concluded = [&](std::size_t k) {
+    return errors[k].has_value() || abort_ack[k] != 0 ||
+           inbox[k].has_value();
+  };
+  last_rx_ms_ = mono_ms();
+  for (;;) {
+    if (!aborting && batches == K * K &&
+        static_cast<std::size_t>(std::count_if(
+            inbox.begin(), inbox.end(),
+            [](const auto& o) { return o.has_value(); })) == K) {
+      break;
+    }
+    if (aborting) {
+      bool all = true;
+      for (std::size_t k = 0; k < K; ++k) all = all && concluded(k);
+      if (all) break;
+    }
+    Incoming in = await_frame(round, "exchange", opt_.heartbeat_ms, false,
+                              satisfied);
+    const FrameHeader& h = in.frame.header;
+    if (h.round != round && h.kind != FrameKind::kHeartbeat) {
+      throw FrameError("shard " + std::to_string(in.from) + ": " +
+                       frame_kind_name(h.kind) + " frame for round " +
+                       std::to_string(h.round) + " inside round " +
+                       std::to_string(round));
+    }
+    switch (h.kind) {
+      case FrameKind::kBatch: {
+        if (h.src_shard != in.from || h.dst_shard >= K ||
+            batch_seen[in.from][h.dst_shard] != 0) {
+          throw FrameError("shard " + std::to_string(in.from) +
+                           ": bad or duplicate batch frame");
+        }
+        batch_seen[in.from][h.dst_shard] = 1;
+        ++batches;
+        if (!aborting) {
+          queue_frame(in.from, FrameKind::kBatchAck, round, h.src_shard,
+                      h.dst_shard, 0, {});
+          if (h.dst_shard != in.from) {
+            queue_frame(h.dst_shard, FrameKind::kBatch, round, h.src_shard,
+                        h.dst_shard, h.count, in.frame.payload);
+          }
+        }
+        break;
+      }
+      case FrameKind::kInbox:
+        if (h.src_shard != in.from || inbox[in.from].has_value()) {
+          throw FrameError("shard " + std::to_string(in.from) +
+                           ": bad or duplicate inbox frame");
+        }
+        inbox[in.from] = std::move(in.frame);
+        satisfied[in.from] = 1;
+        break;
+      case FrameKind::kError: {
+        PayloadReader r(in.frame.payload, "error");
+        const std::uint32_t code = r.u32();
+        const std::uint32_t len = r.u32();
+        const std::string_view text = r.bytes(len);
+        r.expect_end();
+        errors[in.from] = {code, std::string(text)};
+        satisfied[in.from] = 1;
+        if (!aborting) {
+          aborting = true;
+          for (std::size_t j = 0; j < K; ++j) {
+            queue_frame(j, FrameKind::kAbort, round, 0,
+                        static_cast<std::uint32_t>(j), 0, {});
+          }
+        }
+        break;
+      }
+      case FrameKind::kAbort:
+        abort_ack[in.from] = 1;
+        satisfied[in.from] = 1;
+        break;
+      case FrameKind::kHeartbeat:
+        break;
+      default:
+        throw FrameError("shard " + std::to_string(in.from) +
+                         ": unexpected " + frame_kind_name(h.kind) +
+                         " frame inside an exchange round");
+    }
+  }
+  if (aborting) {
+    for (std::size_t k = 0; k < K; ++k) {
+      if (errors[k].has_value()) {
+        rethrow_worker_error(static_cast<std::uint32_t>(k),
+                             errors[k]->first, errors[k]->second);
+      }
+    }
+    throw WorkerError("exchange round aborted with no worker error");
+  }
+
+  // Splice: rebase each shard's inbox CSR into the master arena. Shards
+  // own contiguous ascending ranges, so appending them in shard order IS
+  // the serial layout; within each inbox the worker already produced
+  // ascending sender order.
+  MailArena& a = DistBackend::arena(net);
+  std::vector<std::uint32_t>& offsets = DistBackend::arena_offsets(a);
+  std::vector<MailSlot>& slots = DistBackend::arena_slots(a);
+  if (offsets.size() < static_cast<std::size_t>(n) + 1) {
+    offsets.resize(static_cast<std::size_t>(n) + 1);
+  }
+  std::uint32_t total = 0;
+  std::vector<std::uint32_t> base(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    base[k] = total;
+    total += inbox[k]->header.count;
+  }
+  offsets[n] = total;
+  if (slots.size() != total) slots.resize(total);
+
+  RunMetrics& m = DistBackend::metrics(net);
+  for (std::size_t k = 0; k < K; ++k) {
+    const NodeId b = part_.begin(k);
+    const NodeId owned = part_.end(k) - b;
+    const std::uint32_t count = inbox[k]->header.count;
+    PayloadReader r(inbox[k]->payload, "inbox");
+    const ShardRoundSummary sum = decode_summary(r);
+    for (NodeId lv = 0; lv < owned; ++lv) {
+      offsets[b + lv] = base[k] + r.u32();
+    }
+    if (r.u32() != count) {
+      throw FrameError("shard " + std::to_string(k) +
+                       ": inbox offsets disagree with the slot count");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      MailSlot& slot = slots[base[k] + i];
+      slot.first = r.u32();
+      slot.second = decode_message(r);
+    }
+    r.expect_end();
+    // Deterministic merge in ascending shard order: sums and maxes only.
+    m.messages += sum.messages;
+    m.total_bits += sum.total_bits;
+    m.max_message_bits = std::max<std::size_t>(
+        m.max_message_bits, static_cast<std::size_t>(sum.max_message_bits));
+    m.congest_violations += sum.congest_violations;
+    round_max_bits = std::max<std::size_t>(
+        round_max_bits, static_cast<std::size_t>(sum.round_max_bits));
+    rf.dropped += sum.dropped;
+    rf.corrupted += sum.corrupted;
+    traffic_.messages += sum.traffic_messages;
+    traffic_.bits += sum.traffic_bits;
+  }
+  (void)faulty;
+}
+
+std::vector<Frame> Coordinator::collect_replies(FrameKind kind,
+                                                std::uint64_t round,
+                                                const char* phase) {
+  const std::size_t K = conns_.size();
+  std::vector<std::optional<Frame>> got(K);
+  std::vector<char> satisfied(K, 0);
+  last_rx_ms_ = mono_ms();
+  for (std::size_t have = 0; have < K;) {
+    Incoming in = await_frame(round, phase, opt_.heartbeat_ms, false,
+                              satisfied);
+    const FrameHeader& h = in.frame.header;
+    if (h.kind == FrameKind::kHeartbeat) continue;
+    if (h.kind != kind || h.round != round || h.src_shard != in.from ||
+        got[in.from].has_value()) {
+      throw FrameError("shard " + std::to_string(in.from) +
+                       ": expected one " + frame_kind_name(kind) +
+                       " frame, got " + frame_kind_name(h.kind));
+    }
+    got[in.from] = std::move(in.frame);
+    satisfied[in.from] = 1;
+    ++have;
+  }
+  std::vector<Frame> out;
+  out.reserve(K);
+  for (auto& f : got) out.push_back(std::move(*f));
+  return out;
+}
+
+void Coordinator::broadcast_fill_dist(Network& net,
+                                      const std::vector<Message>& msgs,
+                                      const std::vector<bool>* /*active*/,
+                                      std::uint64_t round, RoundFaults& rf,
+                                      bool all_live) {
+  const Graph& g = graph_;
+  const std::uint32_t n = g.n();
+  const std::size_t K = conns_.size();
+  MailArena& a = DistBackend::arena(net);
+  std::vector<std::uint32_t>& offsets = DistBackend::arena_offsets(a);
+  std::vector<MailSlot>& slots = DistBackend::arena_slots(a);
+  if (offsets.size() < static_cast<std::size_t>(n) + 1) {
+    offsets.resize(static_cast<std::size_t>(n) + 1);
+  }
+
+  if (all_live) {
+    // Degenerate fast path: no mask, no faults — every inbox is the
+    // sorted neighbor list, which the coordinator can lay out locally
+    // without a round trip. Logical traffic still accrues exactly as the
+    // in-process engine counts it: one unit per delivered slot whose
+    // sender lies outside the destination's shard range.
+    std::uint32_t total = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      offsets[v] = total;
+      total += g.degree(v);
+    }
+    offsets[n] = total;
+    if (slots.size() != total) slots.resize(total);
+    std::size_t k = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      while (v >= part_.end(k)) ++k;
+      const NodeId b = part_.begin(k);
+      const NodeId e = part_.end(k);
+      std::uint32_t cur = offsets[v];
+      for (NodeId u : g.neighbors(v)) {
+        MailSlot& slot = slots[cur++];
+        slot.first = u;
+        slot.second = msgs[u];
+        if (u < b || u >= e) {
+          ++traffic_.messages;
+          traffic_.bits += msgs[u].bit_count();
+        }
+      }
+    }
+    return;
+  }
+
+  // Masked / faulty: workers resolve the per-edge drop and corruption
+  // decisions and return surviving sender ids; the coordinator rebuilds
+  // the payload slots (it holds the messages, so uncorrupted deliveries
+  // keep sharing one refcounted payload, as in-process) and re-resolves
+  // the pure PRF corruption on the destination's CoW copy.
+  const FaultPlan* plan = DistBackend::faults(net);
+  const bool faulty = plan != nullptr && plan->any();
+  std::string payload;
+  {
+    PayloadWriter w;
+    encode_fault_ctx(w, plan, DistBackend::down(net), n);
+    const std::string bits =
+        pack_bitmap(DistBackend::arena_transmits(a), n);
+    w.raw(bits.data(), bits.size());
+    payload = w.take();
+  }
+  for (std::size_t k = 0; k < K; ++k) {
+    queue_frame(k, FrameKind::kBcast, round, 0,
+                static_cast<std::uint32_t>(k), 0, payload);
+  }
+  const std::vector<Frame> replies =
+      collect_replies(FrameKind::kInboxIds, round, "broadcast");
+
+  std::uint32_t total = 0;
+  std::vector<std::uint32_t> base(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    base[k] = total;
+    total += replies[k].header.count;
+  }
+  offsets[n] = total;
+  if (slots.size() != total) slots.resize(total);
+  for (std::size_t k = 0; k < K; ++k) {
+    const NodeId b = part_.begin(k);
+    const NodeId e = part_.end(k);
+    const NodeId owned = e - b;
+    const std::uint32_t count = replies[k].header.count;
+    PayloadReader r(replies[k].payload, "inbox_ids");
+    rf.dropped += r.u64();
+    rf.corrupted += r.u64();
+    std::vector<std::uint32_t> local(static_cast<std::size_t>(owned) + 1);
+    for (NodeId lv = 0; lv <= owned; ++lv) local[lv] = r.u32();
+    if (local[owned] != count) {
+      throw FrameError("shard " + std::to_string(k) +
+                       ": inbox_ids offsets disagree with the id count");
+    }
+    for (NodeId lv = 0; lv < owned; ++lv) {
+      offsets[b + lv] = base[k] + local[lv];
+      const NodeId v = b + lv;
+      for (std::uint32_t i = local[lv]; i < local[lv + 1]; ++i) {
+        const NodeId u = r.u32();
+        MailSlot& slot = slots[base[k] + i];
+        slot.first = u;
+        slot.second = msgs[u];
+        if (u < b || u >= e) {
+          ++traffic_.messages;
+          traffic_.bits += msgs[u].bit_count();
+        }
+        if (faulty && plan->corrupts_message(round, u, v)) {
+          plan->corrupt_payload(round, u, v, slot.second);
+        }
+      }
+    }
+    r.expect_end();
+  }
+}
+
+void Coordinator::word_fill_dist(Network& net,
+                                 const std::vector<std::uint64_t>& words,
+                                 std::size_t bits, std::uint64_t round,
+                                 RoundFaults& rf, bool all_live) {
+  const Graph& g = graph_;
+  const std::uint32_t n = g.n();
+  const std::size_t K = conns_.size();
+  MailArena& a = DistBackend::arena(net);
+
+  if (all_live) {
+    // Dense mode is coordinator-local (the serial one-word-per-sender
+    // layout); the priced halo is ghost_edges per shard, fixed at bind.
+    std::vector<std::uint64_t>& aw = DistBackend::arena_words(a);
+    if (aw.size() < n) aw.resize(n);
+    std::copy(words.begin(), words.end(), aw.begin());
+    for (const WorkerConn& c : conns_) {
+      traffic_.messages += c.ghost_edges;
+      traffic_.bits += c.ghost_edges * bits;
+    }
+    return;
+  }
+
+  const FaultPlan* plan = DistBackend::faults(net);
+  std::string ctx;
+  {
+    PayloadWriter w;
+    encode_fault_ctx(w, plan, DistBackend::down(net), n);
+    ctx = w.take();
+  }
+  const std::string bitmap =
+      pack_bitmap(DistBackend::arena_transmits(a), n);
+  for (std::size_t k = 0; k < K; ++k) {
+    const NodeId b = part_.begin(k);
+    const NodeId e = part_.end(k);
+    PayloadWriter w;
+    w.raw(ctx.data(), ctx.size());
+    w.raw(bitmap.data(), bitmap.size());
+    w.u32(static_cast<std::uint32_t>(bits));
+    for (NodeId v = b; v < e; ++v) w.u64(words[v]);
+    for (NodeId ghost : conns_[k].ghosts) w.u64(words[ghost]);
+    queue_frame(k, FrameKind::kWordSparse, round, 0,
+                static_cast<std::uint32_t>(k), 0, w.take());
+  }
+  const std::vector<Frame> replies =
+      collect_replies(FrameKind::kInboxWords, round, "word broadcast");
+
+  std::vector<std::uint32_t>& offsets = DistBackend::arena_offsets(a);
+  std::vector<WordSlot>& slots = DistBackend::arena_word_slots(a);
+  if (offsets.size() < static_cast<std::size_t>(n) + 1) {
+    offsets.resize(static_cast<std::size_t>(n) + 1);
+  }
+  std::uint32_t total = 0;
+  std::vector<std::uint32_t> base(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    base[k] = total;
+    total += replies[k].header.count;
+  }
+  offsets[n] = total;
+  if (slots.size() != total) slots.resize(total);
+  for (std::size_t k = 0; k < K; ++k) {
+    const NodeId b = part_.begin(k);
+    const NodeId owned = part_.end(k) - b;
+    const std::uint32_t count = replies[k].header.count;
+    PayloadReader r(replies[k].payload, "inbox_words");
+    rf.dropped += r.u64();
+    rf.corrupted += r.u64();
+    traffic_.messages += r.u64();
+    traffic_.bits += r.u64();
+    for (NodeId lv = 0; lv < owned; ++lv) {
+      offsets[b + lv] = base[k] + r.u32();
+    }
+    if (r.u32() != count) {
+      throw FrameError("shard " + std::to_string(k) +
+                       ": inbox_words offsets disagree with the slot count");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      WordSlot& slot = slots[base[k] + i];
+      slot.sender = r.u32();
+      slot.value = r.u64();
+    }
+    r.expect_end();
+  }
+}
+
+void Coordinator::shutdown_workers() {
+  // Best-effort clean shutdown, then the hammer: no orphan processes and
+  // no leaked sockets survive a coordinator, however the run ended.
+  for (std::size_t k = 0; k < conns_.size(); ++k) {
+    if (conns_[k].fd >= 0 && !conns_[k].eof) {
+      try {
+        queue_frame(k, FrameKind::kShutdown, 0, 0,
+                    static_cast<std::uint32_t>(k), 0, {});
+      } catch (const std::exception&) {
+      }
+    }
+  }
+  const std::uint64_t flush_deadline = mono_ms() + 500;
+  for (;;) {
+    bool pending = false;
+    for (const WorkerConn& c : conns_) {
+      if (c.fd >= 0 && !c.eof && c.outq_off < c.outq.size()) pending = true;
+    }
+    if (!pending || mono_ms() >= flush_deadline) break;
+    try {
+      pump(20);
+    } catch (const std::exception&) {
+      break;  // malformed trailing bytes cannot block shutdown
+    }
+  }
+  for (WorkerConn& c : conns_) {
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (!opt_.listen_unix.empty()) ::unlink(opt_.listen_unix.c_str());
+  }
+  const std::uint64_t kill_deadline = mono_ms() + 2000;
+  for (WorkerConn& c : conns_) {
+    while (c.pid > 0) {
+      const pid_t r = ::waitpid(c.pid, nullptr, WNOHANG);
+      if (r == c.pid || (r < 0 && errno == ECHILD)) {
+        c.pid = -1;
+        break;
+      }
+      if (mono_ms() >= kill_deadline) {
+        ::kill(c.pid, SIGKILL);
+        ::waitpid(c.pid, nullptr, 0);
+        c.pid = -1;
+        break;
+      }
+      ::usleep(10 * 1000);
+    }
+  }
+}
+
+}  // namespace ldc::dist

@@ -1,0 +1,195 @@
+// The distributed engine's coordinator: owns the worker processes, the
+// sockets, and the barrier protocol (DESIGN.md §12).
+//
+// A Coordinator is a DistBackend: attach it to a Network with
+// attach_dist() and every exchange / broadcast / fused-word round is
+// executed by K `ldc_shard` worker processes, each running the sharded
+// engine's phase A / phase B over its contiguous vertex range, with the
+// per-(src, dst) batch buffers traveling as digest-sealed frames. The
+// coordinator is the hub: it relays batches between workers, acks each
+// one, and closes round N only when all K² batch frames for N are acked
+// and all K inbox frames are in — then splices the per-shard inbox CSRs
+// into the Network's master arena in ascending shard order, which (the
+// ranges being contiguous and ascending) reproduces the serial layout
+// byte for byte.
+//
+// Two ways to get workers:
+//  * spawn mode (default): fork+exec K `ldc_shard` processes over
+//    socketpairs. Every socket fd is created close-on-exec and each
+//    child unsets the flag only on its own fd, so no worker inherits a
+//    sibling's socket — worker death is always visible as EOF.
+//  * listen mode: bind a unix-domain or TCP socket and accept K
+//    externally started workers (the README quickstart).
+//
+// Attach validation: every worker HELLOs with its corpus content digest
+// and shape; any mismatch with the coordinator's own mmap is a typed
+// AttachError naming the worker. Liveness: the coordinator's I/O is
+// fully non-blocking; while a round is in flight, heartbeat_ms of total
+// silence (or any worker EOF) aborts the run with a WorkerError naming
+// the shard and round.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "ldc/dist/wire.hpp"
+#include "ldc/graph/partition.hpp"
+#include "ldc/runtime/network.hpp"
+#include "ldc/storage/mapped_graph.hpp"
+
+namespace ldc::dist {
+
+struct CoordinatorOptions {
+  /// Worker-process count; 0 resolves via LDC_DIST_WORKERS (strictly
+  /// parsed) with the LDC_THREADS-style hardware fallback, clamped to
+  /// kMaxDistWorkers and to n.
+  std::size_t workers = 0;
+  /// Max tolerated total silence while a round is in flight before the
+  /// coordinator declares the slowest worker hung (WorkerError).
+  std::uint64_t heartbeat_ms = 30000;
+  /// Max wait for worker HELLOs and assign acks (AttachError).
+  std::uint64_t attach_timeout_ms = 10000;
+  /// Path of the `ldc_shard` binary for spawn mode; "" resolves via
+  /// LDC_SHARD_BIN, then next to the running executable.
+  std::string shard_binary;
+  /// Non-empty: listen mode on this unix-domain socket path instead of
+  /// spawning (the path is unlinked on shutdown).
+  std::string listen_unix;
+  /// Non-zero: listen mode on this TCP port (all interfaces).
+  std::uint16_t listen_tcp = 0;
+};
+
+/// Physical wire observability (frames and bytes actually moved over the
+/// sockets, headers included) — deliberately separate from the LOGICAL
+/// cross_shard_traffic() counters, which stay engine-independent.
+struct WireStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Coordinator : public DistBackend {
+ public:
+  /// Opens the corpus, spawns (or accepts) the workers, and runs the
+  /// HELLO digest handshake. Throws CorpusError on a bad corpus file,
+  /// AttachError on a worker that fails the handshake, and
+  /// std::invalid_argument on bad options.
+  explicit Coordinator(const std::string& corpus_path,
+                       CoordinatorOptions opt = {});
+  ~Coordinator() override;
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// The corpus-backed graph; construct the Network over exactly this.
+  const Graph& corpus_graph() const { return graph_; }
+  const storage::MappedGraph& mapped() const { return *mg_; }
+
+  std::size_t shards() const override { return conns_.size(); }
+  ShardTraffic traffic() const override { return traffic_; }
+  WireStats wire_stats() const { return wire_; }
+
+  /// Worker process ids in shard order (-1 per worker in listen mode).
+  /// Observability for diagnostics and the failure-injection tests.
+  std::vector<pid_t> worker_pids() const {
+    std::vector<pid_t> pids;
+    pids.reserve(conns_.size());
+    for (const WorkerConn& c : conns_) pids.push_back(c.pid);
+    return pids;
+  }
+
+ protected:
+  void bind(Network& net) override;
+  void exchange_dist(Network& net,
+                     const std::vector<Network::Outbox>& outboxes,
+                     std::uint64_t round, RoundFaults& rf,
+                     std::size_t& round_max_bits) override;
+  void broadcast_fill_dist(Network& net, const std::vector<Message>& msgs,
+                           const std::vector<bool>* active,
+                           std::uint64_t round, RoundFaults& rf,
+                           bool all_live) override;
+  void word_fill_dist(Network& net, const std::vector<std::uint64_t>& words,
+                      std::size_t bits, std::uint64_t round, RoundFaults& rf,
+                      bool all_live) override;
+
+ private:
+  struct WorkerConn {
+    int fd = -1;
+    pid_t pid = -1;  ///< -1 in listen mode
+    FrameReader reader;
+    std::deque<Frame> inq;  ///< decoded frames not yet consumed
+    std::string outq;       ///< bytes not yet flushed
+    std::size_t outq_off = 0;
+    bool eof = false;
+    // Per-shard topology facts (coordinator-computed at bind, verified
+    // against the worker's own kAssignAck).
+    std::vector<NodeId> ghosts;    ///< sorted halo of the worker's range
+    std::uint64_t ghost_edges = 0;
+  };
+
+  void spawn_workers(const std::string& corpus_path, std::size_t k);
+  void accept_workers(std::size_t k);
+  void handshake();
+  void shutdown_workers();
+
+  /// Appends a frame to worker k's out-queue (flushed by pump()).
+  void queue_frame(std::size_t k, FrameKind kind, std::uint64_t round,
+                   std::uint32_t src, std::uint32_t dst, std::uint32_t count,
+                   std::string_view payload);
+  /// One poll(2) pass: flush pending writes, read what's available,
+  /// decode complete frames into the per-worker in-queues. Never blocks
+  /// longer than timeout_ms. Throws FrameError on malformed worker bytes.
+  void pump(int timeout_ms);
+  /// A decoded frame tagged with the connection it arrived on (workers
+  /// don't know their shard index until kAssign, so the socket — not the
+  /// header — is the source of truth for identity).
+  struct Incoming {
+    std::size_t from;
+    Frame frame;
+  };
+
+  /// Pops the next decoded frame (ascending worker order), pumping until
+  /// one arrives. On worker EOF throws WorkerError (or AttachError when
+  /// attaching); after window_ms of total silence throws naming `phase`,
+  /// `round`, and the lowest shard still owed by the caller.
+  Incoming await_frame(std::uint64_t round, const char* phase,
+                       std::uint64_t window_ms, bool attaching,
+                       const std::vector<char>& satisfied);
+
+  /// Waits for exactly one `kind` reply from every worker for `round`
+  /// (heartbeats tolerated, anything else is a FrameError) and returns
+  /// them in shard order.
+  std::vector<Frame> collect_replies(FrameKind kind, std::uint64_t round,
+                                     const char* phase);
+
+  /// Maps a worker kError frame to the matching typed exception.
+  [[noreturn]] void rethrow_worker_error(std::uint32_t shard,
+                                         std::uint32_t code,
+                                         const std::string& what) const;
+
+  std::size_t shard_of(NodeId v) const { return part_.shard_of(v); }
+
+  std::shared_ptr<const storage::MappedGraph> mg_;
+  Graph graph_;  ///< zero-copy view pinning the mapping
+  CoordinatorOptions opt_;
+  std::vector<WorkerConn> conns_;
+  int listen_fd_ = -1;
+  std::uint64_t last_rx_ms_ = 0;  ///< monotone ms of the last bytes read
+
+  // Set at bind().
+  bool bound_ = false;
+  Partition part_;
+  std::size_t budget_bits_ = 0;
+  bool strict_ = false;
+
+  ShardTraffic traffic_;
+  WireStats wire_;
+};
+
+}  // namespace ldc::dist

@@ -1,0 +1,293 @@
+// Wire format of the multi-process distributed engine (DESIGN.md §12).
+//
+// Every byte that crosses a coordinator↔worker socket is a *frame*: a
+// fixed 48-byte little-endian header (magic / version / kind / round /
+// src shard / dst shard / payload size / element count) followed by the
+// payload, sealed by an FNV-1a 64 digest over header-and-payload — the
+// same digest primitive the corpus store uses for its sections, so a
+// flipped bit anywhere in a frame is caught at the receiver, not three
+// rounds later as a wrong color. Frames are self-describing and
+// length-prefixed: a reader can always either complete a frame, wait for
+// more bytes, or reject the stream with a typed FrameError naming the
+// check that failed (bad magic, unsupported version, oversized payload,
+// digest mismatch, torn frame, count/payload disagreement). Malformed
+// input is never undefined behavior — the fuzz battery in
+// tests/test_dist_fuzz.cpp mutates valid streams and asserts exactly
+// this.
+//
+// Payloads are flat little-endian records built/parsed through
+// PayloadWriter/PayloadReader; every reader overrun throws FrameError.
+// The per-round payloads serialize the SAME data the in-process sharded
+// engine stages in memory: per-(src,dst) ShardBatchEntry buffers become
+// kBatch frames, per-shard inbox CSRs come back as kInbox frames, and
+// the fault context ships the plan parameters plus the round's down
+// bitmap so workers re-resolve the pure PRF drop/corrupt decisions
+// bit-identically (fault.hpp).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ldc/graph/graph.hpp"
+#include "ldc/runtime/fault.hpp"
+#include "ldc/runtime/message.hpp"
+
+namespace ldc::dist {
+
+/// Malformed or hostile frame bytes: truncated/torn frames, bad magic,
+/// unsupported version, digest mismatch, oversized payloads, counts that
+/// disagree with the payload. Always a typed rejection, never a crash.
+class FrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Handshake failure: corpus content-digest mismatch, attach timeout,
+/// an unexpected frame where HELLO/ASSIGN-ACK was required, or a worker
+/// that died before attaching.
+class AttachError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A worker died (EOF / reset) or went silent past the heartbeat window
+/// mid-run; the message names the shard and the round.
+class WorkerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kWireMagic = 0x4643444Cu;  ///< "LDCF" LE
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 48;
+/// Hard cap on one frame's payload; anything larger is a typed rejection
+/// (a hostile length prefix must not drive an allocation).
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+
+enum class FrameKind : std::uint16_t {
+  kHello = 1,       ///< worker→coord: corpus content digest + shape
+  kAssign = 2,      ///< coord→worker: shard index, partition, budget
+  kAssignAck = 3,   ///< worker→coord: topology built, ready
+  kOutbox = 4,      ///< coord→worker: fault ctx + owned senders' outboxes
+  kBatch = 5,       ///< worker→coord (then relayed): (src,dst) batch
+  kBatchAck = 6,    ///< coord→worker: batch (round,src,dst) accepted
+  kInbox = 7,       ///< worker→coord: staging summary + inbox CSR
+  kBcast = 8,       ///< coord→worker: fault ctx + transmit mask
+  kInboxIds = 9,    ///< worker→coord: broadcast inbox as sender ids
+  kWordDense = 10,  ///< reserved (dense word rounds are coordinator-local)
+  kSummary = 11,    ///< reserved (per-round summaries ride in kInbox)
+  kWordSparse = 12, ///< coord→worker: masked/faulty fused word round
+  kInboxWords = 13, ///< worker→coord: word-slot CSR reply
+  kError = 14,      ///< worker→coord: typed phase error (code + what())
+  kAbort = 15,      ///< coord→worker: discard the named round
+  kShutdown = 16,   ///< coord→worker: clean exit
+  kHeartbeat = 17,  ///< either way: liveness probe, echoed by workers
+};
+
+const char* frame_kind_name(FrameKind k);
+
+/// Error codes carried by kError frames; the coordinator rethrows the
+/// lowest shard's error as the matching exception type, preserving the
+/// engine-independent error contract of Network::exchange.
+inline constexpr std::uint32_t kErrInvalidArgument = 1;
+inline constexpr std::uint32_t kErrCongest = 2;
+inline constexpr std::uint32_t kErrInternal = 3;
+
+struct FrameHeader {
+  FrameKind kind = FrameKind::kHeartbeat;
+  std::uint64_t round = 0;
+  std::uint32_t src_shard = 0;
+  std::uint32_t dst_shard = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint32_t count = 0;  ///< kind-specific element count
+};
+
+struct Frame {
+  FrameHeader header;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload + digest) to wire bytes.
+std::string encode_frame(FrameKind kind, std::uint64_t round,
+                         std::uint32_t src_shard, std::uint32_t dst_shard,
+                         std::uint32_t count, std::string_view payload);
+
+/// Incremental frame decoder over an untrusted byte stream. feed() bytes
+/// as they arrive; next() yields one validated frame, std::nullopt when
+/// the buffer holds only a partial frame, or throws FrameError — after
+/// which the stream is poisoned (there is no resynchronization point in
+/// a length-prefixed stream with a corrupt prefix).
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t len);
+  std::optional<Frame> next();
+  std::size_t buffered() const { return buf_.size() - pos_; }
+  /// True when buffered() bytes are a frame prefix that can never
+  /// complete validly (used by blocking readers to report torn frames).
+  bool mid_frame() const { return buffered() != 0; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- fd I/O --
+
+/// Writes all of `bytes` (blocking; retries EINTR). Throws WorkerError
+/// naming `who` when the peer is gone (EPIPE/ECONNRESET).
+void write_all_fd(int fd, std::string_view bytes, const char* who);
+
+/// Blocking read of one frame. The caller owns `reader` and must reuse
+/// the SAME reader for every read on the same fd: one read(2) can pull
+/// several coalesced frames off the socket, and the surplus bytes live
+/// in the reader until the next call. Returns std::nullopt on clean EOF
+/// at a frame boundary; throws FrameError on malformed bytes or a torn
+/// frame (EOF mid-frame).
+std::optional<Frame> read_frame_fd(int fd, FrameReader& reader);
+
+// ------------------------------------------------------- payload codecs --
+
+/// Append-only little-endian record builder for frame payloads.
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void raw(const void* data, std::size_t len) {
+    out_.append(static_cast<const char*>(data), len);
+  }
+  std::string take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over an untrusted payload; every overrun throws
+/// FrameError naming the frame kind being decoded.
+class PayloadReader {
+ public:
+  PayloadReader(std::string_view payload, const char* what)
+      : p_(payload), what_(what) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(p_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    copy(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    copy(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v;
+    copy(&v, sizeof v);
+    return v;
+  }
+  std::string_view bytes(std::size_t len) {
+    need(len);
+    std::string_view v = p_.substr(pos_, len);
+    pos_ += len;
+    return v;
+  }
+  std::size_t remaining() const { return p_.size() - pos_; }
+  /// Rejects trailing garbage — a valid encoder never leaves any.
+  void expect_end() const {
+    if (remaining() != 0) {
+      throw FrameError(std::string(what_) + ": " +
+                       std::to_string(remaining()) +
+                       " trailing payload bytes");
+    }
+  }
+
+ private:
+  void need(std::size_t len) const {
+    if (p_.size() - pos_ < len) {
+      throw FrameError(std::string(what_) + ": payload truncated (need " +
+                       std::to_string(len) + " bytes, have " +
+                       std::to_string(p_.size() - pos_) + ")");
+    }
+  }
+  void copy(void* dst, std::size_t len) {
+    need(len);
+    std::memcpy(dst, p_.data() + pos_, len);
+    pos_ += len;
+  }
+
+  std::string_view p_;
+  std::size_t pos_ = 0;
+  const char* what_;
+};
+
+// ------------------------------------------------- shared round records --
+
+/// The per-round fault context a worker needs to re-resolve the pure PRF
+/// drop/corrupt decisions exactly as the coordinator would: the plan's
+/// parameters plus the coordinator-computed down bitmap (crash-cap
+/// resolution is order-dependent, so down state is decided once,
+/// centrally, and shipped — never re-derived per worker).
+struct FaultCtx {
+  bool faulty = false;
+  FaultPlan plan;
+  std::vector<std::uint8_t> down;  ///< packed bitmap, ceil(n/8) bytes
+
+  bool down_bit(NodeId v) const {
+    return (down[v >> 3] >> (v & 7)) & 1u;
+  }
+};
+
+void encode_fault_ctx(PayloadWriter& w, const FaultPlan* plan,
+                      const std::vector<char>& down, NodeId n);
+FaultCtx decode_fault_ctx(PayloadReader& r, NodeId n);
+
+/// Message payload on the wire: exact bit count + the packed words.
+void encode_message(PayloadWriter& w, const Message& m);
+Message decode_message(PayloadReader& r);
+
+/// Per-shard staging totals of one exchange round, merged by the
+/// coordinator in ascending shard order (mirrors ShardState's staging).
+struct ShardRoundSummary {
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t max_message_bits = 0;
+  std::uint64_t congest_violations = 0;
+  std::uint64_t round_max_bits = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t traffic_messages = 0;
+  std::uint64_t traffic_bits = 0;
+};
+
+void encode_summary(PayloadWriter& w, const ShardRoundSummary& s);
+ShardRoundSummary decode_summary(PayloadReader& r);
+
+// ------------------------------------------------------ strict knob parsing --
+
+/// Strictly parses a positive integer knob (flag or env var) in
+/// [1, max]; garbage, overflow, or out-of-range throws
+/// std::invalid_argument naming the knob and the offending token —
+/// the LDC_SHARDS convention (shard.hpp), never a silent fallback.
+std::uint64_t parse_positive_u64(const char* name, const char* text,
+                                 std::uint64_t max);
+
+/// Worker-process cap (processes, not threads — deliberately lower than
+/// ShardCrew::kMaxShards).
+inline constexpr std::size_t kMaxDistWorkers = 64;
+
+/// Worker count for `workers == 0`: LDC_DIST_WORKERS if set (strictly
+/// parsed, throws std::invalid_argument on garbage), else the
+/// ThreadPool::default_thread_count() fallback clamped to kMaxDistWorkers.
+std::size_t default_worker_count();
+
+}  // namespace ldc::dist

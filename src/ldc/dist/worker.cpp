@@ -1,0 +1,520 @@
+// ShardWorker: the per-process delivery plane of the distributed engine.
+//
+// The round bodies here are line-for-line mirrors of the Engine::kSharded
+// bodies in runtime/shard.cpp — validation order, accounting order, the
+// pre-drop remote-traffic count, destination-side corruption on the CoW
+// slot copy, and the ascending-source-shard fill that reproduces the
+// serial sender order. Anywhere the in-process engine reads shared
+// memory, this one reads a decoded frame; everything else is identical,
+// which is what makes the cross-engine digest equality hold.
+#include "ldc/dist/worker.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
+#include "ldc/runtime/network.hpp"
+
+namespace ldc::dist {
+namespace {
+
+/// Same contract (and exception text) as every other engine: checked per
+/// sender before any of that sender's messages are validated.
+void check_unique_destinations(
+    const std::vector<std::pair<NodeId, Message>>& outbox,
+    std::vector<NodeId>& scratch) {
+  if (outbox.size() < 2) return;
+  scratch.clear();
+  for (const auto& [dest, msg] : outbox) scratch.push_back(dest);
+  std::sort(scratch.begin(), scratch.end());
+  if (std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end()) {
+    throw std::invalid_argument(
+        "Network::exchange: duplicate destination in a sender's outbox");
+  }
+}
+
+/// Coordinator told us to discard the in-flight round (another shard
+/// errored); unwinds the round handler back to the serve loop.
+struct AbortRound {
+  std::uint64_t round;
+};
+
+/// kShutdown can arrive inside a round wait; unwinds run() to exit 0.
+struct ShutdownRequested {};
+
+bool bitmap_bit(std::string_view bits, NodeId v) {
+  return (static_cast<std::uint8_t>(bits[v >> 3]) >> (v & 7)) & 1u;
+}
+
+}  // namespace
+
+ShardWorker::ShardWorker(const std::string& corpus_path, int fd)
+    : mg_(storage::MappedGraph::open(corpus_path, /*verify_content=*/true)),
+      fd_(fd) {}
+
+ShardWorker::~ShardWorker() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ShardWorker::send_frame(FrameKind kind, std::uint64_t round,
+                             std::uint32_t dst, std::uint32_t count,
+                             std::string_view payload) {
+  write_all_fd(fd_, encode_frame(kind, round, shard_, dst, count, payload),
+               "ldc_shard");
+}
+
+void ShardWorker::send_error(std::uint64_t round, std::uint32_t code,
+                             const char* what) {
+  PayloadWriter w;
+  w.u32(code);
+  const std::string_view text(what);
+  w.u32(static_cast<std::uint32_t>(text.size()));
+  w.raw(text.data(), text.size());
+  send_frame(FrameKind::kError, round, 0, code, w.take());
+}
+
+std::size_t ShardWorker::shard_of(NodeId v) const {
+  std::size_t lo = 0;
+  std::size_t hi = shards_ - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (starts_[mid] <= v) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+int ShardWorker::run() {
+  // HELLO: the digest handshake. The coordinator refuses any worker whose
+  // corpus content digest differs from its own (AttachError), so a shard
+  // can never silently run against a different graph.
+  {
+    PayloadWriter w;
+    w.u64(mg_->meta().content_digest);
+    w.u32(mg_->graph().n());
+    w.u64(mg_->meta().adj_entries);
+    send_frame(FrameKind::kHello, 0, 0, 0, w.take());
+  }
+  try {
+    for (;;) {
+      std::optional<Frame> f = read_frame_fd(fd_, reader_);
+      if (!f) return 0;  // coordinator went away cleanly
+      switch (f->header.kind) {
+        case FrameKind::kAssign:
+          handle_assign(*f);
+          break;
+        case FrameKind::kOutbox:
+          handle_outbox(*f);
+          break;
+        case FrameKind::kBcast:
+          handle_bcast(*f);
+          break;
+        case FrameKind::kWordSparse:
+          handle_word_sparse(*f);
+          break;
+        case FrameKind::kAbort:
+          break;  // stale: the round it names was already abandoned here
+        case FrameKind::kHeartbeat:
+          send_frame(FrameKind::kHeartbeat, f->header.round, 0, 0, {});
+          break;
+        case FrameKind::kShutdown:
+          return 0;
+        default:
+          throw FrameError(std::string("ldc_shard: unexpected ") +
+                           frame_kind_name(f->header.kind) + " frame");
+      }
+    }
+  } catch (const ShutdownRequested&) {
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ldc_shard[%u]: fatal: %s\n", shard_, e.what());
+    return 1;
+  }
+}
+
+void ShardWorker::handle_assign(const Frame& f) {
+  PayloadReader r(f.payload, "assign");
+  shard_ = r.u32();
+  shards_ = r.u32();
+  budget_bits_ = static_cast<std::size_t>(r.u64());
+  strict_ = r.u8() != 0;
+  if (shards_ == 0 || shard_ >= shards_ || shards_ > kMaxDistWorkers) {
+    throw FrameError("assign: bad shard index " + std::to_string(shard_) +
+                     " of " + std::to_string(shards_));
+  }
+  starts_.assign(shards_ + 1, 0);
+  for (std::size_t i = 0; i <= shards_; ++i) starts_[i] = r.u32();
+  r.expect_end();
+  const Graph& g = mg_->graph();
+  if (starts_.front() != 0 || starts_.back() != g.n()) {
+    throw FrameError("assign: partition does not cover [0, n)");
+  }
+  topo_ = ShardTopology{};
+  topo_.build(g, starts_[shard_], starts_[shard_ + 1]);
+  assigned_ = true;
+  PayloadWriter w;
+  w.u64(topo_.ghost_edges);
+  w.u64(topo_.ghosts.size());
+  send_frame(FrameKind::kAssignAck, f.header.round, 0, shard_, w.take());
+}
+
+void ShardWorker::handle_outbox(const Frame& f) {
+  if (!assigned_) throw FrameError("outbox: worker not assigned");
+  const Graph& g = mg_->graph();
+  const NodeId b = topo_.vbegin;
+  const NodeId e = topo_.vend;
+  const NodeId owned = topo_.owned();
+  const std::uint64_t round = f.header.round;
+  const std::size_t K = shards_;
+
+  PayloadReader r(f.payload, "outbox");
+  const FaultCtx ctx = decode_fault_ctx(r, g.n());
+  if (f.header.count != owned) {
+    throw FrameError("outbox: sender count " +
+                     std::to_string(f.header.count) + " != owned " +
+                     std::to_string(owned));
+  }
+  std::vector<std::vector<std::pair<NodeId, Message>>> out(owned);
+  for (NodeId lu = 0; lu < owned; ++lu) {
+    const std::uint32_t len = r.u32();
+    out[lu].reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      const NodeId dest = r.u32();
+      out[lu].emplace_back(dest, decode_message(r));
+    }
+  }
+  r.expect_end();
+
+  const bool faulty = ctx.faulty;
+  auto lost = [&](NodeId u, NodeId dest) {
+    return ctx.down_bit(dest) || ctx.plan.drops_message(round, u, dest);
+  };
+
+  // Phase A — runtime/shard.cpp's source pass verbatim: validate, account
+  // into the staging summary, count local survivors per local destination,
+  // serialize each cross-shard survivor into its (src, dst) batch. Remote
+  // traffic is counted BEFORE the drop check, exactly as in-process.
+  ShardRoundSummary sum;
+  std::vector<std::uint32_t> counts(owned, 0);
+  std::vector<PayloadWriter> batches(K);
+  std::vector<std::uint32_t> batch_counts(K, 0);
+  try {
+    for (NodeId u = b; u < e; ++u) {
+      const auto& ob = out[u - b];
+      check_unique_destinations(ob, scratch_);
+      const bool sender_down = faulty && ctx.down_bit(u);
+      for (const auto& [dest, msg] : ob) {
+        if (!g.has_edge(u, dest)) {
+          throw std::invalid_argument(
+              "Network::exchange: message to non-neighbor");
+        }
+        if (sender_down) continue;
+        const std::size_t bits = msg.bit_count();
+        ++sum.messages;
+        sum.total_bits += bits;
+        sum.max_message_bits = std::max<std::uint64_t>(
+            sum.max_message_bits, bits);
+        if (budget_bits_ != 0 && bits > budget_bits_) {
+          ++sum.congest_violations;
+          if (strict_) {
+            throw CongestViolation(
+                "message of " + std::to_string(bits) +
+                " bits exceeds CONGEST budget of " +
+                std::to_string(budget_bits_));
+          }
+        }
+        sum.round_max_bits = std::max<std::uint64_t>(sum.round_max_bits,
+                                                     bits);
+        const bool remote = dest < b || dest >= e;
+        if (remote) {
+          ++sum.traffic_messages;
+          sum.traffic_bits += bits;
+        }
+        if (faulty && lost(u, dest)) {
+          ++sum.dropped;
+          continue;
+        }
+        if (faulty && ctx.plan.corrupts_message(round, u, dest)) {
+          ++sum.corrupted;
+        }
+        if (!remote) {
+          ++counts[dest - b];
+        } else {
+          const std::size_t j = shard_of(dest);
+          batches[j].u32(u);
+          batches[j].u32(dest);
+          encode_message(batches[j], msg);
+          ++batch_counts[j];
+        }
+      }
+    }
+  } catch (const CongestViolation& ex) {
+    send_error(round, kErrCongest, ex.what());
+    return;
+  } catch (const std::invalid_argument& ex) {
+    send_error(round, kErrInvalidArgument, ex.what());
+    return;
+  }
+
+  // Ship all K batches in ascending destination order (the diagonal one is
+  // always empty — local deliveries never leave the shard — but still
+  // travels, so the coordinator's barrier is exactly K² frames per round).
+  for (std::size_t j = 0; j < K; ++j) {
+    send_frame(FrameKind::kBatch, round, static_cast<std::uint32_t>(j),
+               batch_counts[j], batches[j].take());
+  }
+
+  // Barrier: K acks for our batches plus the K-1 batches destined here
+  // (the coordinator relays them; our own diagonal is not echoed back).
+  std::vector<std::vector<BatchEntry>> incoming(K);
+  std::vector<char> have(K, 0);
+  have[shard_] = 1;
+  std::size_t acks = 0;
+  std::size_t got = 1;
+  try {
+    while (acks < K || got < K) {
+      std::optional<Frame> nf = read_frame_fd(fd_, reader_);
+      if (!nf) {
+        throw WorkerError("ldc_shard: coordinator closed mid-round");
+      }
+      switch (nf->header.kind) {
+        case FrameKind::kBatchAck: {
+          if (nf->header.round != round || nf->header.src_shard != shard_) {
+            throw FrameError("batch_ack: wrong round or source");
+          }
+          ++acks;
+          break;
+        }
+        case FrameKind::kBatch: {
+          const std::uint32_t src = nf->header.src_shard;
+          if (nf->header.round != round || nf->header.dst_shard != shard_ ||
+              src >= K || have[src] != 0) {
+            throw FrameError("batch: wrong round, destination, or source");
+          }
+          PayloadReader br(nf->payload, "batch");
+          std::vector<BatchEntry>& in = incoming[src];
+          in.reserve(nf->header.count);
+          for (std::uint32_t i = 0; i < nf->header.count; ++i) {
+            BatchEntry be;
+            be.sender = br.u32();
+            be.dest = br.u32();
+            be.msg = decode_message(br);
+            if (be.dest < b || be.dest >= e) {
+              throw FrameError("batch: entry for non-owned destination");
+            }
+            in.push_back(be);
+          }
+          br.expect_end();
+          have[src] = 1;
+          ++got;
+          break;
+        }
+        case FrameKind::kAbort:
+          throw AbortRound{nf->header.round};
+        case FrameKind::kHeartbeat:
+          send_frame(FrameKind::kHeartbeat, nf->header.round, 0, 0, {});
+          break;
+        case FrameKind::kShutdown:
+          throw ShutdownRequested{};
+        default:
+          throw FrameError(std::string("ldc_shard: unexpected ") +
+                           frame_kind_name(nf->header.kind) +
+                           " frame inside a round");
+      }
+    }
+  } catch (const AbortRound&) {
+    send_frame(FrameKind::kAbort, round, 0, 0, {});  // abort ack
+    return;
+  }
+
+  // Phase B — the destination pass: fold batch counts into the local
+  // counts, lay out the shard CSR, then fill walking source shards in
+  // ascending order with the own range inline at j == shard_. Corruption
+  // is applied here on the destination's own copy, re-resolving the pure
+  // PRF decision counted in phase A.
+  for (std::size_t j = 0; j < K; ++j) {
+    for (const BatchEntry& s : incoming[j]) ++counts[s.dest - b];
+  }
+  std::vector<std::uint32_t> offsets(static_cast<std::size_t>(owned) + 1);
+  std::uint32_t total = 0;
+  for (NodeId lv = 0; lv < owned; ++lv) {
+    offsets[lv] = total;
+    total += counts[lv];
+  }
+  offsets[owned] = total;
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  std::vector<std::pair<NodeId, Message>> slots(total);
+  for (std::size_t j = 0; j < K; ++j) {
+    if (j == shard_) {
+      for (NodeId u = b; u < e; ++u) {
+        if (faulty && ctx.down_bit(u)) continue;
+        for (const auto& [dest, msg] : out[u - b]) {
+          if (dest < b || dest >= e) continue;
+          if (faulty && lost(u, dest)) continue;
+          auto& slot = slots[cursor[dest - b]++];
+          slot.first = u;
+          slot.second = msg;
+          if (faulty && ctx.plan.corrupts_message(round, u, dest)) {
+            ctx.plan.corrupt_payload(round, u, dest, slot.second);
+          }
+        }
+      }
+      continue;
+    }
+    for (const BatchEntry& s : incoming[j]) {
+      auto& slot = slots[cursor[s.dest - b]++];
+      slot.first = s.sender;
+      slot.second = s.msg;
+      if (faulty && ctx.plan.corrupts_message(round, s.sender, s.dest)) {
+        ctx.plan.corrupt_payload(round, s.sender, s.dest, slot.second);
+      }
+    }
+  }
+
+  PayloadWriter w;
+  encode_summary(w, sum);
+  for (std::uint32_t off : offsets) w.u32(off);
+  for (const auto& [sender, msg] : slots) {
+    w.u32(sender);
+    encode_message(w, msg);
+  }
+  send_frame(FrameKind::kInbox, round, 0, total, w.take());
+}
+
+void ShardWorker::handle_bcast(const Frame& f) {
+  if (!assigned_) throw FrameError("bcast: worker not assigned");
+  const Graph& g = mg_->graph();
+  const NodeId b = topo_.vbegin;
+  const NodeId e = topo_.vend;
+  const NodeId owned = topo_.owned();
+  const std::uint64_t round = f.header.round;
+
+  PayloadReader r(f.payload, "bcast");
+  const FaultCtx ctx = decode_fault_ctx(r, g.n());
+  const std::string_view transmits = r.bytes((g.n() + 7) / 8);
+  r.expect_end();
+  const bool faulty = ctx.faulty;
+
+  // Receiver-driven survivor scan, mirroring broadcast_fill_sharded's
+  // masked/faulty path: count drops/corruptions per live edge, collect
+  // surviving sender ids per owned destination in adjacency order. The
+  // coordinator rebuilds the payload slots (it holds the messages), so
+  // only ids travel back.
+  std::vector<std::uint32_t> offsets(static_cast<std::size_t>(owned) + 1);
+  std::vector<NodeId> senders;
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint32_t total = 0;
+  for (NodeId v = b; v < e; ++v) {
+    offsets[v - b] = total;
+    const bool receiver_down = faulty && ctx.down_bit(v);
+    for (NodeId u : g.neighbors(v)) {
+      if (!bitmap_bit(transmits, u)) continue;
+      if (faulty &&
+          (receiver_down || ctx.plan.drops_message(round, u, v))) {
+        ++dropped;
+        continue;
+      }
+      if (faulty && ctx.plan.corrupts_message(round, u, v)) ++corrupted;
+      senders.push_back(u);
+      ++total;
+    }
+  }
+  offsets[owned] = total;
+
+  PayloadWriter w;
+  w.u64(dropped);
+  w.u64(corrupted);
+  for (std::uint32_t off : offsets) w.u32(off);
+  for (NodeId u : senders) w.u32(u);
+  send_frame(FrameKind::kInboxIds, round, 0, total, w.take());
+}
+
+void ShardWorker::handle_word_sparse(const Frame& f) {
+  if (!assigned_) throw FrameError("word_sparse: worker not assigned");
+  const Graph& g = mg_->graph();
+  const NodeId b = topo_.vbegin;
+  const NodeId e = topo_.vend;
+  const NodeId owned = topo_.owned();
+  const std::uint64_t round = f.header.round;
+
+  PayloadReader r(f.payload, "word_sparse");
+  const FaultCtx ctx = decode_fault_ctx(r, g.n());
+  const std::string_view transmits = r.bytes((g.n() + 7) / 8);
+  const std::size_t bits = r.u32();
+  std::vector<std::uint64_t> owned_words(owned);
+  for (NodeId lv = 0; lv < owned; ++lv) owned_words[lv] = r.u64();
+  std::vector<std::uint64_t> ghost_words(topo_.ghosts.size());
+  for (std::size_t i = 0; i < ghost_words.size(); ++i) {
+    ghost_words[i] = r.u64();
+  }
+  r.expect_end();
+  const bool faulty = ctx.faulty;
+
+  // A sender delivering to an owned destination is either owned or a
+  // ghost; the halo words shipped above cover exactly the latter.
+  auto word_of = [&](NodeId u) -> std::uint64_t {
+    if (u >= b && u < e) return owned_words[u - b];
+    const auto it =
+        std::lower_bound(topo_.ghosts.begin(), topo_.ghosts.end(), u);
+    return ghost_words[static_cast<std::size_t>(it - topo_.ghosts.begin())];
+  };
+
+  // word_fill_sharded's sparse path: per-shard word CSR, corruption via
+  // the pure PRF, traffic counted per DELIVERED out-of-range slot.
+  std::vector<std::uint32_t> offsets(static_cast<std::size_t>(owned) + 1);
+  std::vector<WordSlot> slots;
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t traffic_messages = 0;
+  std::uint64_t traffic_bits = 0;
+  std::uint32_t total = 0;
+  for (NodeId v = b; v < e; ++v) {
+    offsets[v - b] = total;
+    const bool receiver_down = faulty && ctx.down_bit(v);
+    for (NodeId u : g.neighbors(v)) {
+      if (!bitmap_bit(transmits, u)) continue;
+      if (faulty &&
+          (receiver_down || ctx.plan.drops_message(round, u, v))) {
+        ++dropped;
+        continue;
+      }
+      if (faulty && ctx.plan.corrupts_message(round, u, v)) ++corrupted;
+      WordSlot slot{u, word_of(u)};
+      if (u < b || u >= e) {
+        ++traffic_messages;
+        traffic_bits += bits;
+      }
+      if (faulty && ctx.plan.corrupts_message(round, u, v)) {
+        ctx.plan.corrupt_word(round, u, v, slot.value, bits);
+      }
+      slots.push_back(slot);
+      ++total;
+    }
+  }
+  offsets[owned] = total;
+
+  PayloadWriter w;
+  w.u64(dropped);
+  w.u64(corrupted);
+  w.u64(traffic_messages);
+  w.u64(traffic_bits);
+  for (std::uint32_t off : offsets) w.u32(off);
+  for (const WordSlot& s : slots) {
+    w.u32(s.sender);
+    w.u64(s.value);
+  }
+  send_frame(FrameKind::kInboxWords, round, 0, total, w.take());
+}
+
+}  // namespace ldc::dist

@@ -1,0 +1,80 @@
+// The `ldc_shard` worker process: one shard of the distributed engine.
+//
+// A worker owns one contiguous vertex range of the coordinator's
+// partition and is the delivery plane for it — the exact phase A / phase
+// B bodies of the in-process sharded engine (shard.cpp), with the
+// per-(src, dst) batch buffers serialized as kBatch frames instead of
+// staged in shared memory. The worker is deliberately stateless across
+// rounds: everything a round needs (outboxes, fault context, transmit
+// masks, word values) arrives in the round's frames, and every fault
+// decision it resolves is a pure function of (plan seed, round, edge) —
+// which is the whole determinism argument (DESIGN.md §12).
+//
+// I/O is plain blocking reads/writes: the coordinator end is fully
+// non-blocking and always drains, so a worker can never wedge the
+// protocol by blocking on a write.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldc/dist/wire.hpp"
+#include "ldc/graph/partition.hpp"
+#include "ldc/storage/mapped_graph.hpp"
+
+namespace ldc::dist {
+
+class ShardWorker {
+ public:
+  /// Opens (mmaps) the corpus and takes ownership of the connected
+  /// socket fd. Throws CorpusError on a bad corpus file.
+  ShardWorker(const std::string& corpus_path, int fd);
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Sends HELLO, then serves coordinator frames until kShutdown (returns
+  /// 0) or a fatal protocol error (logs to stderr, returns 1). Algorithm
+  /// errors (non-neighbor delivery, strict CONGEST violations) are NOT
+  /// fatal: they travel back as kError frames and the worker keeps
+  /// serving rounds.
+  int run();
+
+ private:
+  struct BatchEntry {
+    NodeId sender;
+    NodeId dest;
+    Message msg;
+  };
+
+  void send_frame(FrameKind kind, std::uint64_t round, std::uint32_t dst,
+                  std::uint32_t count, std::string_view payload);
+  void send_error(std::uint64_t round, std::uint32_t code, const char* what);
+
+  void handle_assign(const Frame& f);
+  void handle_outbox(const Frame& f);
+  void handle_bcast(const Frame& f);
+  void handle_word_sparse(const Frame& f);
+
+  /// Shard owning global vertex v (binary search over starts_).
+  std::size_t shard_of(NodeId v) const;
+
+  std::shared_ptr<const storage::MappedGraph> mg_;
+  int fd_;
+  FrameReader reader_;  ///< persistent: read(2) coalesces frames
+
+  // Assigned at kAssign (re-assignable: a coordinator re-binds per run).
+  bool assigned_ = false;
+  std::uint32_t shard_ = 0;
+  std::uint32_t shards_ = 0;
+  std::size_t budget_bits_ = 0;
+  bool strict_ = false;
+  std::vector<NodeId> starts_;  ///< K+1 partition boundaries
+  ShardTopology topo_;
+
+  std::vector<NodeId> scratch_;  ///< duplicate-destination check
+};
+
+}  // namespace ldc::dist

@@ -43,6 +43,7 @@ namespace ldc {
 class Network;
 class RoundMail;
 class WordMail;
+class DistBackend;
 
 /// One delivered message with its sender.
 using MailSlot = std::pair<NodeId, Message>;
@@ -68,6 +69,7 @@ class MailArena {
   friend class Network;
   friend class RoundMail;
   friend class WordMail;
+  friend class DistBackend;  ///< attorney for src/ldc/dist/ (network.hpp)
 
   /// Per-destination counting scratch, epoch-stamped: an entry whose stamp
   /// is not the current epoch reads as zero, so sparse rounds never pay a

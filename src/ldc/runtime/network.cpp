@@ -36,6 +36,18 @@ void check_unique_destinations(const Network::Outbox& outbox,
 }  // namespace
 
 void Network::set_engine(Engine engine, std::size_t threads) {
+  if (engine == Engine::kDist) {
+    if (dist_ == nullptr) {
+      throw std::invalid_argument(
+          "Network::set_engine: kDist requires an attached backend — call "
+          "attach_dist() with a dist::Coordinator instead");
+    }
+    engine_ = Engine::kDist;
+    pool_.reset();
+    shards_.reset();
+    return;
+  }
+  dist_ = nullptr;
   engine_ = engine;
   if (engine == Engine::kSerial) {
     pool_.reset();
@@ -68,6 +80,21 @@ void Network::set_engine(Engine engine, std::size_t threads) {
   if (pool_ == nullptr || pool_->size() != t) {
     pool_ = std::make_unique<ThreadPool>(t);
   }
+}
+
+void Network::attach_dist(DistBackend* backend) {
+  if (backend == nullptr) {
+    dist_ = nullptr;
+    engine_ = Engine::kSerial;
+    return;
+  }
+  // bind() partitions the graph and runs the assign handshake; it throws
+  // on failure, leaving this Network on its previous engine.
+  backend->bind(*this);
+  dist_ = backend;
+  engine_ = Engine::kDist;
+  pool_.reset();
+  shards_.reset();
 }
 
 void Network::account(const Message& m) {
@@ -414,7 +441,9 @@ RoundMail Network::exchange(const std::vector<Outbox>& outboxes) {
   const std::uint64_t bits_before = metrics_.total_bits;
   std::size_t round_max_bits = 0;
   const std::uint64_t t0 = now_ns();
-  if (shards_ != nullptr) {
+  if (dist_ != nullptr) {
+    dist_->exchange_dist(*this, outboxes, round, rf, round_max_bits);
+  } else if (shards_ != nullptr) {
     exchange_sharded(outboxes, round, rf, round_max_bits);
   } else if (pool_ != nullptr && pool_->size() > 1) {
     exchange_parallel(outboxes, round, rf, round_max_bits);
@@ -475,6 +504,10 @@ void Network::broadcast_fill(const std::vector<Message>& msgs,
 
   // Sharded engine: sender-side accounting above ran on the coordinator
   // (identical to serial); the per-shard receiver-driven fill takes over.
+  if (dist_ != nullptr) {
+    dist_->broadcast_fill_dist(*this, msgs, active, round, rf, all_live);
+    return;
+  }
   if (shards_ != nullptr) {
     broadcast_fill_sharded(msgs, active, round, rf, all_live);
     return;
@@ -641,6 +674,13 @@ WordMail Network::exchange_broadcast_word(
     round_max_bits = std::max(round_max_bits, bits);
   }
 
+  if (dist_ != nullptr) {
+    // Workers validate and count their halo traffic; the master arena is
+    // filled in the serial layout, so the serial-mode view below applies.
+    dist_->word_fill_dist(*this, words, bits, round, rf, all_live);
+    finish_round(msgs_before, bits_before, round_max_bits, t0, rf);
+    return WordMail(&arena_, graph_, all_live, n);
+  }
   if (shards_ != nullptr) {
     // Per-shard fill: dense rounds snapshot owned + halo words into the
     // shard's arena; masked/faulty rounds build per-shard word CSRs.

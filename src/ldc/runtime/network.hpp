@@ -36,6 +36,14 @@
 //    shard.hpp). Cross-shard traffic is observable via
 //    cross_shard_traffic(); it is deliberately NOT part of RunMetrics, so
 //    metrics and digests stay engine-independent.
+//  * kDist: the sharded engine's protocol taken across process
+//    boundaries — each shard lives in its own worker process (`ldc_shard`)
+//    and the per-(src, dst) batch buffers travel as length-prefixed,
+//    digest-sealed frames over sockets. The coordinator side is a
+//    DistBackend (src/ldc/dist/coordinator.hpp) attached via
+//    attach_dist(); the determinism contract is identical (DESIGN.md
+//    §12), and cross_shard_traffic() reports the same logical counters
+//    the in-process sharded engine would.
 //
 // Thread count: an explicit set_engine() parameter, else the LDC_THREADS
 // environment variable (or LDC_SHARDS for kSharded, strictly parsed), else
@@ -82,6 +90,8 @@ class CongestViolation : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+class DistBackend;
+
 class Network {
  public:
   /// One outgoing message: destination must be a neighbor of the sender.
@@ -90,7 +100,7 @@ class Network {
   /// deliveries themselves are returned as arena-backed RoundMail views.
   using Inbox = std::vector<MailSlot>;
 
-  enum class Engine { kSerial, kParallel, kSharded };
+  enum class Engine { kSerial, kParallel, kSharded, kDist };
 
   /// budget_bits == 0 => LOCAL model. strict => throw on budget violation.
   explicit Network(const Graph& g, std::size_t budget_bits = 0,
@@ -105,23 +115,31 @@ class Network {
   /// count and resolves via LDC_SHARDS (strictly parsed — garbage throws
   /// std::invalid_argument) with the same fallback, clamped to n. A
   /// resolved count of 1 runs the serial code path. Results are
-  /// engine-independent.
+  /// engine-independent. kDist cannot be selected here: attach a backend
+  /// with attach_dist() instead (set_engine(kDist) without one throws
+  /// std::invalid_argument).
   void set_engine(Engine engine, std::size_t threads = 0);
+
+  /// Attaches (or with nullptr detaches) the multi-process distributed
+  /// backend and switches the engine to kDist (resp. back to kSerial).
+  /// The backend is not owned and must outlive the attachment; bind()
+  /// runs immediately so a partition/handshake failure surfaces here,
+  /// not at the first round.
+  void attach_dist(DistBackend* backend);
 
   Engine engine() const { return engine_; }
 
   /// Lanes the engine uses: the pool size under kParallel, the shard
-  /// count under kSharded, 1 under kSerial.
-  std::size_t threads() const {
-    if (shards_ != nullptr) return shards_->size();
-    return pool_ == nullptr ? 1 : pool_->size();
-  }
+  /// count under kSharded, the worker-process count under kDist, 1
+  /// under kSerial.
+  std::size_t threads() const;
 
-  /// Cumulative cross-shard traffic under kSharded (zeros otherwise).
-  /// Engine-private observability: not in RunMetrics, not digested.
-  ShardTraffic cross_shard_traffic() const {
-    return shards_ == nullptr ? ShardTraffic{} : shards_->traffic();
-  }
+  /// Cumulative cross-shard traffic under kSharded / kDist (zeros
+  /// otherwise). Engine-private observability: not in RunMetrics, not
+  /// digested. Under kDist these are the LOGICAL counters — identical
+  /// to what the in-process sharded engine would report; physical wire
+  /// bytes/frames are the backend's own wire_stats().
+  ShardTraffic cross_shard_traffic() const;
 
   /// One synchronous round: delivers outboxes[u] (messages from u) and
   /// returns a view of the per-node inboxes, in ascending sender order.
@@ -269,6 +287,8 @@ class Network {
   }
 
  private:
+  friend class DistBackend;
+
   const Graph* graph_;
   std::size_t budget_bits_;
   bool strict_;
@@ -278,6 +298,7 @@ class Network {
   Engine engine_ = Engine::kSerial;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ShardSet> shards_;  ///< non-null only under kSharded, K>1
+  DistBackend* dist_ = nullptr;       ///< non-null only under kDist
   std::uint64_t pending_compute_ns_ = 0;  ///< run_node_programs time since
                                           ///< the last recorded round
   const FaultPlan* faults_ = nullptr;
@@ -333,5 +354,88 @@ class Network {
   /// per-inbox sort.
   void debug_check_sorted() const;
 };
+
+/// Interface of the multi-process distributed engine (implemented by
+/// dist::Coordinator in src/ldc/dist/). The runtime stays free of any
+/// socket or process code: Network only dispatches the three round
+/// shapes to the attached backend, which must fill the master arena with
+/// the exact bytes the in-process engines would (the equivalence suites
+/// in tests/test_dist.cpp enforce this).
+///
+/// Access to Network/MailArena internals is funneled through the
+/// protected attorney accessors below, so implementations in other
+/// subsystems never need friendship of their own.
+class DistBackend {
+ public:
+  virtual ~DistBackend() = default;
+
+  /// Worker-process count (the K of the partition).
+  virtual std::size_t shards() const = 0;
+
+  /// Cumulative LOGICAL cross-shard traffic — must equal what the
+  /// in-process sharded engine's cross_shard_traffic() would report for
+  /// the same run with the same K.
+  virtual ShardTraffic traffic() const = 0;
+
+ protected:
+  friend class Network;
+
+  /// Called by Network::attach_dist; partitions net.graph() and runs the
+  /// assign handshake. Throwing here leaves the Network unchanged.
+  virtual void bind(Network& net) = 0;
+
+  /// Engine bodies, mirroring Network's *_sharded trio: fill the master
+  /// arena (offsets + slots / words) for this round and merge per-shard
+  /// staging into metrics in ascending shard order.
+  virtual void exchange_dist(Network& net,
+                             const std::vector<Network::Outbox>& outboxes,
+                             std::uint64_t round, RoundFaults& rf,
+                             std::size_t& round_max_bits) = 0;
+  virtual void broadcast_fill_dist(Network& net,
+                                   const std::vector<Message>& msgs,
+                                   const std::vector<bool>* active,
+                                   std::uint64_t round, RoundFaults& rf,
+                                   bool all_live) = 0;
+  virtual void word_fill_dist(Network& net,
+                              const std::vector<std::uint64_t>& words,
+                              std::size_t bits, std::uint64_t round,
+                              RoundFaults& rf, bool all_live) = 0;
+
+  // -------- attorney accessors (friendship does not flow to derived
+  // classes, so everything a backend needs is exposed as a protected
+  // static here) --------
+  static const Graph& graph(const Network& n) { return *n.graph_; }
+  static MailArena& arena(Network& n) { return n.arena_; }
+  static RunMetrics& metrics(Network& n) { return n.metrics_; }
+  static const std::vector<char>& down(const Network& n) { return n.down_; }
+  static bool strict(const Network& n) { return n.strict_; }
+  static std::size_t budget_bits(const Network& n) { return n.budget_bits_; }
+  static const FaultPlan* faults(const Network& n) { return n.faults_; }
+
+  static std::vector<std::uint32_t>& arena_offsets(MailArena& a) {
+    return a.offsets_;
+  }
+  static std::vector<MailSlot>& arena_slots(MailArena& a) { return a.slots_; }
+  static std::vector<std::uint64_t>& arena_words(MailArena& a) {
+    return a.words_;
+  }
+  static std::vector<WordSlot>& arena_word_slots(MailArena& a) {
+    return a.word_slots_;
+  }
+  static const std::vector<char>& arena_transmits(const MailArena& a) {
+    return a.transmits_;
+  }
+};
+
+inline std::size_t Network::threads() const {
+  if (dist_ != nullptr) return dist_->shards();
+  if (shards_ != nullptr) return shards_->size();
+  return pool_ == nullptr ? 1 : pool_->size();
+}
+
+inline ShardTraffic Network::cross_shard_traffic() const {
+  if (dist_ != nullptr) return dist_->traffic();
+  return shards_ == nullptr ? ShardTraffic{} : shards_->traffic();
+}
 
 }  // namespace ldc

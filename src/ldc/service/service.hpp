@@ -61,6 +61,12 @@ struct ServiceConfig {
   /// Non-empty: serve family == "corpus" jobs from <dir>/<name>.ldcg via
   /// a shared CorpusRegistry (each corpus mapped once, workers share it).
   std::string corpus_dir;
+  /// Engine::kDist knobs (corpus jobs only: the per-job coordinator
+  /// spawns its shard workers over the job's corpus file). 0 workers
+  /// resolves via LDC_DIST_WORKERS with the hardware fallback.
+  std::size_t dist_workers = 0;
+  std::uint64_t dist_heartbeat_ms = 30000;
+  std::uint64_t dist_attach_timeout_ms = 10000;
 };
 
 /// Outcome of a submit(): either an assigned id or a rejection reason.

@@ -1,0 +1,738 @@
+// Distributed-engine equivalence, robustness, and strict-knob contracts.
+//
+// Engine::kDist runs every communication round in K `ldc_shard` worker
+// *processes* talking to a dist::Coordinator over sockets; this file pins
+// the contract ISSUE 10 states: colors, model-exact RunMetrics, trace
+// digests, and fault decisions byte-identical to kSerial and kSharded
+// for every worker count × fault plan × active mask — plus the parts
+// only a multi-process engine has: the attach handshake rejects a worker
+// whose corpus content digest differs, a SIGKILLed worker surfaces as a
+// typed WorkerError naming the shard and round (well inside the
+// heartbeat window, with no orphan processes left behind), a SIGSTOPped
+// worker trips the heartbeat timeout, CONGEST violations and outbox
+// validation errors cross the process boundary with their original
+// exception types, and every dist knob (LDC_DIST_WORKERS,
+// heartbeat/attach timeouts) is parsed strictly — garbage throws
+// std::invalid_argument naming the offending token, never a silent
+// fallback.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "ldc/baselines/kw_reduction.hpp"
+#include "ldc/baselines/luby.hpp"
+#include "ldc/coloring/instance_gen.hpp"
+#include "ldc/dist/coordinator.hpp"
+#include "ldc/dist/wire.hpp"
+#include "ldc/graph/generators.hpp"
+#include "ldc/linial/defective_linial.hpp"
+#include "ldc/linial/linial.hpp"
+#include "ldc/runtime/network.hpp"
+#include "ldc/storage/corpus.hpp"
+#include "ldc/support/prf.hpp"
+
+namespace ldc {
+namespace {
+
+using dist::AttachError;
+using dist::Coordinator;
+using dist::CoordinatorOptions;
+using dist::WorkerError;
+
+/// Unique corpus path under the test temp dir, removed on destruction.
+class TempCorpus {
+ public:
+  explicit TempCorpus(const std::string& tag)
+      : path_(testing::TempDir() + "dist_corpus_" + tag + ".ldcg") {
+    std::remove(path_.c_str());
+  }
+  ~TempCorpus() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Streams an in-RAM graph through the corpus writer (identity ids — the
+/// workers mmap this file, so every engine must run over the same view).
+void write_graph(const Graph& g, const std::string& path) {
+  storage::CorpusWriter w(path, g.n(), /*with_ids=*/false);
+  for (NodeId v = 0; v < g.n(); ++v) w.add_vertex(g.neighbors(v));
+  w.close();
+}
+
+/// Path of the built ldc_shard binary, resolved the same way the
+/// coordinator's spawn mode does (test binaries live in build/tests/,
+/// ldc_shard in build/src/).
+std::string shard_binary() {
+  if (const char* env = std::getenv("LDC_SHARD_BIN");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (len <= 0) return "ldc_shard";
+  buf[len] = '\0';
+  std::string dir(buf);
+  dir = dir.substr(0, dir.find_last_of('/'));
+  for (const std::string& cand :
+       {dir + "/ldc_shard", dir + "/../src/ldc_shard"}) {
+    if (::access(cand.c_str(), X_OK) == 0) return cand;
+  }
+  return "ldc_shard";
+}
+
+// An engine selection applied to a fresh Network; "serial" is the
+// reference. The dist selection attaches a live Coordinator, so the same
+// worker processes serve every run the sweep binds to them.
+struct EngineSel {
+  std::string name;
+  std::function<void(Network&)> apply;
+};
+
+EngineSel dist_sel(Coordinator& coord) {
+  return {"dist@" + std::to_string(coord.shards()),
+          [&coord](Network& net) { net.attach_dist(&coord); }};
+}
+
+struct EngineRun {
+  Coloring phi;
+  RunMetrics metrics;
+  std::uint64_t trace_digest = 0;
+  std::vector<Trace::Round> rounds;
+};
+
+using Colorer = std::function<Coloring(Network&)>;
+
+EngineRun run_with_engine(const Graph& g, const EngineSel& sel,
+                          const Colorer& algo) {
+  Network net(g);
+  sel.apply(net);
+  Trace trace;
+  net.attach_trace(&trace);
+  EngineRun out;
+  out.phi = algo(net);
+  out.metrics = net.metrics();
+  out.trace_digest = trace.digest();
+  out.rounds = trace.rounds();
+  return out;
+}
+
+void expect_equivalent(const EngineRun& serial, const EngineRun& other,
+                       const std::string& label) {
+  EXPECT_EQ(serial.phi, other.phi) << label << ": colors differ";
+  EXPECT_TRUE(serial.metrics.same_communication(other.metrics))
+      << label << ": metrics differ: serial {" << serial.metrics
+      << "} other {" << other.metrics << "}";
+  EXPECT_EQ(serial.trace_digest, other.trace_digest)
+      << label << ": trace digests differ";
+  ASSERT_EQ(serial.rounds.size(), other.rounds.size())
+      << label << ": transcript length differs";
+  for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
+    const auto& a = serial.rounds[i];
+    const auto& b = other.rounds[i];
+    EXPECT_EQ(a.messages, b.messages) << label << " round " << i;
+    EXPECT_EQ(a.bits, b.bits) << label << " round " << i;
+    EXPECT_EQ(a.max_message_bits, b.max_message_bits)
+        << label << " round " << i;
+    EXPECT_EQ(a.faults.dropped, b.faults.dropped) << label << " round " << i;
+    EXPECT_EQ(a.faults.corrupted, b.faults.corrupted)
+        << label << " round " << i;
+    EXPECT_EQ(a.faults.crashes, b.faults.crashes) << label << " round " << i;
+  }
+}
+
+struct NamedColorer {
+  std::string name;
+  Colorer run;
+};
+
+// Colorer coverage across the three mail lanes: linial (fused word
+// rounds), defective linial (masked broadcasts), Luby (per-edge
+// exchanges under randomness), linial+kw (long masked pipelines).
+std::vector<NamedColorer> colorer_mix(const Graph& g) {
+  std::vector<NamedColorer> cs;
+  cs.push_back({"linial", [](Network& net) {
+                  return linial::color(net).phi;
+                }});
+  cs.push_back({"defective-linial-d2", [](Network& net) {
+                  return linial::defective_color(net, 2).phi;
+                }});
+  cs.push_back({"luby", [&g](Network& net) {
+                  const LdcInstance inst = delta_plus_one_instance(g);
+                  baselines::LubyOptions opt;
+                  opt.seed = 42;
+                  return baselines::luby_list_coloring(net, inst, opt).phi;
+                }});
+  cs.push_back({"linial+kw", [](Network& net) {
+                  return baselines::linial_then_kw(net).phi;
+                }});
+  return cs;
+}
+
+TEST(Dist, EveryColorerEveryWorkerCountMatchesSerialAndSharded) {
+  struct NamedGraph {
+    std::string name;
+    Graph g;
+  };
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"gnp60", gen::gnp(60, 0.2, 11)});
+  graphs.push_back({"ring49", gen::ring(49)});
+  const EngineSel serial{"serial", [](Network&) {}};
+  for (const auto& ng : graphs) {
+    TempCorpus tc("equiv_" + ng.name);
+    write_graph(ng.g, tc.path());
+    for (std::size_t workers : {1u, 2u, 4u}) {
+      CoordinatorOptions opt;
+      opt.workers = workers;
+      Coordinator coord(tc.path(), opt);
+      ASSERT_EQ(coord.shards(), workers);
+      // One coordinator (same worker processes) serves every colorer:
+      // re-binding must fully reset the distributed state.
+      for (const auto& colorer : colorer_mix(ng.g)) {
+        const EngineRun ref = run_with_engine(ng.g, serial, colorer.run);
+        const EngineSel sharded{
+            "sharded@" + std::to_string(workers), [workers](Network& net) {
+              net.set_engine(Network::Engine::kSharded, workers);
+            }};
+        const EngineRun in_proc =
+            run_with_engine(ng.g, sharded, colorer.run);
+        const EngineRun got =
+            run_with_engine(coord.corpus_graph(), dist_sel(coord),
+                            colorer.run);
+        const std::string label =
+            colorer.name + " on " + ng.name + " @dist" +
+            std::to_string(workers);
+        expect_equivalent(ref, got, label);
+        expect_equivalent(in_proc, got, label + " (vs sharded)");
+      }
+    }
+  }
+}
+
+// Named fault plans; rates aggressive enough that every fault process
+// fires on the small test graphs (same seeds as tests/test_sharded.cpp).
+std::vector<std::pair<std::string, FaultPlan>> fault_plan_mix() {
+  std::vector<std::pair<std::string, FaultPlan>> plans;
+  {
+    FaultPlan p;
+    p.seed = 0xfa01;
+    p.drop_rate = 0.15;
+    plans.push_back({"drop15", p});
+  }
+  {
+    FaultPlan p;
+    p.seed = 0xfa02;
+    p.corrupt_rate = 0.20;
+    plans.push_back({"corrupt20", p});
+  }
+  {
+    FaultPlan p;
+    p.seed = 0xfa03;
+    p.crash_rate = 0.03;
+    p.sleep_rate = 0.10;
+    p.max_crashes = 5;
+    plans.push_back({"crash-sleep", p});
+  }
+  {
+    FaultPlan p;
+    p.seed = 0xfa04;
+    p.drop_rate = 0.05;
+    p.corrupt_rate = 0.05;
+    p.crash_rate = 0.01;
+    p.sleep_rate = 0.05;
+    p.max_crashes = 4;
+    plans.push_back({"mixed", p});
+  }
+  return plans;
+}
+
+struct FaultyRun {
+  std::vector<std::uint64_t> inbox_flat;  ///< (receiver, sender, payload)
+  RunMetrics metrics;
+  std::uint64_t trace_digest = 0;
+};
+
+// Raw multi-round exchange under a fault plan, flattening every delivered
+// payload so drop/corrupt/crash/sleep effects are byte-observable.
+FaultyRun run_faulty_exchange(const Graph& g, const EngineSel& sel,
+                              const FaultPlan& plan) {
+  Network net(g);
+  sel.apply(net);
+  Trace trace;
+  net.attach_trace(&trace);
+  net.attach_faults(&plan);
+  FaultyRun out;
+  for (std::uint64_t r = 0; r < 6; ++r) {
+    std::vector<Network::Outbox> outboxes(g.n());
+    for (NodeId u = 0; u < g.n(); ++u) {
+      for (NodeId v : g.neighbors(u)) {
+        BitWriter w;
+        w.write(hash_combine(r, (static_cast<std::uint64_t>(u) << 20) | v),
+                40);
+        outboxes[u].emplace_back(v, Message::from(w));
+      }
+    }
+    const auto in = net.exchange(outboxes);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      for (const auto& [sender, msg] : in[v]) {
+        auto rd = msg.reader();
+        out.inbox_flat.push_back(hash_combine(
+            (static_cast<std::uint64_t>(v) << 32) | sender, rd.read(40)));
+      }
+    }
+  }
+  out.metrics = net.metrics();
+  out.trace_digest = trace.digest();
+  return out;
+}
+
+// The fault context crosses the wire once per round (coordinator-resolved
+// down bitmap + PRF plan); every worker must re-resolve drop/corrupt
+// decisions bit-identically to the serial engine.
+TEST(Dist, FaultPlansMatchSerial) {
+  const Graph g = gen::gnp(60, 0.2, 11);
+  TempCorpus tc("faults");
+  write_graph(g, tc.path());
+  const EngineSel serial{"serial", [](Network&) {}};
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    CoordinatorOptions opt;
+    opt.workers = workers;
+    Coordinator coord(tc.path(), opt);
+    for (const auto& [plan_name, plan] : fault_plan_mix()) {
+      const FaultyRun ref = run_faulty_exchange(g, serial, plan);
+      EXPECT_GT(ref.metrics.messages_dropped + ref.metrics.messages_corrupted +
+                    ref.metrics.node_crashes + ref.metrics.node_sleeps,
+                0u)
+          << plan_name;
+      const FaultyRun got = run_faulty_exchange(coord.corpus_graph(),
+                                                dist_sel(coord), plan);
+      const std::string label = plan_name + " @dist" + std::to_string(workers);
+      EXPECT_EQ(ref.inbox_flat, got.inbox_flat)
+          << label << ": delivered payloads differ";
+      EXPECT_TRUE(ref.metrics.same_communication(got.metrics))
+          << label << ": metrics differ: ref {" << ref.metrics << "} got {"
+          << got.metrics << "}";
+      EXPECT_EQ(ref.trace_digest, got.trace_digest)
+          << label << ": trace digests differ";
+    }
+  }
+}
+
+// Broadcast fast path and the fused word path under kDist must match the
+// serial engine's materialized-outbox reference — with and without an
+// active mask, with and without faults. All-live rounds stay
+// coordinator-local; masked/faulty rounds take the kBcast / kWordSparse
+// wire paths.
+TEST(Dist, BroadcastAndWordPathsMatchSerialReference) {
+  const Graph g = gen::gnp(48, 0.25, 34);
+  TempCorpus tc("bcast");
+  write_graph(g, tc.path());
+  const std::uint64_t bound = 499;
+  std::vector<std::uint64_t> words(g.n());
+  std::vector<Message> msgs(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    words[v] = hash_combine(0xb1, v) % (bound + 1);
+    BitWriter w;
+    w.write_bounded(words[v], bound);
+    msgs[v] = Message::from(w);
+  }
+  std::vector<bool> mask(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) mask[v] = v % 3 != 0;
+  FaultPlan plan;
+  plan.seed = 0xfa08;
+  plan.drop_rate = 0.08;
+  plan.corrupt_rate = 0.12;
+  plan.sleep_rate = 0.05;
+
+  struct Flat {
+    std::vector<std::uint64_t> slots;
+    RunMetrics metrics;
+    std::uint64_t trace_digest = 0;
+  };
+  enum class Path { kOutboxes, kBroadcast, kFusedWord };
+  auto run = [&](Coordinator* coord, const std::vector<bool>* active,
+                 const FaultPlan* faults, Path path) {
+    Network net(coord != nullptr ? coord->corpus_graph() : g);
+    if (coord != nullptr) net.attach_dist(coord);
+    Trace trace;
+    net.attach_trace(&trace);
+    if (faults != nullptr) net.attach_faults(faults);
+    Flat out;
+    for (int round = 0; round < 3; ++round) {
+      if (path == Path::kFusedWord) {
+        const WordMail in = net.exchange_broadcast_word(words, bound, active);
+        for (NodeId v = 0; v < g.n(); ++v) {
+          for (const auto [sender, word] : in[v]) {
+            out.slots.push_back(hash_combine(
+                (static_cast<std::uint64_t>(v) << 32) | sender, word));
+          }
+        }
+        continue;
+      }
+      RoundMail in;
+      if (path == Path::kOutboxes) {
+        std::vector<Network::Outbox> outboxes(g.n());
+        for (NodeId u = 0; u < g.n(); ++u) {
+          if (active != nullptr && !(*active)[u]) continue;
+          for (NodeId v : g.neighbors(u)) outboxes[u].emplace_back(v, msgs[u]);
+        }
+        in = net.exchange(outboxes);
+      } else {
+        in = net.exchange_broadcast(msgs, active);
+      }
+      for (NodeId v = 0; v < g.n(); ++v) {
+        for (const auto& [sender, msg] : in[v]) {
+          auto r = msg.reader();
+          out.slots.push_back(
+              hash_combine((static_cast<std::uint64_t>(v) << 32) | sender,
+                           r.read_bounded(bound)));
+        }
+      }
+    }
+    out.metrics = net.metrics();
+    out.trace_digest = trace.digest();
+    return out;
+  };
+
+  const std::vector<bool>* masks[] = {nullptr, &mask};
+  const FaultPlan* plans[] = {nullptr, &plan};
+  for (std::size_t workers : {2u, 4u}) {
+    CoordinatorOptions opt;
+    opt.workers = workers;
+    Coordinator coord(tc.path(), opt);
+    for (const std::vector<bool>* active : masks) {
+      for (const FaultPlan* faults : plans) {
+        const Flat ref = run(nullptr, active, faults, Path::kOutboxes);
+        for (const Path path :
+             {Path::kOutboxes, Path::kBroadcast, Path::kFusedWord}) {
+          const Flat got = run(&coord, active, faults, path);
+          const std::string label =
+              std::string(path == Path::kFusedWord  ? "fused"
+                          : path == Path::kOutboxes ? "outboxes"
+                                                    : "broadcast") +
+              "/" + (active != nullptr ? "masked" : "all") +
+              (faults != nullptr ? "+faults" : "") + " @dist" +
+              std::to_string(workers);
+          EXPECT_EQ(ref.slots, got.slots) << label << ": deliveries differ";
+          EXPECT_TRUE(ref.metrics.same_communication(got.metrics))
+              << label << ": metrics differ: ref {" << ref.metrics
+              << "} got {" << got.metrics << "}";
+          EXPECT_EQ(ref.trace_digest, got.trace_digest)
+              << label << ": trace digests differ";
+        }
+      }
+    }
+  }
+}
+
+// The logical cross-shard counters are engine-independent observability:
+// kDist over K processes must report exactly what the in-process sharded
+// engine reports for the same K — the wire adds frames and headers, never
+// logical traffic.
+TEST(Dist, CrossShardTrafficMatchesShardedEngine) {
+  const Graph g = gen::gnp(60, 0.2, 11);
+  TempCorpus tc("traffic");
+  write_graph(g, tc.path());
+  auto run_linial = [](Network& net) { linial::color(net); };
+  for (std::size_t workers : {2u, 4u}) {
+    Network sharded(g);
+    sharded.set_engine(Network::Engine::kSharded, workers);
+    run_linial(sharded);
+    const ShardTraffic want = sharded.cross_shard_traffic();
+
+    CoordinatorOptions opt;
+    opt.workers = workers;
+    Coordinator coord(tc.path(), opt);
+    Network net(coord.corpus_graph());
+    net.attach_dist(&coord);
+    run_linial(net);
+    const ShardTraffic got = net.cross_shard_traffic();
+    EXPECT_EQ(want.messages, got.messages) << workers << " workers";
+    EXPECT_EQ(want.bits, got.bits) << workers << " workers";
+    // The physical wire actually moved frames (attach handshake at
+    // minimum), and the counters reconcile sent vs received directions.
+    const dist::WireStats ws = coord.wire_stats();
+    EXPECT_GT(ws.frames_sent, 0u);
+    EXPECT_GT(ws.frames_received, 0u);
+    EXPECT_GT(ws.bytes_sent, ws.frames_sent * dist::kFrameHeaderBytes - 1);
+  }
+}
+
+// ---------------------------------------------------------- robustness --
+
+// A worker serving a DIFFERENT corpus (same n, different edges, so only
+// the content digest can tell) must be rejected at attach with a typed
+// AttachError — before any round runs over mismatched adjacency.
+TEST(Dist, AttachRejectsCorpusContentDigestMismatch) {
+  const Graph a = gen::gnp(40, 0.2, 11);
+  const Graph b = gen::gnp(40, 0.2, 12);  // same n, different digest
+  TempCorpus ca("attach_a"), cb("attach_b");
+  write_graph(a, ca.path());
+  write_graph(b, cb.path());
+
+  const std::string sock = testing::TempDir() + "ldc_dist_attach.sock";
+  std::remove(sock.c_str());
+  const std::string bin = shard_binary();
+  ASSERT_EQ(::access(bin.c_str(), X_OK), 0) << "ldc_shard not found at "
+                                            << bin;
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: wait for the coordinator's listening socket, then attach
+    // with the WRONG corpus.
+    for (int i = 0; i < 400 && ::access(sock.c_str(), F_OK) != 0; ++i) {
+      ::usleep(20 * 1000);
+    }
+    ::execl(bin.c_str(), "ldc_shard", "--corpus", cb.path().c_str(),
+            "--connect-unix", sock.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  CoordinatorOptions opt;
+  opt.workers = 1;
+  opt.listen_unix = sock;
+  opt.attach_timeout_ms = 10000;
+  try {
+    Coordinator coord(ca.path(), opt);
+    ADD_FAILURE() << "expected AttachError on corpus digest mismatch";
+  } catch (const AttachError& e) {
+    EXPECT_NE(std::string(e.what()).find("digest mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  // The failed attach tears the listen socket down behind itself.
+  EXPECT_NE(::access(sock.c_str(), F_OK), 0) << "listen socket leaked";
+}
+
+// kill -9 one worker mid-run: the next round must fail with a typed
+// WorkerError naming the dead shard and the round — detected via EOF,
+// i.e. well inside the heartbeat window — and the coordinator teardown
+// must leave no orphan worker processes behind.
+TEST(Dist, WorkerKilledMidRunYieldsTypedErrorNamingShardAndRound) {
+  const Graph g = gen::gnp(40, 0.2, 21);
+  TempCorpus tc("kill");
+  write_graph(g, tc.path());
+  std::vector<pid_t> pids;
+  {
+    CoordinatorOptions opt;
+    opt.workers = 3;
+    opt.heartbeat_ms = 60000;  // EOF detection must not need the timeout
+    Coordinator coord(tc.path(), opt);
+    pids = coord.worker_pids();
+    ASSERT_EQ(pids.size(), 3u);
+    for (const pid_t p : pids) ASSERT_GT(p, 0);
+
+    Network net(coord.corpus_graph());
+    net.attach_dist(&coord);
+    auto round = [&] {
+      std::vector<Network::Outbox> out(g.n());
+      for (NodeId u = 0; u < g.n(); ++u) {
+        for (NodeId v : g.neighbors(u)) {
+          BitWriter w;
+          w.write(u ^ v, 24);
+          out[u].emplace_back(v, Message::from(w));
+        }
+      }
+      return net.exchange(out);
+    };
+    EXPECT_EQ(round().size(), g.n());  // one clean round first
+
+    ASSERT_EQ(::kill(pids[1], SIGKILL), 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      round();
+      ADD_FAILURE() << "expected WorkerError after SIGKILL";
+    } catch (const WorkerError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("shard 1"), std::string::npos) << what;
+      EXPECT_NE(what.find("round 1"), std::string::npos) << what;
+      EXPECT_NE(what.find("died"), std::string::npos) << what;
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    EXPECT_LT(elapsed.count(), 10000) << "EOF detection took too long";
+  }
+  // Coordinator destroyed: every worker (including the killed one) must
+  // be reaped — no orphans, no zombies.
+  for (const pid_t p : pids) {
+    EXPECT_EQ(::kill(p, 0), -1) << "worker " << p << " still alive";
+    EXPECT_EQ(errno, ESRCH) << "worker " << p;
+  }
+}
+
+// A hung (SIGSTOPped) worker never closes its socket, so only the
+// heartbeat window can catch it: the round must abort with a WorkerError
+// naming the silent shard within ~the configured window.
+TEST(Dist, HungWorkerTripsHeartbeatTimeout) {
+  const Graph g = gen::ring(24);
+  TempCorpus tc("hang");
+  write_graph(g, tc.path());
+  CoordinatorOptions opt;
+  opt.workers = 2;
+  opt.heartbeat_ms = 300;
+  Coordinator coord(tc.path(), opt);
+  const std::vector<pid_t> pids = coord.worker_pids();
+  Network net(coord.corpus_graph());
+  net.attach_dist(&coord);
+
+  ASSERT_EQ(::kill(pids[0], SIGSTOP), 0);
+  std::vector<Network::Outbox> out(g.n());
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      BitWriter w;
+      w.write(1, 1);
+      out[u].emplace_back(v, Message::from(w));
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    net.exchange(out);
+    ADD_FAILURE() << "expected WorkerError on heartbeat timeout";
+  } catch (const WorkerError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("heartbeat"), std::string::npos) << what;
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 250) << "gave up before the window";
+  EXPECT_LT(elapsed.count(), 5000) << "timeout far past the window";
+  ASSERT_EQ(::kill(pids[0], SIGCONT), 0);  // let shutdown run cleanly
+}
+
+// Typed errors cross the process boundary with their original types:
+// a strict CONGEST violation inside a worker surfaces as
+// CongestViolation, an invalid outbox as std::invalid_argument — exactly
+// what the in-process engines throw.
+TEST(Dist, WorkerErrorsKeepTheirTypesAcrossTheWire) {
+  const Graph g = gen::ring(16);
+  TempCorpus tc("typed");
+  write_graph(g, tc.path());
+  {
+    CoordinatorOptions opt;
+    opt.workers = 2;
+    Coordinator coord(tc.path(), opt);
+    Network net(coord.corpus_graph(), /*budget_bits=*/4, /*strict=*/true);
+    net.attach_dist(&coord);
+    std::vector<Network::Outbox> out(g.n());
+    BitWriter w;
+    w.write(0, 9);  // 9 bits > 4-bit budget
+    out[0].emplace_back(1, Message::from(w));
+    EXPECT_THROW(net.exchange(out), CongestViolation);
+  }
+  {
+    CoordinatorOptions opt;
+    opt.workers = 2;
+    Coordinator coord(tc.path(), opt);
+    Network net(coord.corpus_graph());
+    net.attach_dist(&coord);
+    std::vector<Network::Outbox> out(g.n());
+    BitWriter w;
+    w.write(1, 1);
+    out[0].emplace_back(5, Message::from(w));  // 0 and 5 not adjacent
+    EXPECT_THROW(net.exchange(out), std::invalid_argument);
+  }
+}
+
+// ------------------------------------------------- strict knob parsing --
+
+TEST(Dist, ParsePositiveU64RejectsGarbageNamingTheToken) {
+  for (const char* bad :
+       {"banana", "0", "-3", "3x", "", "99999999999999999999"}) {
+    try {
+      dist::parse_positive_u64("--heartbeat-ms", bad, 86400000ull);
+      ADD_FAILURE() << "\"" << bad << "\": expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("--heartbeat-ms"), std::string::npos) << bad;
+      EXPECT_NE(what.find(std::string("\"") + bad + "\""), std::string::npos)
+          << "message must quote the offending token: " << what;
+    }
+  }
+  // Out-of-range is rejected too, naming the bound.
+  EXPECT_THROW(dist::parse_positive_u64("--workers", "65", 64),
+               std::invalid_argument);
+  EXPECT_EQ(dist::parse_positive_u64("--workers", "64", 64), 64u);
+  EXPECT_EQ(dist::parse_positive_u64("--attach-timeout-ms", "1500", 86400000ull),
+            1500u);
+}
+
+TEST(Dist, LdcDistWorkersEnvStrictParsing) {
+  for (const char* bad : {"banana", "0", "-2", "4x", "1000"}) {
+    ASSERT_EQ(setenv("LDC_DIST_WORKERS", bad, 1), 0);
+    try {
+      dist::default_worker_count();
+      ADD_FAILURE() << "LDC_DIST_WORKERS=" << bad
+                    << ": expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("LDC_DIST_WORKERS"),
+                std::string::npos)
+          << bad;
+    }
+  }
+  ASSERT_EQ(setenv("LDC_DIST_WORKERS", "5", 1), 0);
+  EXPECT_EQ(dist::default_worker_count(), 5u);
+  ASSERT_EQ(setenv("LDC_DIST_WORKERS", "", 1), 0);
+  std::size_t k = 0;
+  EXPECT_NO_THROW(k = dist::default_worker_count());  // empty == unset
+  EXPECT_GE(k, 1u);
+  EXPECT_LE(k, dist::kMaxDistWorkers);
+  unsetenv("LDC_DIST_WORKERS");
+}
+
+TEST(Dist, CoordinatorRejectsBadOptions) {
+  const Graph g = gen::ring(8);
+  TempCorpus tc("opts");
+  write_graph(g, tc.path());
+  {
+    CoordinatorOptions opt;
+    opt.heartbeat_ms = 0;
+    EXPECT_THROW(Coordinator(tc.path(), opt), std::invalid_argument);
+  }
+  {
+    CoordinatorOptions opt;
+    opt.attach_timeout_ms = 0;
+    EXPECT_THROW(Coordinator(tc.path(), opt), std::invalid_argument);
+  }
+  {
+    CoordinatorOptions opt;
+    opt.workers = dist::kMaxDistWorkers + 1;
+    EXPECT_THROW(Coordinator(tc.path(), opt), std::invalid_argument);
+  }
+}
+
+TEST(Dist, EngineDistNeedsAnAttachedBackend) {
+  const Graph g = gen::ring(8);
+  Network net(g);
+  EXPECT_THROW(net.set_engine(Network::Engine::kDist),
+               std::invalid_argument);
+}
+
+// Worker count clamps to n: a 3-vertex corpus never gets more than 3
+// shard processes however many were requested.
+TEST(Dist, WorkerCountClampsToVertexCount) {
+  const Graph g = gen::clique(3);
+  TempCorpus tc("clamp");
+  write_graph(g, tc.path());
+  CoordinatorOptions opt;
+  opt.workers = 8;
+  Coordinator coord(tc.path(), opt);
+  EXPECT_EQ(coord.shards(), 3u);
+}
+
+}  // namespace
+}  // namespace ldc
